@@ -1,0 +1,38 @@
+//! Criterion benches of the cycle-level simulator itself: command-stream
+//! construction and scheduling throughput per controller.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pim_sim::kernels::{AttentionSpec, GemvKernel, GemvSpec, QktKernel, SvKernel};
+use pim_sim::{schedule, Geometry, SchedulerKind, Timing};
+use std::hint::black_box;
+
+fn bench_stream_building(c: &mut Criterion) {
+    let geom = Geometry::pimphony();
+    let mut g = c.benchmark_group("stream_build");
+    g.bench_function("qkt_4k", |b| {
+        b.iter(|| QktKernel::new(AttentionSpec::mha(4096, 128), geom).stream())
+    });
+    g.bench_function("sv_4k_gqa8", |b| {
+        b.iter(|| SvKernel::new(AttentionSpec::gqa(4096, 128, 8), geom).stream())
+    });
+    g.bench_function("gemv_4kx4k", |b| {
+        b.iter(|| GemvKernel::new(GemvSpec { dout: 4096, din: 4096 }, geom).stream())
+    });
+    g.finish();
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let geom = Geometry::pimphony();
+    let timing = Timing::aimx();
+    let stream = QktKernel::new(AttentionSpec::mha(4096, 128), geom).stream();
+    let mut g = c.benchmark_group("schedule_qkt_4k");
+    for kind in SchedulerKind::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| schedule(black_box(&stream), kind, &timing, &geom))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_stream_building, bench_schedulers);
+criterion_main!(benches);

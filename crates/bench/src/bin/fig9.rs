@@ -1,0 +1,42 @@
+//! Fig. 9: QKT / SV latency breakdown for LLM-72B attention, without and
+//! with DCS. Both sides use the GQA row-reuse mapping.
+
+use pim_isa::command::CommandStream;
+use pim_sim::kernels::{AttentionSpec, QktKernel, SvKernel};
+use pim_sim::{schedule, Geometry, SchedulerKind, Timing};
+
+fn main() {
+    bench::header("Fig. 9: LLM-72B attention breakdown (row-reuse mapping, g=8)");
+    let timing = Timing::aimx();
+    let spec = AttentionSpec { tokens: 4096, head_dim: 128, group_size: 8, row_reuse: true };
+    let kernels: [(&str, fn(AttentionSpec, Geometry) -> CommandStream); 2] = [
+        ("QKT", |s, g| QktKernel::new(s, g).stream()),
+        ("SV", |s, g| SvKernel::new(s, g).stream()),
+    ];
+    println!(
+        "{:>5} {:>10} {:>9} {:>7} {:>8} {:>8} {:>8} {:>9}",
+        "krnl", "sched", "cycles", "MAC%", "DTgbuf%", "DTout%", "actpre%", "stall%"
+    );
+    for (name, stream_of) in kernels {
+        for (label, kind, geom) in [
+            ("static", SchedulerKind::Static, Geometry::baseline()),
+            ("dcs", SchedulerKind::Dcs, Geometry::pimphony()),
+        ] {
+            let stream = stream_of(spec, geom);
+            let r = schedule(&stream, kind, &timing, &geom);
+            let tot = r.cycles.max(1) as f64;
+            let b = &r.breakdown;
+            println!(
+                "{:>5} {:>10} {:>9} {:>6.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>8.1}%",
+                name,
+                label,
+                r.cycles,
+                100.0 * b.mac as f64 / tot,
+                100.0 * b.dt_gbuf as f64 / tot,
+                100.0 * b.dt_outreg as f64 / tot,
+                100.0 * b.act_pre as f64 / tot,
+                100.0 * (b.pipeline + b.refresh) as f64 / tot,
+            );
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Table III: the PIM instruction set and its arguments.
+
+use pim_isa::{ChannelMask, PimInstruction};
+
+fn main() {
+    bench::header("Table III: PIM instructions for LLM inference");
+    println!("{:<8} {:<42} {}", "inst", "description", "arguments");
+    println!(
+        "{:<8} {:<42} {}",
+        "WR-INP", "copy input from GPR to GBuf", "Ch-mask Op-size GPR-addr GBuf-Idx"
+    );
+    println!(
+        "{:<8} {:<42} {}",
+        "MAC", "dot-product on a DRAM row", "Ch-mask Op-size GBuf-Idx Row/Col Out-Idx"
+    );
+    println!(
+        "{:<8} {:<42} {}",
+        "RD-OUT", "copy output from OutReg to GPR", "Ch-mask Op-size GPR-addr Out-Idx"
+    );
+    bench::header("Example encodings");
+    let m = ChannelMask::first(16);
+    for inst in [
+        PimInstruction::wr_inp(m, 8, 0x100, 0),
+        PimInstruction::mac(m, 8, 0, 3, 0, 1),
+        PimInstruction::rd_out(m, 1, 0x200, 1),
+    ] {
+        println!("  {inst}");
+    }
+    bench::header("DPA extension (paper Fig. 10b)");
+    println!("  Dyn-Loop  loop with runtime bound from T_cur   Loop-Bound Body-Len");
+    println!("  Dyn-Modi  per-iteration operand adjustment     Target Field Stride [Mod]");
+}

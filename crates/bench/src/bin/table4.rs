@@ -1,0 +1,22 @@
+//! Table IV: PIMphony module configurations.
+
+use system::ModuleConfig;
+
+fn main() {
+    bench::header("Table IV: PIMphony module configurations");
+    let rows = [("NeuPIMs (xPU+PIM)", ModuleConfig::neupims()), ("CENT (PIM-only)", ModuleConfig::cent())];
+    println!(
+        "{:<20} {:>10} {:>10} {:>12} {:>14}",
+        "module", "channels", "memory", "internal BW", "compute"
+    );
+    for (name, m) in rows {
+        println!(
+            "{:<20} {:>10} {:>8}GB {:>10}TB/s {:>11}TFLOPS",
+            name,
+            m.channels,
+            m.capacity_bytes >> 30,
+            (m.internal_bw / 1e12) as u64,
+            (m.xpu_flops / 1e12) as u64
+        );
+    }
+}

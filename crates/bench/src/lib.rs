@@ -1,0 +1,114 @@
+//! Shared helpers for the experiment binaries (`src/bin/fig*.rs`,
+//! `src/bin/table*.rs`) and Criterion benches that regenerate every table
+//! and figure of the PIMphony paper. See `EXPERIMENTS.md` for the index
+//! and paper-vs-measured record.
+
+use llm_model::ModelConfig;
+use pim_compiler::ParallelConfig;
+use system::{Evaluator, ServingReport, SystemConfig, Techniques};
+use workload::{Dataset, Trace, TraceBuilder};
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// The standard evaluation trace for a dataset (small but representative;
+/// seeds are fixed for reproducibility).
+pub fn trace_for(dataset: Dataset, requests: usize, decode_len: u64) -> Trace {
+    TraceBuilder::new(dataset).seed(2026).requests(requests).decode_len(decode_len).build()
+}
+
+/// Runs the base/+TCP/+DCS/+DPA ladder on one (system, model, trace),
+/// picking the best (TP, PP) factorization per configuration — the
+/// paper's "optimal TP/PP settings".
+pub fn ladder(
+    system: SystemConfig,
+    model: ModelConfig,
+    trace: &Trace,
+) -> Vec<(&'static str, ServingReport)> {
+    Techniques::ladder()
+        .into_iter()
+        .map(|t| {
+            let t_max = trace.iter().map(|r| r.final_len()).max().unwrap_or(0);
+            let best = ParallelConfig::factorizations(system.modules)
+                .into_iter()
+                .filter_map(|p| {
+                    let e = Evaluator::new(system.with_parallel(p), model, t);
+                    e.feasible(t_max).then(|| e.run_trace(trace))
+                })
+                .max_by(|a, b| {
+                    a.tokens_per_second
+                        .partial_cmp(&b.tokens_per_second)
+                        .expect("finite throughput")
+                })
+                .unwrap_or_else(|| Evaluator::new(system, model, t).run_trace(trace));
+            (t.label(), best)
+        })
+        .collect()
+}
+
+/// Formats a speedup column relative to the first entry.
+pub fn speedups(rows: &[(&'static str, ServingReport)]) -> Vec<(String, f64, f64)> {
+    let base = rows.first().map(|(_, r)| r.tokens_per_second).unwrap_or(1.0).max(1e-12);
+    rows.iter()
+        .map(|(label, r)| (label.to_string(), r.tokens_per_second, r.tokens_per_second / base))
+        .collect()
+}
+
+/// Prints a ladder as an aligned table.
+pub fn print_ladder(title: &str, rows: &[(&'static str, ServingReport)]) {
+    println!("\n{title}");
+    println!("{:<16} {:>14} {:>9} {:>10} {:>10}", "config", "tokens/s", "speedup", "util", "batch");
+    for (label, tput, speedup) in speedups(rows) {
+        let report = &rows.iter().find(|(l, _)| *l == label).expect("label present").1;
+        println!(
+            "{:<16} {:>14.1} {:>8.2}x {:>9.1}% {:>10.1}",
+            label,
+            tput_or(tput),
+            speedup,
+            report.attn_utilization * 100.0,
+            report.mean_batch
+        );
+    }
+}
+
+fn tput_or(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
+}
+
+/// The models the evaluation sweeps (Table I).
+pub fn eval_models() -> [(ModelConfig, [Dataset; 2]); 4] {
+    [
+        (llm_model::LLM_7B_32K, Dataset::longbench()),
+        (llm_model::LLM_72B_32K, Dataset::longbench()),
+        (llm_model::LLM_7B_128K_GQA, Dataset::lv_eval()),
+        (llm_model::LLM_72B_128K_GQA, Dataset::lv_eval()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_helper_is_reproducible() {
+        let a = trace_for(Dataset::QmSum, 8, 16);
+        let b = trace_for(Dataset::QmSum, 8, 16);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn speedups_are_relative_to_first() {
+        let sys = SystemConfig::cent_for(&llm_model::LLM_7B_32K);
+        let trace = trace_for(Dataset::QmSum, 4, 8);
+        let rows = ladder(sys, llm_model::LLM_7B_32K, &trace);
+        let s = speedups(&rows);
+        assert!((s[0].2 - 1.0).abs() < 1e-9);
+        assert!(s.last().unwrap().2 >= 1.0);
+    }
+}

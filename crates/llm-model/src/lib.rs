@@ -1,0 +1,15 @@
+//! Transformer decoder model configurations and memory/compute analytics.
+//!
+//! Reproduces the paper's Table I model zoo and the Fig. 2 analysis:
+//! compute intensity (FLOPs/byte) collapses with context length as decoding
+//! shifts from GEMM to GEMV, while the KV cache dominates memory footprint
+//! growth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytics;
+pub mod config;
+
+pub use analytics::DecodeAnalytics;
+pub use config::{ModelConfig, LLM_7B_128K_GQA, LLM_7B_32K, LLM_72B_128K_GQA, LLM_72B_32K};

@@ -1,0 +1,165 @@
+//! Instruction Sequencer: unrolls `Op-size` repetitions into commands.
+//!
+//! The PIM HUB's Instruction Sequencer expands each [`PimInstruction`] by
+//! unrolling its repetition count; the Multicast Interconnect then decodes
+//! the result into channel-specific [`PimCommand`]s at consecutive
+//! addresses (paper §II-B).
+
+use crate::command::{CommandKind, PimCommand};
+use crate::instruction::{InstructionKind, PimInstruction};
+
+/// Expands instructions into per-channel command streams.
+///
+/// # Example
+///
+/// ```
+/// use pim_isa::{ChannelMask, PimInstruction, sequencer::Sequencer};
+/// let seq = Sequencer::new(16);
+/// let mac = PimInstruction::mac(ChannelMask::single(0), 3, 0, 7, 0, 0);
+/// let cmds = seq.expand(&mac);
+/// assert_eq!(cmds.len(), 3); // 3 columns unrolled on channel 0
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sequencer {
+    channels: u8,
+    next_id: u32,
+}
+
+/// A command destined for a specific channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutedCommand {
+    /// Target channel index.
+    pub channel: u8,
+    /// The decoded command.
+    pub command: PimCommand,
+}
+
+impl Sequencer {
+    /// Creates a sequencer for a module with `channels` channels.
+    pub fn new(channels: u8) -> Self {
+        Sequencer { channels, next_id: 0 }
+    }
+
+    /// Number of channels in the module.
+    pub fn channels(&self) -> u8 {
+        self.channels
+    }
+
+    /// Expands one instruction into routed commands.
+    ///
+    /// Repetition `i` of a `WR-INP` targets GBuf entry `gbuf_idx + i` and
+    /// GPR address `gpr_addr + 32*i`; of a `MAC`, column `col + i` and GBuf
+    /// entry `gbuf_idx + i`; of an `RD-OUT`, output entry `out_idx + i`.
+    /// Commands on the same channel receive strictly increasing IDs; the
+    /// same unrolled sequence is multicast to every channel in the mask.
+    pub fn expand(&self, inst: &PimInstruction) -> Vec<RoutedCommand> {
+        let mut out = Vec::with_capacity(inst.op_size as usize * inst.ch_mask.count() as usize);
+        let base_id = self.next_id;
+        for ch in inst.ch_mask.iter() {
+            if ch >= self.channels {
+                continue;
+            }
+            for rep in 0..inst.op_size {
+                let kind = match inst.kind {
+                    InstructionKind::WrInp => CommandKind::WrInp {
+                        gbuf_idx: inst.gbuf_idx + rep as u16,
+                        gpr_addr: inst.gpr_addr + 32 * rep,
+                    },
+                    InstructionKind::Mac => CommandKind::Mac {
+                        gbuf_idx: inst.gbuf_idx + rep as u16,
+                        row: inst.row,
+                        col: inst.col + rep as u16,
+                        out_idx: inst.out_idx,
+                    },
+                    InstructionKind::RdOut => CommandKind::RdOut {
+                        out_idx: inst.out_idx + rep as u16,
+                        gpr_addr: inst.gpr_addr + 32 * rep,
+                    },
+                };
+                out.push(RoutedCommand { channel: ch, command: PimCommand::new(base_id + rep, kind) });
+            }
+        }
+        out
+    }
+
+    /// Expands a whole program, threading command IDs across instructions
+    /// so each channel sees a strictly increasing ID sequence.
+    pub fn expand_program(&mut self, program: &[PimInstruction]) -> Vec<RoutedCommand> {
+        let mut out = Vec::new();
+        for inst in program {
+            let routed = self.expand(inst);
+            self.next_id += inst.op_size;
+            out.extend(routed);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::ChannelMask;
+
+    #[test]
+    fn expand_unrolls_op_size() {
+        let seq = Sequencer::new(4);
+        let w = PimInstruction::wr_inp(ChannelMask::single(1), 4, 0x0, 2);
+        let cmds = seq.expand(&w);
+        assert_eq!(cmds.len(), 4);
+        for (i, rc) in cmds.iter().enumerate() {
+            assert_eq!(rc.channel, 1);
+            match rc.command.kind {
+                CommandKind::WrInp { gbuf_idx, gpr_addr } => {
+                    assert_eq!(gbuf_idx, 2 + i as u16);
+                    assert_eq!(gpr_addr, 32 * i as u32);
+                }
+                _ => panic!("expected WR-INP"),
+            }
+        }
+    }
+
+    #[test]
+    fn expand_multicasts_to_all_masked_channels() {
+        let seq = Sequencer::new(8);
+        let m = PimInstruction::mac(ChannelMask::first(3), 2, 0, 5, 0, 1);
+        let cmds = seq.expand(&m);
+        assert_eq!(cmds.len(), 6);
+        let chans: Vec<u8> = cmds.iter().map(|c| c.channel).collect();
+        assert_eq!(chans, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn expand_skips_out_of_range_channels() {
+        let seq = Sequencer::new(2);
+        let m = PimInstruction::rd_out(ChannelMask::first(4), 1, 0, 0);
+        let cmds = seq.expand(&m);
+        assert_eq!(cmds.len(), 2);
+    }
+
+    #[test]
+    fn expand_program_threads_ids() {
+        let mut seq = Sequencer::new(1);
+        let program = vec![
+            PimInstruction::wr_inp(ChannelMask::single(0), 2, 0, 0),
+            PimInstruction::mac(ChannelMask::single(0), 2, 0, 0, 0, 0),
+        ];
+        let cmds = seq.expand_program(&program);
+        let ids: Vec<u32> = cmds.iter().map(|c| c.command.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn mac_columns_advance() {
+        let seq = Sequencer::new(1);
+        let m = PimInstruction::mac(ChannelMask::single(0), 3, 1, 9, 4, 2);
+        let cols: Vec<u16> = seq
+            .expand(&m)
+            .iter()
+            .map(|rc| match rc.command.kind {
+                CommandKind::Mac { col, .. } => col,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(cols, vec![4, 5, 6]);
+    }
+}

@@ -1,0 +1,255 @@
+//! On-module PIM instruction dispatcher (paper §VI-C, Fig. 11(a)).
+//!
+//! The dispatcher lives in the PIM HUB and consists of:
+//!
+//! * an **instruction buffer** holding the compact DPA-encoded program,
+//! * a **configuration buffer** with per-request state (request id,
+//!   current token length `T_cur`),
+//! * a **VA2PA table** per request,
+//! * a **decode unit** that expands the DPA program against the active
+//!   request and resolves virtual rows to physical rows.
+//!
+//! Host–PIM communication happens only on request registration, growth,
+//! and release — never per decode step; the dispatcher tracks the message
+//! count so the evaluation can show this overhead is negligible.
+
+use crate::va2pa::Va2PaTable;
+use crate::{MemError, RequestId};
+use pim_isa::dpa::DpaProgram;
+use pim_isa::PimInstruction;
+use std::collections::HashMap;
+
+/// Per-request state in the configuration buffer.
+#[derive(Debug, Clone)]
+pub struct RequestContext {
+    /// The request this context belongs to.
+    pub id: RequestId,
+    /// Current token length (`T_cur`), incremented per decode step.
+    pub t_cur: u64,
+    /// Virtual→physical chunk map.
+    pub va2pa: Va2PaTable,
+}
+
+/// The on-module dispatcher.
+#[derive(Debug, Clone, Default)]
+pub struct Dispatcher {
+    program: DpaProgram,
+    contexts: HashMap<u64, RequestContext>,
+    rows_per_chunk: u64,
+    host_messages: u64,
+    decoded_instructions: u64,
+}
+
+impl Dispatcher {
+    /// Creates a dispatcher for a module whose chunks span
+    /// `rows_per_chunk` DRAM rows, loaded with a DPA `program`.
+    ///
+    /// # Panics
+    /// Panics if `rows_per_chunk` is zero.
+    pub fn new(program: DpaProgram, rows_per_chunk: u64) -> Self {
+        assert!(rows_per_chunk > 0, "rows_per_chunk must be nonzero");
+        Dispatcher {
+            program,
+            contexts: HashMap::new(),
+            rows_per_chunk,
+            host_messages: 0,
+            decoded_instructions: 0,
+        }
+    }
+
+    /// Registers a request with its initial token length and VA2PA table
+    /// (one host→PIM message).
+    ///
+    /// # Errors
+    /// [`MemError::DuplicateRequest`] if the id is already active.
+    pub fn register(
+        &mut self,
+        id: RequestId,
+        t_initial: u64,
+        va2pa: Va2PaTable,
+    ) -> Result<(), MemError> {
+        if self.contexts.contains_key(&id.0) {
+            return Err(MemError::DuplicateRequest(id));
+        }
+        self.contexts.insert(id.0, RequestContext { id, t_cur: t_initial, va2pa });
+        self.host_messages += 1;
+        Ok(())
+    }
+
+    /// Extends a request's VA2PA table with newly allocated chunks (one
+    /// host→PIM message).
+    ///
+    /// # Errors
+    /// [`MemError::UnknownRequest`] if not registered.
+    pub fn extend_mapping(
+        &mut self,
+        id: RequestId,
+        mappings: impl IntoIterator<Item = (u64, crate::chunk::ChunkId)>,
+    ) -> Result<(), MemError> {
+        let ctx = self.contexts.get_mut(&id.0).ok_or(MemError::UnknownRequest(id))?;
+        for (vc, pc) in mappings {
+            ctx.va2pa.insert(vc, pc);
+        }
+        self.host_messages += 1;
+        Ok(())
+    }
+
+    /// Releases a completed request (one host→PIM message).
+    ///
+    /// # Errors
+    /// [`MemError::UnknownRequest`] if not registered.
+    pub fn release(&mut self, id: RequestId) -> Result<(), MemError> {
+        self.contexts.remove(&id.0).ok_or(MemError::UnknownRequest(id))?;
+        self.host_messages += 1;
+        Ok(())
+    }
+
+    /// Advances a request's token length after a generation step — purely
+    /// local, **no** host communication.
+    ///
+    /// # Errors
+    /// [`MemError::UnknownRequest`] if not registered.
+    pub fn advance_token(&mut self, id: RequestId) -> Result<u64, MemError> {
+        let ctx = self.contexts.get_mut(&id.0).ok_or(MemError::UnknownRequest(id))?;
+        ctx.t_cur += 1;
+        Ok(ctx.t_cur)
+    }
+
+    /// Decodes the DPA program for `id`: expands `Dyn-Loop`s against the
+    /// request's `T_cur` and translates every `MAC` row through its VA2PA
+    /// table.
+    ///
+    /// # Errors
+    /// [`MemError::UnknownRequest`] if not registered;
+    /// [`MemError::Unmapped`] if a virtual row falls outside the table.
+    pub fn decode(&mut self, id: RequestId) -> Result<Vec<PimInstruction>, MemError> {
+        let ctx = self.contexts.get(&id.0).ok_or(MemError::UnknownRequest(id))?;
+        let mut expanded = self.program.expand(ctx.t_cur);
+        for inst in &mut expanded {
+            if inst.kind == pim_isa::InstructionKind::Mac {
+                let vrow = u64::from(inst.row);
+                match ctx.va2pa.translate_row(vrow, self.rows_per_chunk) {
+                    Some(prow) => inst.row = prow as u32,
+                    None => {
+                        return Err(MemError::Unmapped {
+                            request: id,
+                            virtual_chunk: vrow / self.rows_per_chunk,
+                        })
+                    }
+                }
+            }
+        }
+        self.decoded_instructions += expanded.len() as u64;
+        Ok(expanded)
+    }
+
+    /// The request's current token length, if registered.
+    pub fn t_cur(&self, id: RequestId) -> Option<u64> {
+        self.contexts.get(&id.0).map(|c| c.t_cur)
+    }
+
+    /// Active request count.
+    pub fn active_requests(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// Host↔PIM messages so far (register / extend / release only).
+    pub fn host_messages(&self) -> u64 {
+        self.host_messages
+    }
+
+    /// Total instructions produced by the decode unit.
+    pub fn decoded_instructions(&self) -> u64 {
+        self.decoded_instructions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::ChunkId;
+    use pim_isa::dpa::{DpaInstruction, DynLoop, DynModi, LoopBound, OperandField};
+    use pim_isa::{ChannelMask, PimInstruction};
+
+    fn token_loop_program() -> DpaProgram {
+        // One MAC per 256-token block, advancing the virtual row.
+        let mac = PimInstruction::mac(ChannelMask::first(16), 1, 0, 0, 0, 0);
+        let mut p = DpaProgram::new();
+        p.push(DpaInstruction::Loop(DynLoop {
+            bound: LoopBound::TokensDiv { divisor: 256 },
+            body: vec![DpaInstruction::Plain(mac)],
+            modifiers: vec![DynModi::new(0, OperandField::Row, 1)],
+        }));
+        p
+    }
+
+    fn table(pairs: &[(u64, u64)]) -> Va2PaTable {
+        pairs.iter().map(|&(vc, pc)| (vc, ChunkId(pc))).collect()
+    }
+
+    #[test]
+    fn decode_translates_virtual_rows_per_request() {
+        let mut d = Dispatcher::new(token_loop_program(), 2);
+        d.register(RequestId(1), 1024, table(&[(0, 22), (1, 33)])).unwrap();
+        d.register(RequestId(2), 512, table(&[(0, 5)])).unwrap();
+        // Request 1: 4 MACs, virtual rows 0..4 -> chunks {22, 33}.
+        let i1 = d.decode(RequestId(1)).unwrap();
+        assert_eq!(i1.len(), 4);
+        assert_eq!(i1.iter().map(|i| i.row).collect::<Vec<_>>(), vec![44, 45, 66, 67]);
+        // Request 2: same virtual address 0 resolves differently.
+        let i2 = d.decode(RequestId(2)).unwrap();
+        assert_eq!(i2[0].row, 10);
+    }
+
+    #[test]
+    fn unmapped_row_is_an_error() {
+        let mut d = Dispatcher::new(token_loop_program(), 2);
+        d.register(RequestId(1), 2048, table(&[(0, 1)])).unwrap();
+        // 8 MACs -> virtual rows up to 7 -> chunk 3 unmapped.
+        let err = d.decode(RequestId(1)).unwrap_err();
+        assert!(matches!(err, MemError::Unmapped { .. }));
+    }
+
+    #[test]
+    fn advance_token_is_local() {
+        let mut d = Dispatcher::new(token_loop_program(), 2);
+        d.register(RequestId(1), 10, table(&[(0, 0)])).unwrap();
+        let before = d.host_messages();
+        for _ in 0..100 {
+            d.advance_token(RequestId(1)).unwrap();
+        }
+        assert_eq!(d.t_cur(RequestId(1)), Some(110));
+        assert_eq!(d.host_messages(), before, "token advance must not message the host");
+    }
+
+    #[test]
+    fn decode_grows_with_token_length() {
+        let mut d = Dispatcher::new(token_loop_program(), 64);
+        d.register(RequestId(1), 256, table(&[(0, 0)])).unwrap();
+        assert_eq!(d.decode(RequestId(1)).unwrap().len(), 1);
+        for _ in 0..256 {
+            d.advance_token(RequestId(1)).unwrap();
+        }
+        assert_eq!(d.decode(RequestId(1)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn host_messages_counted_per_lifecycle_event() {
+        let mut d = Dispatcher::new(token_loop_program(), 2);
+        d.register(RequestId(1), 1, table(&[(0, 0)])).unwrap();
+        d.extend_mapping(RequestId(1), vec![(1, ChunkId(3))]).unwrap();
+        d.release(RequestId(1)).unwrap();
+        assert_eq!(d.host_messages(), 3);
+        assert_eq!(d.active_requests(), 0);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_requests_error() {
+        let mut d = Dispatcher::new(token_loop_program(), 2);
+        d.register(RequestId(1), 1, Va2PaTable::new()).unwrap();
+        assert!(d.register(RequestId(1), 1, Va2PaTable::new()).is_err());
+        assert!(d.decode(RequestId(9)).is_err());
+        assert!(d.advance_token(RequestId(9)).is_err());
+        assert!(d.release(RequestId(9)).is_err());
+    }
+}

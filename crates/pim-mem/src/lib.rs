@@ -1,0 +1,81 @@
+//! PIM KV-cache memory management for the PIMphony reproduction.
+//!
+//! Paper §VI: conventional PIMs compile fixed physical addresses into their
+//! instruction streams, forcing `T_max`-sized static KV reservations and
+//! wasting most of memory when actual contexts are shorter (average 36.2%
+//! capacity utilization). PIMphony's **Dynamic PIM Access (DPA)** adds a
+//! VA2PA table and an on-module dispatcher so the KV cache can be allocated
+//! *lazily* in 1 MB chunks, paged-attention-style, inside PIM.
+//!
+//! * [`static_alloc`] — the baseline `T_max` reservation scheme.
+//! * [`chunk`] — the chunked physical allocator with a free list.
+//! * [`va2pa`] — per-request virtual→physical chunk translation.
+//! * [`dispatcher`] — the on-module dispatcher that expands DPA-encoded
+//!   instruction streams against per-request state (`T_cur`) and resolves
+//!   virtual rows through the VA2PA table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chunk;
+pub mod dispatcher;
+pub mod static_alloc;
+pub mod va2pa;
+
+pub use chunk::{ChunkAllocator, ChunkId, DEFAULT_CHUNK_BYTES};
+pub use dispatcher::{Dispatcher, RequestContext};
+pub use static_alloc::StaticAllocator;
+pub use va2pa::Va2PaTable;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an inference request, as carried in the dispatcher's
+/// configuration buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RequestId(pub u64);
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+/// Errors returned by the allocators and the dispatcher.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// The module has no free capacity for the requested allocation.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes available.
+        available: u64,
+    },
+    /// The request is not registered.
+    UnknownRequest(RequestId),
+    /// A virtual address had no VA2PA mapping.
+    Unmapped {
+        /// Offending request.
+        request: RequestId,
+        /// Unmapped virtual chunk index.
+        virtual_chunk: u64,
+    },
+    /// The request is already registered.
+    DuplicateRequest(RequestId),
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::OutOfMemory { requested, available } => {
+                write!(f, "out of memory: requested {requested} B, available {available} B")
+            }
+            MemError::UnknownRequest(id) => write!(f, "unknown request {id}"),
+            MemError::Unmapped { request, virtual_chunk } => {
+                write!(f, "{request} has no mapping for virtual chunk {virtual_chunk}")
+            }
+            MemError::DuplicateRequest(id) => write!(f, "request {id} already registered"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}

@@ -1,0 +1,194 @@
+//! Functional (value-level) execution of PIM command streams.
+//!
+//! Schedulers only reorder *timing*; semantics are defined by program
+//! order. This module executes a command stream's arithmetic so tests can
+//! assert that kernels compute the right values (e.g. a GEMV stream equals
+//! a reference matrix-vector product) regardless of scheduler.
+//!
+//! Values are `f32`. Real AiM hardware accumulates fp16 inputs into wider
+//! accumulators; using `f32` end-to-end preserves the dataflow while
+//! keeping tests exact.
+
+use crate::geometry::Geometry;
+use pim_isa::command::{CommandKind, CommandStream};
+use pim_isa::CommandId;
+use std::collections::HashMap;
+
+/// Functional state of one PIM channel.
+#[derive(Debug, Clone)]
+pub struct FunctionalChannel {
+    geometry: Geometry,
+    /// Per-bank DRAM tiles: `(row, col) -> tile`.
+    banks: Vec<HashMap<(u32, u16), Vec<f32>>>,
+    /// Global Buffer tiles.
+    gbuf: Vec<Vec<f32>>,
+    /// Output accumulators: `[out_entry][bank]`.
+    obuf: Vec<Vec<f32>>,
+    /// Drained outputs in drain order: one scalar per bank per `RD-OUT`.
+    drained: Vec<(CommandId, Vec<f32>)>,
+}
+
+impl FunctionalChannel {
+    /// Creates a zeroed channel.
+    pub fn new(geometry: Geometry) -> Self {
+        let lanes = geometry.elems_per_tile as usize;
+        FunctionalChannel {
+            geometry,
+            banks: vec![HashMap::new(); geometry.banks as usize],
+            gbuf: vec![vec![0.0; lanes]; geometry.gbuf_entries as usize],
+            obuf: vec![vec![0.0; geometry.banks as usize]; geometry.out_entries as usize],
+            drained: Vec::new(),
+        }
+    }
+
+    /// The channel geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// Stores a weight tile into `bank` at `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics if `bank` is out of range or the tile length mismatches.
+    pub fn store_tile(&mut self, bank: u32, row: u32, col: u16, tile: Vec<f32>) {
+        assert_eq!(tile.len(), self.geometry.elems_per_tile as usize, "tile length");
+        self.banks[bank as usize].insert((row, col), tile);
+    }
+
+    /// Reads back a stored tile (zeros if never written).
+    pub fn tile(&self, bank: u32, row: u32, col: u16) -> Vec<f32> {
+        self.banks[bank as usize]
+            .get(&(row, col))
+            .cloned()
+            .unwrap_or_else(|| vec![0.0; self.geometry.elems_per_tile as usize])
+    }
+
+    /// Executes `stream` in program order, pulling `WR-INP` payloads from
+    /// `inputs` (one tile per `WR-INP`, in stream order).
+    ///
+    /// `RD-OUT` drains the accumulator (read-and-clear), appending one
+    /// scalar per bank to the drain log.
+    ///
+    /// # Panics
+    /// Panics if `inputs` runs out of tiles, or an index exceeds the
+    /// channel geometry.
+    pub fn execute(&mut self, stream: &CommandStream, inputs: &[Vec<f32>]) {
+        let mut next_input = 0usize;
+        for cmd in stream.iter() {
+            match cmd.kind {
+                CommandKind::WrInp { gbuf_idx, .. } => {
+                    let tile = inputs
+                        .get(next_input)
+                        .unwrap_or_else(|| panic!("WR-INP #{next_input} has no input tile"));
+                    assert_eq!(tile.len(), self.geometry.elems_per_tile as usize);
+                    self.gbuf[gbuf_idx as usize].copy_from_slice(tile);
+                    next_input += 1;
+                }
+                CommandKind::Mac { gbuf_idx, row, col, out_idx } => {
+                    let x = &self.gbuf[gbuf_idx as usize];
+                    for bank in 0..self.geometry.banks as usize {
+                        let w = self.banks[bank].get(&(row, col));
+                        let dot: f32 = match w {
+                            Some(w) => w.iter().zip(x.iter()).map(|(a, b)| a * b).sum(),
+                            None => 0.0,
+                        };
+                        self.obuf[out_idx as usize][bank] += dot;
+                    }
+                }
+                CommandKind::RdOut { out_idx, .. } => {
+                    let vals = self.obuf[out_idx as usize].clone();
+                    for v in self.obuf[out_idx as usize].iter_mut() {
+                        *v = 0.0;
+                    }
+                    self.drained.push((cmd.id, vals));
+                }
+            }
+        }
+    }
+
+    /// The drain log: `(RD-OUT id, per-bank values)` in drain order.
+    pub fn drained(&self) -> &[(CommandId, Vec<f32>)] {
+        &self.drained
+    }
+
+    /// Flattens the drain log into one output vector (bank-major within
+    /// each drain).
+    pub fn drained_flat(&self) -> Vec<f32> {
+        self.drained.iter().flat_map(|(_, v)| v.iter().copied()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_isa::PimCommand;
+
+    fn geom() -> Geometry {
+        Geometry { banks: 2, gbuf_entries: 4, out_entries: 2, row_tiles: 4, elems_per_tile: 2 }
+    }
+
+    #[test]
+    fn mac_accumulates_dot_products() {
+        let mut ch = FunctionalChannel::new(geom());
+        ch.store_tile(0, 0, 0, vec![1.0, 2.0]);
+        ch.store_tile(1, 0, 0, vec![3.0, 4.0]);
+        let mut s = CommandStream::new();
+        s.push(PimCommand::wr_inp(0, 0, 0));
+        s.push(PimCommand::mac(1, 0, 0, 0, 0));
+        s.push(PimCommand::rd_out(2, 0, 0));
+        ch.execute(&s, &[vec![10.0, 20.0]]);
+        // bank0: 1*10 + 2*20 = 50; bank1: 3*10 + 4*20 = 110.
+        assert_eq!(ch.drained_flat(), vec![50.0, 110.0]);
+    }
+
+    #[test]
+    fn rd_out_clears_accumulator() {
+        let mut ch = FunctionalChannel::new(geom());
+        ch.store_tile(0, 0, 0, vec![1.0, 0.0]);
+        ch.store_tile(1, 0, 0, vec![1.0, 0.0]);
+        let mut s = CommandStream::new();
+        s.push(PimCommand::wr_inp(0, 0, 0));
+        s.push(PimCommand::mac(1, 0, 0, 0, 0));
+        s.push(PimCommand::rd_out(2, 0, 0));
+        s.push(PimCommand::mac(3, 0, 0, 0, 0));
+        s.push(PimCommand::rd_out(4, 0, 0));
+        ch.execute(&s, &[vec![5.0, 0.0]]);
+        let d = ch.drained();
+        assert_eq!(d[0].1, vec![5.0, 5.0]);
+        assert_eq!(d[1].1, vec![5.0, 5.0], "second accumulation starts from zero");
+    }
+
+    #[test]
+    fn missing_weight_tiles_read_as_zero() {
+        let mut ch = FunctionalChannel::new(geom());
+        let mut s = CommandStream::new();
+        s.push(PimCommand::wr_inp(0, 0, 0));
+        s.push(PimCommand::mac(1, 0, 9, 3, 1));
+        s.push(PimCommand::rd_out(2, 1, 0));
+        ch.execute(&s, &[vec![1.0, 1.0]]);
+        assert_eq!(ch.drained_flat(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no input tile")]
+    fn missing_input_panics() {
+        let mut ch = FunctionalChannel::new(geom());
+        let mut s = CommandStream::new();
+        s.push(PimCommand::wr_inp(0, 0, 0));
+        ch.execute(&s, &[]);
+    }
+
+    #[test]
+    fn overwrite_gbuf_uses_new_value() {
+        let mut ch = FunctionalChannel::new(geom());
+        ch.store_tile(0, 0, 0, vec![1.0, 1.0]);
+        ch.store_tile(1, 0, 0, vec![1.0, 1.0]);
+        let mut s = CommandStream::new();
+        s.push(PimCommand::wr_inp(0, 0, 0));
+        s.push(PimCommand::wr_inp(1, 0, 0));
+        s.push(PimCommand::mac(2, 0, 0, 0, 0));
+        s.push(PimCommand::rd_out(3, 0, 0));
+        ch.execute(&s, &[vec![1.0, 0.0], vec![0.0, 2.0]]);
+        assert_eq!(ch.drained_flat(), vec![2.0, 2.0]);
+    }
+}

@@ -1,0 +1,823 @@
+//! Command-stream builders for the kernels PIM executes.
+//!
+//! * [`GemvKernel`] — a dense `out = W·x` GEMV (FC layers, and the Fig. 8
+//!   dimension sweep).
+//! * [`QktKernel`] — the Attention score kernel `QKᵀ` for the tokens
+//!   assigned to one channel (din = d_h is small ⇒ poor output reuse,
+//!   frequent `RD-OUT`).
+//! * [`SvKernel`] — the Attention value kernel `SV` (din = tokens is large
+//!   ⇒ GBuf swapping, frequent `WR-INP`).
+//!
+//! The GQA *row-reuse mapping* (paper §V-C) is supported by both attention
+//! kernels: all inputs (queries/scores) that share row-resident KV data are
+//! processed before switching DRAM rows, trading extra `WR-INP` traffic for
+//! ACT/PRE savings — the exact trade-off DCS unlocks (Fig. 9).
+
+use crate::functional::FunctionalChannel;
+use crate::geometry::Geometry;
+use pim_isa::command::{CommandKind, CommandStream};
+
+fn div_ceil_u32(a: u32, b: u32) -> u32 {
+    a.div_ceil(b)
+}
+
+/// Shape of a dense GEMV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemvSpec {
+    /// Output length (rows of `W`).
+    pub dout: u32,
+    /// Input length (columns of `W`).
+    pub din: u32,
+}
+
+/// Builder for a GEMV command stream plus its functional data layout.
+#[derive(Debug, Clone)]
+pub struct GemvKernel {
+    spec: GemvSpec,
+    geometry: Geometry,
+}
+
+impl GemvKernel {
+    /// Creates a GEMV kernel.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(spec: GemvSpec, geometry: Geometry) -> Self {
+        assert!(spec.dout > 0 && spec.din > 0, "GEMV dimensions must be nonzero");
+        GemvKernel { spec, geometry }
+    }
+
+    /// The kernel shape.
+    pub fn spec(&self) -> GemvSpec {
+        self.spec
+    }
+
+    /// Input tiles (`ceil(din / lanes)`).
+    pub fn in_tiles(&self) -> u32 {
+        div_ceil_u32(self.spec.din, self.geometry.elems_per_tile)
+    }
+
+    /// Output groups (`ceil(dout / banks)`), 16 outputs each.
+    pub fn n_groups(&self) -> u32 {
+        div_ceil_u32(self.spec.dout, self.geometry.banks)
+    }
+
+    /// Whether the whole input vector fits in the Global Buffer.
+    pub fn input_fits(&self) -> bool {
+        self.in_tiles() <= self.geometry.gbuf_entries
+    }
+
+    /// Per-bank linear tile index of weight tile `(grp, t)`.
+    ///
+    /// The compiler co-designs the weight layout with the mapping: when
+    /// the input fits, groups are laid out contiguously (group-outer
+    /// iteration); otherwise tiles are blocked per input chunk so the
+    /// chunk-outer sweep touches consecutive rows.
+    fn tile_index(&self, grp: u32, t: u32) -> u64 {
+        let in_tiles = self.in_tiles();
+        let n_groups = self.n_groups();
+        if self.input_fits() {
+            u64::from(grp) * u64::from(in_tiles) + u64::from(t)
+        } else {
+            let cap = self.geometry.gbuf_entries;
+            let cs = (t / cap) * cap;
+            let ce = (cs + cap).min(in_tiles);
+            u64::from(cs) * u64::from(n_groups)
+                + u64::from(grp) * u64::from(ce - cs)
+                + u64::from(t - cs)
+        }
+    }
+
+    /// Builds the command stream.
+    ///
+    /// When the input fits in the Global Buffer it is written once and
+    /// output groups proceed in blocks of `out_entries` accumulators.
+    /// Otherwise the input streams through in GBuf-sized chunks exactly
+    /// once; every group produces a *partial* sum per chunk that is
+    /// drained to the GPR and accumulated by the EPU — trading extra
+    /// `RD-OUT`s for input reuse.
+    pub fn stream(&self) -> CommandStream {
+        let g = &self.geometry;
+        let in_tiles = self.in_tiles();
+        let n_groups = self.n_groups();
+        let mut s = CommandStream::new();
+
+        if self.input_fits() {
+            let block = g.out_entries.min(n_groups).max(1);
+            for t in 0..in_tiles {
+                s.push_next(CommandKind::WrInp { gbuf_idx: t as u16, gpr_addr: t * 32 });
+            }
+            let mut gb_start = 0;
+            while gb_start < n_groups {
+                let gb_end = (gb_start + block).min(n_groups);
+                for grp in gb_start..gb_end {
+                    for t in 0..in_tiles {
+                        let (row, col) = g.tile_to_row_col(self.tile_index(grp, t));
+                        s.push_next(CommandKind::Mac {
+                            gbuf_idx: t as u16,
+                            row,
+                            col,
+                            out_idx: (grp - gb_start) as u16,
+                        });
+                    }
+                }
+                for grp in gb_start..gb_end {
+                    s.push_next(CommandKind::RdOut {
+                        out_idx: (grp - gb_start) as u16,
+                        gpr_addr: grp * 32,
+                    });
+                }
+                gb_start = gb_end;
+            }
+        } else {
+            let chunk_cap = g.gbuf_entries;
+            let out_slots = g.out_entries.max(1) as u16;
+            let mut slot: u16 = 0;
+            let mut chunk_start = 0;
+            while chunk_start < in_tiles {
+                let chunk_end = (chunk_start + chunk_cap).min(in_tiles);
+                for t in chunk_start..chunk_end {
+                    s.push_next(CommandKind::WrInp {
+                        gbuf_idx: (t - chunk_start) as u16,
+                        gpr_addr: t * 32,
+                    });
+                }
+                for grp in 0..n_groups {
+                    for t in chunk_start..chunk_end {
+                        let (row, col) = g.tile_to_row_col(self.tile_index(grp, t));
+                        s.push_next(CommandKind::Mac {
+                            gbuf_idx: (t - chunk_start) as u16,
+                            row,
+                            col,
+                            out_idx: slot,
+                        });
+                    }
+                    s.push_next(CommandKind::RdOut { out_idx: slot, gpr_addr: grp * 32 });
+                    slot = (slot + 1) % out_slots;
+                }
+                chunk_start = chunk_end;
+            }
+        }
+        s
+    }
+
+    /// Loads weights into a functional channel: `w(o, i)` is `W[o][i]`.
+    pub fn load_weights<F: Fn(usize, usize) -> f32>(&self, ch: &mut FunctionalChannel, w: F) {
+        let g = &self.geometry;
+        let lanes = g.elems_per_tile as usize;
+        let in_tiles = self.in_tiles();
+        for grp in 0..self.n_groups() {
+            for t in 0..in_tiles {
+                let (row, col) = g.tile_to_row_col(self.tile_index(grp, t));
+                for bank in 0..g.banks {
+                    let o = (grp * g.banks + bank) as usize;
+                    let mut tile = vec![0.0f32; lanes];
+                    if o < self.spec.dout as usize {
+                        for (e, v) in tile.iter_mut().enumerate() {
+                            let i = t as usize * lanes + e;
+                            if i < self.spec.din as usize {
+                                *v = w(o, i);
+                            }
+                        }
+                    }
+                    ch.store_tile(bank, row, col, tile);
+                }
+            }
+        }
+    }
+
+    /// Input tiles for every `WR-INP` of [`GemvKernel::stream`], in order.
+    /// The input streams through exactly once in both mappings.
+    pub fn input_tiles(&self, x: &[f32]) -> Vec<Vec<f32>> {
+        assert_eq!(x.len(), self.spec.din as usize, "input length mismatch");
+        let lanes = self.geometry.elems_per_tile as usize;
+        let in_tiles = self.in_tiles();
+        let mut tiles = Vec::with_capacity(in_tiles as usize);
+        for t in 0..in_tiles {
+            let mut tile = vec![0.0f32; lanes];
+            for (e, v) in tile.iter_mut().enumerate() {
+                let i = t as usize * lanes + e;
+                if i < x.len() {
+                    *v = x[i];
+                }
+            }
+            tiles.push(tile);
+        }
+        tiles
+    }
+
+    /// Reassembles the output vector from a functional channel's drain
+    /// log, summing per-chunk partial drains (the EPU-side accumulation).
+    pub fn output_from(&self, ch: &FunctionalChannel) -> Vec<f32> {
+        self.accumulate_drains(ch.drained().iter().map(|(_, v)| v.as_slice()))
+    }
+
+    /// Accumulates an ordered drain sequence into the output vector.
+    /// Drains are emitted group-ascending (and chunk-outer when the input
+    /// does not fit).
+    pub fn accumulate_drains<'a>(
+        &self,
+        drains: impl Iterator<Item = &'a [f32]>,
+    ) -> Vec<f32> {
+        let banks = self.geometry.banks as usize;
+        let n_groups = self.n_groups() as usize;
+        let mut out = vec![0.0f32; self.spec.dout as usize];
+        for (j, vals) in drains.enumerate() {
+            let grp = j % n_groups;
+            for (bank, &v) in vals.iter().enumerate() {
+                let o = grp * banks + bank;
+                if o < out.len() {
+                    out[o] += v;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Shape of a per-channel attention kernel under token-centric partitioning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttentionSpec {
+    /// Tokens assigned to this channel (the TCP token slice).
+    pub tokens: u32,
+    /// Per-head feature dimension `d_h`.
+    pub head_dim: u32,
+    /// GQA group size `g` (query heads sharing this KV); 1 for MHA.
+    pub group_size: u32,
+    /// Use the row-reuse mapping (process all `g` inputs sharing the open
+    /// DRAM row before switching rows).
+    pub row_reuse: bool,
+}
+
+impl AttentionSpec {
+    /// MHA spec without row reuse.
+    pub fn mha(tokens: u32, head_dim: u32) -> Self {
+        AttentionSpec { tokens, head_dim, group_size: 1, row_reuse: false }
+    }
+
+    /// GQA spec with the row-reuse mapping.
+    pub fn gqa(tokens: u32, head_dim: u32, group_size: u32) -> Self {
+        AttentionSpec { tokens, head_dim, group_size, row_reuse: true }
+    }
+}
+
+/// `QKᵀ` score kernel for one channel's token slice.
+#[derive(Debug, Clone)]
+pub struct QktKernel {
+    spec: AttentionSpec,
+    geometry: Geometry,
+}
+
+impl QktKernel {
+    /// Creates a QKᵀ kernel.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero or the query does not fit in GBuf.
+    pub fn new(spec: AttentionSpec, geometry: Geometry) -> Self {
+        assert!(spec.tokens > 0 && spec.head_dim > 0 && spec.group_size > 0);
+        let in_tiles = div_ceil_u32(spec.head_dim, geometry.elems_per_tile);
+        assert!(
+            in_tiles <= geometry.gbuf_entries,
+            "query vector must fit in the Global Buffer"
+        );
+        QktKernel { spec, geometry }
+    }
+
+    /// The kernel shape.
+    pub fn spec(&self) -> AttentionSpec {
+        self.spec
+    }
+
+    fn in_tiles(&self) -> u32 {
+        div_ceil_u32(self.spec.head_dim, self.geometry.elems_per_tile)
+    }
+
+    /// Token groups (16 scores per group, one per bank).
+    pub fn n_groups(&self) -> u32 {
+        div_ceil_u32(self.spec.tokens, self.geometry.banks)
+    }
+
+    /// Builds the command stream.
+    pub fn stream(&self) -> CommandStream {
+        let g = &self.geometry;
+        let in_tiles = self.in_tiles();
+        let n_groups = self.n_groups();
+        let queries = self.spec.group_size;
+        let mut s = CommandStream::new();
+        let mut out_slot: u16 = 0;
+        let mut bump = |s: &mut CommandStream, grp: u32, q: u32| {
+            for t in 0..in_tiles {
+                let tile_idx = u64::from(grp) * u64::from(in_tiles) + u64::from(t);
+                let (row, col) = g.tile_to_row_col(tile_idx);
+                s.push_next(CommandKind::Mac { gbuf_idx: t as u16, row, col, out_idx: out_slot });
+            }
+            s.push_next(CommandKind::RdOut {
+                out_idx: out_slot,
+                gpr_addr: (q * n_groups + grp) * 32,
+            });
+            out_slot = (out_slot + 1) % g.out_entries.max(1) as u16;
+        };
+        let write_query = |s: &mut CommandStream, q: u32| {
+            for t in 0..in_tiles {
+                s.push_next(CommandKind::WrInp {
+                    gbuf_idx: t as u16,
+                    gpr_addr: (q * in_tiles + t) * 32,
+                });
+            }
+        };
+
+        if self.spec.row_reuse && queries > 1 {
+            // Row-reuse mapping: for each DRAM row, swap each query in and
+            // finish every group resident in that row before moving on.
+            let mut grp = 0;
+            while grp < n_groups {
+                // Groups whose first tile shares this row.
+                let (row0, _) = g.tile_to_row_col(u64::from(grp) * u64::from(in_tiles));
+                let mut grp_end = grp;
+                while grp_end < n_groups {
+                    let (r, _) = g.tile_to_row_col(u64::from(grp_end) * u64::from(in_tiles));
+                    if r != row0 {
+                        break;
+                    }
+                    grp_end += 1;
+                }
+                for q in 0..queries {
+                    write_query(&mut s, q);
+                    for gg in grp..grp_end {
+                        bump(&mut s, gg, q);
+                    }
+                }
+                grp = grp_end;
+            }
+        } else {
+            // Head-sequential mapping: write each query once, then sweep
+            // the whole KV (rows re-opened per query when g > 1).
+            for q in 0..queries {
+                write_query(&mut s, q);
+                for grp in 0..n_groups {
+                    bump(&mut s, grp, q);
+                }
+            }
+        }
+        s
+    }
+
+    /// Loads the key cache: `k(token, d)` is `K[token][d]`.
+    pub fn load_keys<F: Fn(usize, usize) -> f32>(&self, ch: &mut FunctionalChannel, k: F) {
+        let gemv = GemvKernel::new(
+            GemvSpec { dout: self.spec.tokens, din: self.spec.head_dim },
+            self.geometry,
+        );
+        gemv.load_weights(ch, k);
+    }
+
+    /// Input tiles for every `WR-INP`, in stream order. `queries[q]` is the
+    /// `q`-th query vector of length `head_dim`.
+    pub fn input_tiles(&self, queries: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        assert_eq!(queries.len(), self.spec.group_size as usize, "query count");
+        let lanes = self.geometry.elems_per_tile as usize;
+        let in_tiles = self.in_tiles();
+        let tile_of = |q: usize, t: u32| -> Vec<f32> {
+            let mut tile = vec![0.0f32; lanes];
+            for (e, v) in tile.iter_mut().enumerate() {
+                let i = t as usize * lanes + e;
+                if i < queries[q].len() {
+                    *v = queries[q][i];
+                }
+            }
+            tile
+        };
+        let mut tiles = Vec::new();
+        // Mirror the stream's WR-INP order.
+        for cmd in self.stream().iter() {
+            if let CommandKind::WrInp { gpr_addr, .. } = cmd.kind {
+                let flat = gpr_addr / 32;
+                let q = (flat / in_tiles) as usize;
+                let t = flat % in_tiles;
+                tiles.push(tile_of(q, t));
+            }
+        }
+        tiles
+    }
+
+    /// Reassembles per-query score vectors from the drain log.
+    pub fn scores_from(&self, ch: &FunctionalChannel) -> Vec<Vec<f32>> {
+        let banks = self.geometry.banks as usize;
+        let n_groups = self.n_groups();
+        let mut out =
+            vec![vec![0.0f32; self.spec.tokens as usize]; self.spec.group_size as usize];
+        // Drain gpr_addr encodes (q * n_groups + grp) * 32.
+        let stream = self.stream();
+        let drains: Vec<u32> = stream
+            .iter()
+            .filter_map(|c| match c.kind {
+                CommandKind::RdOut { gpr_addr, .. } => Some(gpr_addr / 32),
+                _ => None,
+            })
+            .collect();
+        for ((_, vals), flat) in ch.drained().iter().zip(drains) {
+            let q = (flat / n_groups) as usize;
+            let grp = (flat % n_groups) as usize;
+            for (bank, &v) in vals.iter().enumerate() {
+                let tok = grp * banks + bank;
+                if tok < out[q].len() {
+                    out[q][tok] = v;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `SV` value kernel for one channel's token slice.
+///
+/// Each channel reduces over its assigned tokens; the per-channel partial
+/// outputs are then reduced across channels via the PIM HUB (modeled at the
+/// module level, paper §IV-C).
+#[derive(Debug, Clone)]
+pub struct SvKernel {
+    spec: AttentionSpec,
+    geometry: Geometry,
+}
+
+impl SvKernel {
+    /// Creates an SV kernel.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn new(spec: AttentionSpec, geometry: Geometry) -> Self {
+        assert!(spec.tokens > 0 && spec.head_dim > 0 && spec.group_size > 0);
+        SvKernel { spec, geometry }
+    }
+
+    /// The kernel shape.
+    pub fn spec(&self) -> AttentionSpec {
+        self.spec
+    }
+
+    fn in_tiles(&self) -> u32 {
+        div_ceil_u32(self.spec.tokens, self.geometry.elems_per_tile)
+    }
+
+    /// Output feature groups (`ceil(d_h / banks)`).
+    pub fn n_groups(&self) -> u32 {
+        div_ceil_u32(self.spec.head_dim, self.geometry.banks)
+    }
+
+    /// Builds the command stream.
+    ///
+    /// For `g == 1` this is a plain chunked GEMV. For GQA with row reuse,
+    /// the Global Buffer is split among the `g` queries so that every DRAM
+    /// row of the value cache is visited once while all queries' score
+    /// chunks are multiplied against it.
+    pub fn stream(&self) -> CommandStream {
+        let g = &self.geometry;
+        let queries = self.spec.group_size;
+        if queries == 1 || !self.spec.row_reuse {
+            // Query-sequential: one chunked GEMV per query.
+            let gemv = GemvKernel::new(
+                GemvSpec { dout: self.spec.head_dim, din: self.spec.tokens },
+                self.geometry,
+            );
+            let mut s = CommandStream::new();
+            for _ in 0..queries {
+                for cmd in gemv.stream().iter() {
+                    s.push_next(cmd.kind);
+                }
+            }
+            return s;
+        }
+
+        // Row-reuse mapping with GBuf partitioned among queries.
+        let in_tiles = self.in_tiles();
+        let n_groups = self.n_groups();
+        let slots_per_q = (g.gbuf_entries / queries).max(1);
+        // Accumulators: one per (query, group) pair, blocked by OBuf size.
+        let pairs: Vec<(u32, u32)> =
+            (0..n_groups).flat_map(|grp| (0..queries).map(move |q| (grp, q))).collect();
+        let block = g.out_entries.max(1) as usize;
+        let mut s = CommandStream::new();
+        for pair_block in pairs.chunks(block) {
+            let qs: Vec<u32> = {
+                let mut v: Vec<u32> = pair_block.iter().map(|&(_, q)| q).collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            };
+            let mut chunk_start = 0;
+            while chunk_start < in_tiles {
+                let chunk_end = (chunk_start + slots_per_q).min(in_tiles);
+                for (qi, &q) in qs.iter().enumerate() {
+                    for t in chunk_start..chunk_end {
+                        s.push_next(CommandKind::WrInp {
+                            gbuf_idx: (qi as u32 * slots_per_q + (t - chunk_start)) as u16,
+                            gpr_addr: (q * in_tiles + t) * 32,
+                        });
+                    }
+                }
+                // Group-outer, tile, then queries: every weight tile is
+                // read once per chunk for all queries sharing it, and rows
+                // advance monotonically (the row-reuse mapping).
+                let grps: Vec<u32> = {
+                    let mut v: Vec<u32> = pair_block.iter().map(|&(grp, _)| grp).collect();
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                };
+                for &grp in &grps {
+                    for t in chunk_start..chunk_end {
+                        let tile_idx = u64::from(grp) * u64::from(in_tiles) + u64::from(t);
+                        let (row, col) = g.tile_to_row_col(tile_idx);
+                        for (slot, &(bg, q)) in pair_block.iter().enumerate() {
+                            if bg != grp {
+                                continue;
+                            }
+                            let qi =
+                                qs.iter().position(|&x| x == q).expect("query present") as u32;
+                            s.push_next(CommandKind::Mac {
+                                gbuf_idx: (qi * slots_per_q + (t - chunk_start)) as u16,
+                                row,
+                                col,
+                                out_idx: slot as u16,
+                            });
+                        }
+                    }
+                }
+                chunk_start = chunk_end;
+            }
+            for (slot, &(grp, q)) in pair_block.iter().enumerate() {
+                s.push_next(CommandKind::RdOut {
+                    out_idx: slot as u16,
+                    gpr_addr: (q * n_groups + grp) * 32,
+                });
+            }
+        }
+        s
+    }
+
+    /// Loads the value cache: `v(token, d)` is `V[token][d]`.
+    pub fn load_values<F: Fn(usize, usize) -> f32>(&self, ch: &mut FunctionalChannel, v: F) {
+        // As a GEMV, W[o][i] = V[i][o].
+        let gemv = GemvKernel::new(
+            GemvSpec { dout: self.spec.head_dim, din: self.spec.tokens },
+            self.geometry,
+        );
+        gemv.load_weights(ch, |o, i| v(i, o));
+    }
+
+    /// Input tiles for every `WR-INP`, in stream order. `scores[q]` is the
+    /// `q`-th score vector over this channel's tokens.
+    pub fn input_tiles(&self, scores: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        assert_eq!(scores.len(), self.spec.group_size as usize, "score-vector count");
+        let lanes = self.geometry.elems_per_tile as usize;
+        let in_tiles = self.in_tiles();
+        let tile_of = |q: usize, t: u32| -> Vec<f32> {
+            let mut tile = vec![0.0f32; lanes];
+            for (e, v) in tile.iter_mut().enumerate() {
+                let i = t as usize * lanes + e;
+                if i < scores[q].len() {
+                    *v = scores[q][i];
+                }
+            }
+            tile
+        };
+        let queries = self.spec.group_size;
+        if queries == 1 || !self.spec.row_reuse {
+            let gemv = GemvKernel::new(
+                GemvSpec { dout: self.spec.head_dim, din: self.spec.tokens },
+                self.geometry,
+            );
+            let mut tiles = Vec::new();
+            for (q, s) in scores.iter().enumerate() {
+                let _ = s;
+                let per_query = gemv.input_tiles(&scores[q]);
+                tiles.extend(per_query);
+            }
+            return tiles;
+        }
+        let mut tiles = Vec::new();
+        for cmd in self.stream().iter() {
+            if let CommandKind::WrInp { gpr_addr, .. } = cmd.kind {
+                let flat = gpr_addr / 32;
+                let q = (flat / in_tiles) as usize;
+                let t = flat % in_tiles;
+                tiles.push(tile_of(q, t));
+            }
+        }
+        tiles
+    }
+
+    /// Reassembles per-query output features from the drain log.
+    pub fn outputs_from(&self, ch: &FunctionalChannel) -> Vec<Vec<f32>> {
+        let banks = self.geometry.banks as usize;
+        let n_groups = self.n_groups();
+        let queries = self.spec.group_size as usize;
+        let mut out = vec![vec![0.0f32; self.spec.head_dim as usize]; queries];
+        if queries == 1 || !self.spec.row_reuse {
+            // Drains appear query-major; within a query they follow the
+            // GEMV drain order (with per-chunk partials when the scores do
+            // not fit in GBuf).
+            let gemv = GemvKernel::new(
+                GemvSpec { dout: self.spec.head_dim, din: self.spec.tokens },
+                self.geometry,
+            );
+            let per_q = ch.drained().len() / queries;
+            for (q, out_q) in out.iter_mut().enumerate() {
+                let seg = &ch.drained()[q * per_q..(q + 1) * per_q];
+                *out_q = gemv.accumulate_drains(seg.iter().map(|(_, v)| v.as_slice()));
+            }
+            return out;
+        }
+        let stream = self.stream();
+        let drains: Vec<u32> = stream
+            .iter()
+            .filter_map(|c| match c.kind {
+                CommandKind::RdOut { gpr_addr, .. } => Some(gpr_addr / 32),
+                _ => None,
+            })
+            .collect();
+        for ((_, vals), flat) in ch.drained().iter().zip(drains) {
+            let q = (flat / n_groups) as usize;
+            let grp = (flat % n_groups) as usize;
+            for (bank, &v) in vals.iter().enumerate() {
+                let o = grp * banks + bank;
+                if o < out[q].len() {
+                    out[q][o] = v;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functional::FunctionalChannel;
+
+    fn small_geom() -> Geometry {
+        Geometry { banks: 4, gbuf_entries: 8, out_entries: 2, row_tiles: 8, elems_per_tile: 4 }
+    }
+
+    fn reference_gemv(dout: usize, din: usize, w: impl Fn(usize, usize) -> f32, x: &[f32]) -> Vec<f32> {
+        (0..dout).map(|o| (0..din).map(|i| w(o, i) * x[i]).sum()).collect()
+    }
+
+    #[test]
+    fn gemv_matches_reference_small() {
+        let geom = small_geom();
+        let spec = GemvSpec { dout: 12, din: 20 };
+        let k = GemvKernel::new(spec, geom);
+        let w = |o: usize, i: usize| (o as f32 + 1.0) * 0.5 + i as f32 * 0.25;
+        let x: Vec<f32> = (0..20).map(|i| (i as f32) * 0.1 - 1.0).collect();
+        let mut ch = FunctionalChannel::new(geom);
+        k.load_weights(&mut ch, w);
+        let stream = k.stream();
+        ch.execute(&stream, &k.input_tiles(&x));
+        let got = k.output_from(&ch);
+        let want = reference_gemv(12, 20, w, &x);
+        for (a, b) in got.iter().zip(want.iter()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn gemv_large_input_needs_swapping() {
+        let geom = small_geom(); // 8-entry GBuf, 4-elem tiles => fits 32 elems
+        let k = GemvKernel::new(GemvSpec { dout: 16, din: 64 }, geom);
+        assert!(!k.input_fits());
+        let (w, m, r) = k.stream().kind_counts();
+        // Input streams once (16 tiles over 2 chunks); 4 output groups
+        // drain a partial sum per chunk.
+        assert_eq!(w, 16);
+        assert_eq!(m, 4 * 16);
+        assert_eq!(r, 4 * 2);
+    }
+
+    #[test]
+    fn gemv_large_input_still_correct() {
+        let geom = small_geom();
+        let spec = GemvSpec { dout: 16, din: 64 };
+        let k = GemvKernel::new(spec, geom);
+        let w = |o: usize, i: usize| ((o * 31 + i * 7) % 11) as f32 - 5.0;
+        let x: Vec<f32> = (0..64).map(|i| ((i * 13) % 7) as f32 * 0.5).collect();
+        let mut ch = FunctionalChannel::new(geom);
+        k.load_weights(&mut ch, w);
+        ch.execute(&k.stream(), &k.input_tiles(&x));
+        let got = k.output_from(&ch);
+        let want = reference_gemv(16, 64, w, &x);
+        for (a, b) in got.iter().zip(want.iter()) {
+            assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn qkt_scores_match_reference_mha() {
+        let geom = small_geom();
+        let spec = AttentionSpec::mha(24, 8);
+        let k = QktKernel::new(spec, geom);
+        let key = |tok: usize, d: usize| ((tok * 3 + d) % 5) as f32 - 2.0;
+        let q: Vec<f32> = (0..8).map(|d| d as f32 * 0.5).collect();
+        let mut ch = FunctionalChannel::new(geom);
+        k.load_keys(&mut ch, key);
+        ch.execute(&k.stream(), &k.input_tiles(&[q.clone()]));
+        let scores = k.scores_from(&ch);
+        for tok in 0..24 {
+            let want: f32 = (0..8).map(|d| key(tok, d) * q[d]).sum();
+            assert!((scores[0][tok] - want).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn qkt_gqa_row_reuse_matches_reference() {
+        let geom = small_geom();
+        let spec = AttentionSpec::gqa(32, 8, 3);
+        let k = QktKernel::new(spec, geom);
+        let key = |tok: usize, d: usize| ((tok + d * 2) % 7) as f32 * 0.25;
+        let queries: Vec<Vec<f32>> =
+            (0..3).map(|q| (0..8).map(|d| (q + d) as f32 * 0.1).collect()).collect();
+        let mut ch = FunctionalChannel::new(geom);
+        k.load_keys(&mut ch, key);
+        ch.execute(&k.stream(), &k.input_tiles(&queries));
+        let scores = k.scores_from(&ch);
+        for (q, qv) in queries.iter().enumerate() {
+            for tok in 0..32 {
+                let want: f32 = (0..8).map(|d| key(tok, d) * qv[d]).sum();
+                assert!((scores[q][tok] - want).abs() < 1e-3, "q={q} tok={tok}");
+            }
+        }
+    }
+
+    #[test]
+    fn qkt_row_reuse_reduces_row_switches() {
+        let geom = Geometry::baseline();
+        let base = AttentionSpec { tokens: 2048, head_dim: 128, group_size: 4, row_reuse: false };
+        let reuse = AttentionSpec { row_reuse: true, ..base };
+        let s_base = QktKernel::new(base, geom).stream();
+        let s_reuse = QktKernel::new(reuse, geom).stream();
+        let switches = |s: &CommandStream| {
+            let mut open = None;
+            let mut n = 0u32;
+            for c in s.iter() {
+                if let CommandKind::Mac { row, .. } = c.kind {
+                    if open != Some(row) {
+                        open = Some(row);
+                        n += 1;
+                    }
+                }
+            }
+            n
+        };
+        assert!(switches(&s_reuse) < switches(&s_base));
+        // ... at the cost of more input traffic.
+        assert!(s_reuse.kind_counts().0 > s_base.kind_counts().0);
+    }
+
+    #[test]
+    fn sv_matches_reference_mha() {
+        let geom = small_geom();
+        let spec = AttentionSpec::mha(40, 8);
+        let k = SvKernel::new(spec, geom);
+        let val = |tok: usize, d: usize| ((tok * 5 + d * 3) % 9) as f32 * 0.125 - 0.5;
+        let s: Vec<f32> = (0..40).map(|t| ((t * 11) % 13) as f32 * 0.1).collect();
+        let mut ch = FunctionalChannel::new(geom);
+        k.load_values(&mut ch, val);
+        ch.execute(&k.stream(), &k.input_tiles(&[s.clone()]));
+        let out = k.outputs_from(&ch);
+        for d in 0..8 {
+            let want: f32 = (0..40).map(|t| s[t] * val(t, d)).sum();
+            assert!((out[0][d] - want).abs() < 1e-2, "d={d}: {} vs {want}", out[0][d]);
+        }
+    }
+
+    #[test]
+    fn sv_gqa_row_reuse_matches_reference() {
+        let geom = small_geom();
+        let spec = AttentionSpec::gqa(32, 8, 2);
+        let k = SvKernel::new(spec, geom);
+        let val = |tok: usize, d: usize| ((tok + d) % 4) as f32 * 0.5;
+        let scores: Vec<Vec<f32>> =
+            (0..2).map(|q| (0..32).map(|t| ((q * 17 + t) % 5) as f32 * 0.2).collect()).collect();
+        let mut ch = FunctionalChannel::new(geom);
+        k.load_values(&mut ch, val);
+        ch.execute(&k.stream(), &k.input_tiles(&scores));
+        let out = k.outputs_from(&ch);
+        for q in 0..2 {
+            for d in 0..8 {
+                let want: f32 = (0..32).map(|t| scores[q][t] * val(t, d)).sum();
+                assert!((out[q][d] - want).abs() < 1e-2, "q={q} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn qkt_is_rd_out_heavy_sv_is_wr_inp_heavy() {
+        let geom = Geometry::baseline();
+        let qkt = QktKernel::new(AttentionSpec::mha(4096, 128), geom).stream();
+        let sv = SvKernel::new(AttentionSpec::mha(4096, 128), geom).stream();
+        let (qw, _, qr) = qkt.kind_counts();
+        let (sw, _, sr) = sv.kind_counts();
+        assert!(qr > qw, "QKT drains more than it writes: {qr} vs {qw}");
+        assert!(sw > sr, "SV writes more than it drains: {sw} vs {sr}");
+    }
+}

@@ -1,0 +1,263 @@
+//! Module-level functional simulation: TCP attention across channels.
+//!
+//! A PIM module holds multiple channels behind a HUB (paper Fig. 3(a)).
+//! Under Token-Centric Partitioning, one attention head executes as:
+//!
+//! 1. each channel runs `QKᵀ` over its token slice,
+//! 2. the HUB gathers the per-channel score segments into the GPR, where
+//!    concatenation is free and the EPU applies softmax (paper §IV-C),
+//! 3. each channel runs `SV` over its token slice against the softmaxed
+//!    scores,
+//! 4. the EPU reduces the per-channel partial outputs.
+//!
+//! This module executes that flow *functionally* end-to-end, so tests can
+//! assert that a TCP-partitioned module computes exactly the reference
+//! attention — the correctness half of the TCP claim (the performance
+//! half lives in the schedulers and the system model).
+
+use crate::epu::Epu;
+use crate::functional::FunctionalChannel;
+use crate::geometry::Geometry;
+use crate::kernels::{AttentionSpec, QktKernel, SvKernel};
+
+/// A multi-channel PIM module with a HUB-side EPU.
+#[derive(Debug, Clone)]
+pub struct PimModule {
+    geometry: Geometry,
+    n_channels: u32,
+    epu: Epu,
+}
+
+/// Result of one attention-head execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeadOutput {
+    /// Per-query attention outputs (`g × d_h`).
+    pub outputs: Vec<Vec<f32>>,
+    /// Per-query softmaxed scores over all tokens (exposed for tests and
+    /// downstream analysis).
+    pub probabilities: Vec<Vec<f32>>,
+}
+
+impl PimModule {
+    /// Creates a module with `n_channels` channels of the given geometry.
+    ///
+    /// # Panics
+    /// Panics if `n_channels` is zero.
+    pub fn new(n_channels: u32, geometry: Geometry) -> Self {
+        assert!(n_channels > 0, "a module needs at least one channel");
+        PimModule { geometry, n_channels, epu: Epu::default() }
+    }
+
+    /// Channels in the module.
+    pub fn channels(&self) -> u32 {
+        self.n_channels
+    }
+
+    /// Token range assigned to channel `ch` out of `tokens` (TCP's even
+    /// contiguous split).
+    pub fn token_slice(&self, tokens: usize, ch: u32) -> (usize, usize) {
+        let per = tokens.div_ceil(self.n_channels as usize);
+        let start = (ch as usize * per).min(tokens);
+        let end = ((ch as usize + 1) * per).min(tokens);
+        (start, end)
+    }
+
+    /// Executes one attention head under TCP.
+    ///
+    /// * `keys` / `values`: the KV cache, `T × d_h` each.
+    /// * `queries`: `g` query vectors of length `d_h` (GQA group).
+    /// * `scale`: score scaling (`1/sqrt(d_h)` conventionally).
+    ///
+    /// # Panics
+    /// Panics on empty or mismatched inputs.
+    pub fn attention_head(
+        &self,
+        keys: &[Vec<f32>],
+        values: &[Vec<f32>],
+        queries: &[Vec<f32>],
+        scale: f32,
+    ) -> HeadOutput {
+        let tokens = keys.len();
+        assert!(tokens > 0, "empty KV cache");
+        assert_eq!(values.len(), tokens, "K/V length mismatch");
+        assert!(!queries.is_empty(), "no queries");
+        let head_dim = queries[0].len();
+        let g = queries.len() as u32;
+
+        // Phase 1: per-channel QKT over the channel's token slice.
+        let mut scores = vec![vec![0.0f32; tokens]; queries.len()];
+        for ch in 0..self.n_channels {
+            let (start, end) = self.token_slice(tokens, ch);
+            if start >= end {
+                continue;
+            }
+            let spec = AttentionSpec {
+                tokens: (end - start) as u32,
+                head_dim: head_dim as u32,
+                group_size: g,
+                row_reuse: g > 1,
+            };
+            let kernel = QktKernel::new(spec, self.geometry);
+            let mut channel = FunctionalChannel::new(self.geometry);
+            kernel.load_keys(&mut channel, |tok, d| keys[start + tok][d]);
+            channel.execute(&kernel.stream(), &kernel.input_tiles(queries));
+            let seg = kernel.scores_from(&channel);
+            for (q, qseg) in seg.iter().enumerate() {
+                // HUB/GPR gather: concatenation only (paper §IV-C).
+                scores[q][start..end].copy_from_slice(&qseg[..end - start]);
+            }
+        }
+
+        // Phase 2: EPU softmax over the concatenated scores.
+        let probabilities: Vec<Vec<f32>> = scores
+            .iter()
+            .map(|s| {
+                let scaled: Vec<f32> = s.iter().map(|&x| x * scale).collect();
+                self.epu.softmax(&scaled)
+            })
+            .collect();
+
+        // Phase 3: per-channel SV partial reduction over token slices.
+        let mut partials_per_query: Vec<Vec<Vec<f32>>> =
+            vec![Vec::with_capacity(self.n_channels as usize); queries.len()];
+        for ch in 0..self.n_channels {
+            let (start, end) = self.token_slice(tokens, ch);
+            if start >= end {
+                continue;
+            }
+            let spec = AttentionSpec {
+                tokens: (end - start) as u32,
+                head_dim: head_dim as u32,
+                group_size: g,
+                row_reuse: g > 1,
+            };
+            let kernel = SvKernel::new(spec, self.geometry);
+            let mut channel = FunctionalChannel::new(self.geometry);
+            kernel.load_values(&mut channel, |tok, d| values[start + tok][d]);
+            let slice_scores: Vec<Vec<f32>> =
+                probabilities.iter().map(|p| p[start..end].to_vec()).collect();
+            channel.execute(&kernel.stream(), &kernel.input_tiles(&slice_scores));
+            for (q, out) in kernel.outputs_from(&channel).into_iter().enumerate() {
+                partials_per_query[q].push(out);
+            }
+        }
+
+        // Phase 4: EPU inter-channel reduction.
+        let outputs = partials_per_query
+            .into_iter()
+            .map(|partials| self.epu.reduce_partials(&partials))
+            .collect();
+        HeadOutput { outputs, probabilities }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_geom() -> Geometry {
+        Geometry { banks: 4, gbuf_entries: 8, out_entries: 2, row_tiles: 8, elems_per_tile: 4 }
+    }
+
+    fn reference_attention(
+        keys: &[Vec<f32>],
+        values: &[Vec<f32>],
+        query: &[f32],
+        scale: f32,
+    ) -> Vec<f32> {
+        let scores: Vec<f32> = keys
+            .iter()
+            .map(|k| k.iter().zip(query).map(|(a, b)| a * b).sum::<f32>() * scale)
+            .collect();
+        let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = scores.iter().map(|&s| (s - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let head_dim = values[0].len();
+        (0..head_dim)
+            .map(|d| {
+                exps.iter().zip(values).map(|(&e, v)| e / sum * v[d]).sum::<f32>()
+            })
+            .collect()
+    }
+
+    fn kv(tokens: usize, head_dim: usize) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
+        let keys = (0..tokens)
+            .map(|t| (0..head_dim).map(|d| ((t * 3 + d) % 7) as f32 * 0.2 - 0.5).collect())
+            .collect();
+        let values = (0..tokens)
+            .map(|t| (0..head_dim).map(|d| ((t + d * 5) % 9) as f32 * 0.25 - 1.0).collect())
+            .collect();
+        (keys, values)
+    }
+
+    #[test]
+    fn tcp_module_matches_reference_attention_mha() {
+        let module = PimModule::new(4, small_geom());
+        let (keys, values) = kv(37, 8);
+        let query: Vec<f32> = (0..8).map(|d| d as f32 * 0.3 - 1.0).collect();
+        let out = module.attention_head(&keys, &values, &[query.clone()], 0.35);
+        let want = reference_attention(&keys, &values, &query, 0.35);
+        for (a, b) in out.outputs[0].iter().zip(&want) {
+            assert!((a - b).abs() < 5e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn tcp_module_matches_reference_attention_gqa() {
+        let module = PimModule::new(4, small_geom());
+        let (keys, values) = kv(29, 8);
+        let queries: Vec<Vec<f32>> =
+            (0..3).map(|q| (0..8).map(|d| ((q * 2 + d) % 5) as f32 * 0.4 - 0.8).collect()).collect();
+        let out = module.attention_head(&keys, &values, &queries, 0.35);
+        for (q, qv) in queries.iter().enumerate() {
+            let want = reference_attention(&keys, &values, qv, 0.35);
+            for (a, b) in out.outputs[q].iter().zip(&want) {
+                assert!((a - b).abs() < 5e-3, "q={q}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn channel_count_does_not_change_results() {
+        let (keys, values) = kv(41, 8);
+        let query: Vec<f32> = (0..8).map(|d| (d % 3) as f32 * 0.5).collect();
+        let one = PimModule::new(1, small_geom()).attention_head(&keys, &values, &[query.clone()], 1.0);
+        let many = PimModule::new(8, small_geom()).attention_head(&keys, &values, &[query], 1.0);
+        for (a, b) in one.outputs[0].iter().zip(&many.outputs[0]) {
+            assert!((a - b).abs() < 5e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn probabilities_form_distributions() {
+        let module = PimModule::new(3, small_geom());
+        let (keys, values) = kv(17, 8);
+        let out = module.attention_head(
+            &keys,
+            &values,
+            &[(0..8).map(|d| d as f32 * 0.1).collect()],
+            0.5,
+        );
+        let sum: f32 = out.probabilities[0].iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn token_slices_tile_the_context() {
+        let module = PimModule::new(5, small_geom());
+        let mut next = 0;
+        for ch in 0..5 {
+            let (s, e) = module.token_slice(23, ch);
+            assert_eq!(s, next.min(23));
+            next = e;
+        }
+        assert_eq!(next, 23);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty KV cache")]
+    fn empty_kv_panics() {
+        let module = PimModule::new(2, small_geom());
+        module.attention_head(&[], &[], &[vec![0.0; 8]], 1.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! The conventional static in-order PIM controller (paper §V-A).
+//!
+//! Commands issue strictly in program order. Because the controller tracks
+//! no per-entry state, it must assume any adjacent pair of commands of
+//! conflicting *types* may conflict, and separates them by the predecessor's
+//! full execution time:
+//!
+//! * `WR-INP → MAC`: wait `t_WR-INP` (the input tile might be the MAC's).
+//! * `MAC → RD-OUT` and `MAC → WR-INP`: wait `t_MAC`.
+//! * `RD-OUT → MAC`: wait `t_RD-OUT`.
+//! * Same-type neighbours pipeline at `t_CCDS` (the hardware supports
+//!   back-to-back same-type streaming).
+
+use super::RefreshState;
+use crate::geometry::Geometry;
+use crate::report::{Breakdown, CommandTiming, ExecutionReport};
+use crate::timing::Timing;
+use pim_isa::command::{CommandKind, CommandStream};
+
+/// In-order scheduler with type-derived conservative gaps.
+#[derive(Debug, Clone)]
+pub struct StaticScheduler {
+    timing: Timing,
+    #[allow(dead_code)]
+    geometry: Geometry,
+}
+
+impl StaticScheduler {
+    /// Creates a static scheduler for a channel.
+    pub fn new(timing: Timing, geometry: Geometry) -> Self {
+        StaticScheduler { timing, geometry }
+    }
+
+    /// Minimum issue gap after `prev` before `cur` may issue.
+    fn gap(&self, prev: &CommandKind, cur: &CommandKind) -> u64 {
+        let t = &self.timing;
+        match (prev, cur) {
+            (CommandKind::WrInp { .. }, CommandKind::Mac { .. }) => t.t_wr_inp,
+            (CommandKind::Mac { .. }, CommandKind::RdOut { .. }) => t.t_mac,
+            (CommandKind::Mac { .. }, CommandKind::WrInp { .. }) => t.t_mac,
+            (CommandKind::RdOut { .. }, CommandKind::Mac { .. }) => t.t_rd_out,
+            (CommandKind::RdOut { .. }, CommandKind::WrInp { .. }) => t.t_rd_out,
+            _ => t.t_ccds,
+        }
+    }
+
+    /// Schedules the stream, returning timings and a stall breakdown.
+    pub fn run(&self, stream: &CommandStream) -> ExecutionReport {
+        let t = self.timing;
+        let mut refresh = RefreshState::new(&t);
+        let mut timings = Vec::with_capacity(stream.len());
+        let mut breakdown = Breakdown::default();
+        let mut prev_kind: Option<CommandKind> = None;
+        let mut prev_issue: u64 = 0;
+        let mut open_row: Option<u32> = None;
+        let mut row_ready: u64 = 0;
+        let mut makespan = 0;
+        let (mut n_w, mut n_m, mut n_r, mut switches) = (0u64, 0u64, 0u64, 0u64);
+
+        for cmd in stream.iter() {
+            let min_issue = match prev_kind {
+                None => 0,
+                Some(prev) => prev_issue + self.gap(&prev, &cmd.kind),
+            };
+            let mut issue = min_issue;
+            // Row management applies to MACs only.
+            let mut switched = false;
+            if let CommandKind::Mac { row, .. } = cmd.kind {
+                if open_row != Some(row) {
+                    switched = true;
+                } else {
+                    issue = issue.max(row_ready);
+                }
+            }
+            let issue_before_refresh = issue;
+            issue = refresh.adjust(issue);
+            let refresh_stall = issue - issue_before_refresh;
+
+            // Attribute the gap beyond the pipelined minimum to the
+            // predecessor's type.
+            if let Some(prev) = prev_kind {
+                let base = prev_issue + t.t_ccds;
+                if issue_before_refresh > base {
+                    let stall = issue_before_refresh - base;
+                    match prev {
+                        CommandKind::WrInp { .. } => breakdown.dt_gbuf += stall,
+                        CommandKind::Mac { .. } => breakdown.pipeline += stall,
+                        CommandKind::RdOut { .. } => breakdown.dt_outreg += stall,
+                    }
+                }
+            }
+            breakdown.refresh += refresh_stall;
+
+            // For subsequent gap computation, a row-switching MAC behaves
+            // as if issued once its row finished opening (the static
+            // controller waits out the full ACT/PRE window).
+            let mut effective_issue = issue;
+            let complete = match cmd.kind {
+                CommandKind::WrInp { .. } => {
+                    n_w += 1;
+                    issue + t.t_wr_inp
+                }
+                CommandKind::Mac { row, .. } => {
+                    n_m += 1;
+                    if switched {
+                        switches += 1;
+                        open_row = Some(row);
+                        // Pipelined row opening (see the dynamic engine):
+                        // a switch following a long same-row run is hidden.
+                        let new_ready = issue.max(row_ready + t.row_switch());
+                        breakdown.act_pre += new_ready - issue;
+                        row_ready = new_ready;
+                        effective_issue = row_ready;
+                        row_ready + t.t_mac
+                    } else {
+                        issue + t.t_mac
+                    }
+                }
+                CommandKind::RdOut { .. } => {
+                    n_r += 1;
+                    issue + t.t_rd_out
+                }
+            };
+            makespan = makespan.max(complete);
+            timings.push(CommandTiming { id: cmd.id, issue, complete });
+            prev_kind = Some(cmd.kind);
+            prev_issue = effective_issue;
+        }
+
+        breakdown.mac = n_m * t.t_ccds;
+        let attributed = breakdown.total();
+        breakdown.pipeline += makespan.saturating_sub(attributed);
+
+        ExecutionReport {
+            timings,
+            cycles: makespan,
+            breakdown,
+            mac_count: n_m,
+            wr_inp_count: n_w,
+            rd_out_count: n_r,
+            row_switches: switches,
+            refresh_events: refresh.events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_isa::PimCommand;
+
+    fn sched() -> StaticScheduler {
+        StaticScheduler::new(Timing::aimx_no_refresh(), Geometry::baseline())
+    }
+
+    #[test]
+    fn in_order_issue() {
+        let mut s = CommandStream::new();
+        for i in 0..6 {
+            s.push(PimCommand::wr_inp(i, i as u16, 0));
+        }
+        let r = sched().run(&s);
+        let issues: Vec<u64> = r.timings.iter().map(|t| t.issue).collect();
+        // Same-type commands pipeline at t_CCDS = 2 (paper Fig. 7(b)).
+        assert_eq!(issues, vec![0, 2, 4, 6, 8, 10]);
+    }
+
+    #[test]
+    fn mac_after_write_waits_full_write() {
+        let mut s = CommandStream::new();
+        s.push(PimCommand::wr_inp(0, 0, 0));
+        s.push(PimCommand::mac(1, 0, 0, 0, 0));
+        let r = sched().run(&s);
+        let t = Timing::aimx_no_refresh();
+        assert_eq!(r.timings[1].issue, t.t_wr_inp);
+    }
+
+    #[test]
+    fn rd_out_after_mac_waits_full_mac() {
+        let mut s = CommandStream::new();
+        s.push(PimCommand::mac(0, 0, 0, 0, 0));
+        s.push(PimCommand::rd_out(1, 0, 0));
+        let r = sched().run(&s);
+        let t = Timing::aimx_no_refresh();
+        // MAC at 0 opens a row, so RD-OUT waits row-open + t_mac.
+        assert_eq!(r.timings[1].issue, t.row_switch() + t.t_mac);
+        assert_eq!(r.row_switches, 1);
+    }
+
+    #[test]
+    fn row_switch_counted_once_per_row() {
+        let mut s = CommandStream::new();
+        s.push(PimCommand::mac(0, 0, 0, 0, 0));
+        s.push(PimCommand::mac(1, 0, 0, 1, 0));
+        s.push(PimCommand::mac(2, 0, 1, 0, 0));
+        let r = sched().run(&s);
+        assert_eq!(r.row_switches, 2);
+        // Back-to-back switches cannot hide behind MAC runs, so both cost
+        // activation time.
+        assert!(r.breakdown.act_pre > Timing::aimx().row_switch());
+    }
+
+    #[test]
+    fn refresh_accounted() {
+        let t = Timing { t_refi: 20, t_rfc: 5, ..Timing::aimx() };
+        let sched = StaticScheduler::new(t, Geometry::baseline());
+        let mut s = CommandStream::new();
+        for i in 0..40 {
+            s.push(PimCommand::wr_inp(i, (i % 8) as u16, 0));
+        }
+        let r = sched.run(&s);
+        assert!(r.refresh_events > 0);
+        assert!(r.breakdown.refresh > 0);
+    }
+
+    #[test]
+    fn breakdown_sums_to_makespan() {
+        let mut s = CommandStream::new();
+        s.push(PimCommand::wr_inp(0, 0, 0));
+        s.push(PimCommand::mac(1, 0, 0, 0, 0));
+        s.push(PimCommand::rd_out(2, 0, 0));
+        let r = sched().run(&s);
+        assert_eq!(r.breakdown.total(), r.cycles);
+    }
+}

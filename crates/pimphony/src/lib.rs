@@ -1,0 +1,181 @@
+//! # PIMphony — a PIM orchestrator for long-context LLM inference
+//!
+//! Reproduction of *"PIMphony: Overcoming Bandwidth and Capacity
+//! Inefficiency in PIM-Based Long-Context LLM Inference System"* (HPCA
+//! 2026). PIMphony combines three co-designed techniques:
+//!
+//! * **TCP** — Token-Centric PIM Partitioning: token-axis parallelism
+//!   across all channels of a module, decoupling utilization from batch
+//!   size ([`pim_compiler::partition`]).
+//! * **DCS** — Dynamic PIM Command Scheduling: a dependency-aware PIM
+//!   controller that overlaps I/O with MAC execution
+//!   ([`pim_sim::sched`]).
+//! * **DPA** — Dynamic PIM Access: on-module virtual-to-physical address
+//!   translation enabling lazy, chunked KV-cache allocation
+//!   ([`pim_mem`]).
+//!
+//! The [`Orchestrator`] is the top-level entry point: configure a system
+//! (CENT-like PIM-only or NeuPIMs-like xPU+PIM), a model from Table I,
+//! and a technique set, then evaluate serving traces.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use pimphony::OrchestratorBuilder;
+//! use workload::{Dataset, TraceBuilder};
+//!
+//! let orchestrator = OrchestratorBuilder::new(llm_model::LLM_7B_32K)
+//!     .pim_only()
+//!     .full_pimphony()
+//!     .build();
+//! let trace = TraceBuilder::new(Dataset::QmSum).requests(32).decode_len(64).build();
+//! let report = orchestrator.serve(&trace);
+//! println!("{:.1} tok/s at batch {:.1}", report.tokens_per_second, report.mean_batch);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use llm_model;
+pub use pim_compiler;
+pub use pim_isa;
+pub use pim_mem;
+pub use pim_sim;
+pub use system;
+pub use workload;
+
+use llm_model::ModelConfig;
+use pim_compiler::ParallelConfig;
+use system::{Evaluator, ServingReport, SystemConfig, Techniques};
+use workload::Trace;
+
+/// Top-level handle evaluating a PIM serving system on traces.
+#[derive(Debug)]
+pub struct Orchestrator {
+    evaluator: Evaluator,
+}
+
+impl Orchestrator {
+    /// Creates an orchestrator from explicit configuration.
+    pub fn new(system: SystemConfig, model: ModelConfig, techniques: Techniques) -> Self {
+        Orchestrator { evaluator: Evaluator::new(system, model, techniques) }
+    }
+
+    /// Serves a trace, returning the throughput/energy report.
+    pub fn serve(&self, trace: &Trace) -> ServingReport {
+        self.evaluator.run_trace(trace)
+    }
+
+    /// One decode iteration for an explicit `(request id, tokens)` batch.
+    pub fn iteration(&self, batch: &[(u64, u64)]) -> system::IterationBreakdown {
+        self.evaluator.iteration(batch)
+    }
+
+    /// The underlying evaluator.
+    pub fn evaluator(&self) -> &Evaluator {
+        &self.evaluator
+    }
+}
+
+/// Builder for [`Orchestrator`] with the paper's preset configurations.
+#[derive(Debug, Clone)]
+pub struct OrchestratorBuilder {
+    model: ModelConfig,
+    system: SystemConfig,
+    techniques: Techniques,
+}
+
+impl OrchestratorBuilder {
+    /// Starts from a model with the paper's PIM-only defaults.
+    pub fn new(model: ModelConfig) -> Self {
+        OrchestratorBuilder {
+            model,
+            system: SystemConfig::cent_for(&model),
+            techniques: Techniques::pimphony(),
+        }
+    }
+
+    /// Uses the CENT-like PIM-only system sizing (Table IV).
+    pub fn pim_only(mut self) -> Self {
+        self.system = SystemConfig::cent_for(&self.model);
+        self
+    }
+
+    /// Uses the NeuPIMs-like xPU+PIM system sizing (Table IV).
+    pub fn xpu_pim(mut self) -> Self {
+        self.system = SystemConfig::neupims_for(&self.model);
+        self
+    }
+
+    /// Overrides the (TP, PP) parallelization.
+    pub fn parallel(mut self, tp: u32, pp: u32) -> Self {
+        self.system = self.system.with_parallel(ParallelConfig::new(tp, pp));
+        self
+    }
+
+    /// Disables every PIMphony technique (the prior-work baseline).
+    pub fn baseline(mut self) -> Self {
+        self.techniques = Techniques::baseline();
+        self
+    }
+
+    /// Enables all three techniques.
+    pub fn full_pimphony(mut self) -> Self {
+        self.techniques = Techniques::pimphony();
+        self
+    }
+
+    /// Sets an explicit technique combination.
+    pub fn techniques(mut self, techniques: Techniques) -> Self {
+        self.techniques = techniques;
+        self
+    }
+
+    /// Builds the orchestrator.
+    pub fn build(self) -> Orchestrator {
+        Orchestrator::new(self.system, self.model, self.techniques)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::{Dataset, TraceBuilder};
+
+    #[test]
+    fn builder_presets_produce_working_orchestrators() {
+        let trace = TraceBuilder::new(Dataset::QmSum).seed(1).requests(6).decode_len(8).build();
+        let pim = OrchestratorBuilder::new(llm_model::LLM_7B_32K).pim_only().build();
+        let xpu = OrchestratorBuilder::new(llm_model::LLM_7B_32K).xpu_pim().build();
+        assert!(pim.serve(&trace).tokens_per_second > 0.0);
+        assert!(xpu.serve(&trace).tokens_per_second > 0.0);
+    }
+
+    #[test]
+    fn baseline_vs_pimphony_end_to_end() {
+        let trace = TraceBuilder::new(Dataset::QmSum).seed(2).requests(8).decode_len(8).build();
+        let base =
+            OrchestratorBuilder::new(llm_model::LLM_7B_32K).pim_only().baseline().build();
+        let full =
+            OrchestratorBuilder::new(llm_model::LLM_7B_32K).pim_only().full_pimphony().build();
+        let rb = base.serve(&trace);
+        let rf = full.serve(&trace);
+        assert!(rf.tokens_per_second > rb.tokens_per_second);
+        assert!(rf.attn_utilization > rb.attn_utilization);
+    }
+
+    #[test]
+    fn parallel_override_applies() {
+        let o = OrchestratorBuilder::new(llm_model::LLM_7B_32K).parallel(2, 4).build();
+        assert_eq!(o.evaluator().system().parallel.tp, 2);
+        assert_eq!(o.evaluator().system().parallel.pp, 4);
+    }
+
+    #[test]
+    fn iteration_is_exposed() {
+        let o = OrchestratorBuilder::new(llm_model::LLM_7B_32K).build();
+        let it = o.iteration(&[(0, 8192), (1, 4096)]);
+        assert!(it.seconds > 0.0);
+        assert!(it.attn_seconds > 0.0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Memoized per-channel kernel latency model.
+//!
+//! Attention kernels stream tokens, so their cycle cost is affine in the
+//! token count. We simulate each distinct (kernel, scheduler, GQA,
+//! row-reuse) configuration *exactly* at two calibration sizes with the
+//! cycle-level `pim-sim` engine, fit `cycles = a + b·tokens`, and evaluate
+//! the fit everywhere else. FC GEMVs have few distinct shapes, so they are
+//! simulated exactly and memoized per shape.
+
+use parking_lot::Mutex;
+use pim_sim::kernels::{AttentionSpec, GemvKernel, GemvSpec, QktKernel, SvKernel};
+use pim_sim::{schedule, Geometry, SchedulerKind, Timing};
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Scalar statistics of one kernel execution, extrapolatable in tokens.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct KernelStats {
+    /// Total cycles.
+    pub cycles: f64,
+    /// Cycles the MAC pipeline was busy.
+    pub mac_busy: f64,
+    /// `MAC` command count.
+    pub macs: f64,
+    /// I/O command count (`WR-INP` + `RD-OUT`).
+    pub ios: f64,
+    /// DRAM row switches.
+    pub row_switches: f64,
+}
+
+impl KernelStats {
+    fn from_report(r: &pim_sim::ExecutionReport, timing: &Timing) -> Self {
+        KernelStats {
+            cycles: r.cycles as f64,
+            mac_busy: (r.mac_count * timing.t_ccds) as f64,
+            macs: r.mac_count as f64,
+            ios: (r.wr_inp_count + r.rd_out_count) as f64,
+            row_switches: r.row_switches as f64,
+        }
+    }
+
+    fn axpy(a: &KernelStats, b: &KernelStats, x: f64) -> KernelStats {
+        KernelStats {
+            cycles: (a.cycles + b.cycles * x).max(0.0),
+            mac_busy: (a.mac_busy + b.mac_busy * x).max(0.0),
+            macs: (a.macs + b.macs * x).max(0.0),
+            ios: (a.ios + b.ios * x).max(0.0),
+            row_switches: (a.row_switches + b.row_switches * x).max(0.0),
+        }
+    }
+
+    /// Adds another kernel's statistics.
+    pub fn accumulate(&mut self, other: &KernelStats) {
+        self.cycles += other.cycles;
+        self.mac_busy += other.mac_busy;
+        self.macs += other.macs;
+        self.ios += other.ios;
+        self.row_switches += other.row_switches;
+    }
+
+    /// Scales all statistics (e.g. repeat a kernel `k` times).
+    pub fn scaled(&self, k: f64) -> KernelStats {
+        KernelStats {
+            cycles: self.cycles * k,
+            mac_busy: self.mac_busy * k,
+            macs: self.macs * k,
+            ios: self.ios * k,
+            row_switches: self.row_switches * k,
+        }
+    }
+}
+
+/// Attention kernel flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttentionKind {
+    /// The score kernel.
+    Qkt,
+    /// The value kernel.
+    Sv,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct AttnKey {
+    kind: AttentionKind,
+    scheduler: SchedulerKind,
+    group: u32,
+    row_reuse: bool,
+    pimphony_buffers: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Affine {
+    intercept: KernelStats,
+    slope: KernelStats,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct GemvKey {
+    dout: u32,
+    din: u32,
+    scheduler: SchedulerKind,
+    pimphony_buffers: bool,
+}
+
+/// The memoizing kernel model shared by the system evaluator.
+#[derive(Debug)]
+pub struct KernelModel {
+    timing: Timing,
+    head_dim: u32,
+    attn_cache: Mutex<HashMap<AttnKey, Affine>>,
+    gemv_cache: Mutex<HashMap<GemvKey, KernelStats>>,
+}
+
+/// Calibration token counts for the affine fit.
+const CAL_LO: u32 = 512;
+const CAL_HI: u32 = 4096;
+
+impl KernelModel {
+    /// Creates a model for kernels with per-head dimension `head_dim`.
+    pub fn new(timing: Timing, head_dim: u32) -> Self {
+        KernelModel {
+            timing,
+            head_dim,
+            attn_cache: Mutex::new(HashMap::new()),
+            gemv_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The timing the model simulates with.
+    pub fn timing(&self) -> &Timing {
+        &self.timing
+    }
+
+    fn geometry(&self, pimphony_buffers: bool) -> Geometry {
+        if pimphony_buffers {
+            Geometry::pimphony()
+        } else {
+            Geometry::baseline()
+        }
+    }
+
+    fn simulate_attn(&self, key: AttnKey, tokens: u32) -> KernelStats {
+        let geom = self.geometry(key.pimphony_buffers);
+        let spec = AttentionSpec {
+            tokens,
+            head_dim: self.head_dim,
+            group_size: key.group,
+            row_reuse: key.row_reuse,
+        };
+        let stream = match key.kind {
+            AttentionKind::Qkt => QktKernel::new(spec, geom).stream(),
+            AttentionKind::Sv => SvKernel::new(spec, geom).stream(),
+        };
+        let report = schedule(&stream, key.scheduler, &self.timing, &geom);
+        KernelStats::from_report(&report, &self.timing)
+    }
+
+    fn affine(&self, key: AttnKey) -> Affine {
+        if let Some(a) = self.attn_cache.lock().get(&key) {
+            return *a;
+        }
+        let lo = self.simulate_attn(key, CAL_LO);
+        let hi = self.simulate_attn(key, CAL_HI);
+        let dt = f64::from(CAL_HI - CAL_LO);
+        let slope = KernelStats {
+            cycles: (hi.cycles - lo.cycles) / dt,
+            mac_busy: (hi.mac_busy - lo.mac_busy) / dt,
+            macs: (hi.macs - lo.macs) / dt,
+            ios: (hi.ios - lo.ios) / dt,
+            row_switches: (hi.row_switches - lo.row_switches) / dt,
+        };
+        let intercept = KernelStats {
+            cycles: lo.cycles - slope.cycles * f64::from(CAL_LO),
+            mac_busy: lo.mac_busy - slope.mac_busy * f64::from(CAL_LO),
+            macs: lo.macs - slope.macs * f64::from(CAL_LO),
+            ios: lo.ios - slope.ios * f64::from(CAL_LO),
+            row_switches: lo.row_switches - slope.row_switches * f64::from(CAL_LO),
+        };
+        let a = Affine { intercept, slope };
+        self.attn_cache.lock().insert(key, a);
+        a
+    }
+
+    /// Statistics of one attention kernel over `tokens` tokens on one
+    /// channel (`group` query heads share the KV data; `row_reuse` selects
+    /// the GQA row-reuse mapping).
+    pub fn attention(
+        &self,
+        kind: AttentionKind,
+        scheduler: SchedulerKind,
+        pimphony_buffers: bool,
+        group: u32,
+        row_reuse: bool,
+        tokens: u64,
+    ) -> KernelStats {
+        if tokens == 0 {
+            return KernelStats::default();
+        }
+        let key = AttnKey { kind, scheduler, group, row_reuse, pimphony_buffers };
+        let a = self.affine(key);
+        KernelStats::axpy(&a.intercept, &a.slope, tokens as f64)
+    }
+
+    /// Statistics of one dense GEMV on one channel (exact, memoized).
+    pub fn gemv(
+        &self,
+        scheduler: SchedulerKind,
+        pimphony_buffers: bool,
+        dout: u32,
+        din: u32,
+    ) -> KernelStats {
+        if dout == 0 || din == 0 {
+            return KernelStats::default();
+        }
+        let key = GemvKey { dout, din, scheduler, pimphony_buffers };
+        if let Some(s) = self.gemv_cache.lock().get(&key) {
+            return *s;
+        }
+        let geom = self.geometry(pimphony_buffers);
+        let stream = GemvKernel::new(GemvSpec { dout, din }, geom).stream();
+        let report = schedule(&stream, scheduler, &self.timing, &geom);
+        let stats = KernelStats::from_report(&report, &self.timing);
+        self.gemv_cache.lock().insert(key, stats);
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> KernelModel {
+        KernelModel::new(Timing::aimx(), 128)
+    }
+
+    #[test]
+    fn affine_fit_tracks_exact_simulation() {
+        let m = model();
+        let key = AttnKey {
+            kind: AttentionKind::Qkt,
+            scheduler: SchedulerKind::Dcs,
+            group: 1,
+            row_reuse: false,
+            pimphony_buffers: true,
+        };
+        let exact = m.simulate_attn(key, 2048);
+        let fitted = m.attention(AttentionKind::Qkt, SchedulerKind::Dcs, true, 1, false, 2048);
+        let err = (exact.cycles - fitted.cycles).abs() / exact.cycles;
+        // Refresh windows and row-boundary effects add mild curvature;
+        // a 10% envelope is tight enough for throughput composition.
+        assert!(err < 0.10, "fit error {:.2}%", err * 100.0);
+    }
+
+    #[test]
+    fn dcs_is_never_slower_than_static() {
+        let m = model();
+        for kind in [AttentionKind::Qkt, AttentionKind::Sv] {
+            let s = m.attention(kind, SchedulerKind::Static, false, 1, false, 8192);
+            let d = m.attention(kind, SchedulerKind::Dcs, true, 1, false, 8192);
+            assert!(d.cycles <= s.cycles, "{kind:?}: {} vs {}", d.cycles, s.cycles);
+        }
+    }
+
+    #[test]
+    fn zero_tokens_is_free() {
+        let m = model();
+        let s = m.attention(AttentionKind::Sv, SchedulerKind::Dcs, true, 4, true, 0);
+        assert_eq!(s.cycles, 0.0);
+    }
+
+    #[test]
+    fn stats_grow_with_tokens() {
+        let m = model();
+        let a = m.attention(AttentionKind::Qkt, SchedulerKind::Dcs, true, 1, false, 1024);
+        let b = m.attention(AttentionKind::Qkt, SchedulerKind::Dcs, true, 1, false, 65536);
+        assert!(b.cycles > 10.0 * a.cycles);
+        assert!(b.macs > a.macs);
+    }
+
+    #[test]
+    fn gemv_cache_hits_are_stable() {
+        let m = model();
+        let a = m.gemv(SchedulerKind::Static, false, 256, 4096);
+        let b = m.gemv(SchedulerKind::Static, false, 256, 4096);
+        assert_eq!(a, b);
+        assert!(a.cycles > 0.0);
+    }
+
+    #[test]
+    fn accumulate_and_scale() {
+        let mut s = KernelStats::default();
+        let one = KernelStats { cycles: 10.0, mac_busy: 4.0, macs: 2.0, ios: 1.0, row_switches: 0.0 };
+        s.accumulate(&one);
+        s.accumulate(&one.scaled(2.0));
+        assert_eq!(s.cycles, 30.0);
+        assert_eq!(s.macs, 6.0);
+    }
+}

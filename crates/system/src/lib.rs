@@ -1,0 +1,50 @@
+//! Multi-module PIM system model for the PIMphony reproduction.
+//!
+//! Composes the per-channel cycle simulator (`pim-sim`), the partitioning
+//! compiler (`pim-compiler`) and the memory manager (`pim-mem`) into full
+//! CENT-like (PIM-only) and NeuPIMs-like (xPU+PIM) systems, with:
+//!
+//! * [`config`] — Table IV module/system configurations and the
+//!   [`config::Techniques`] ladder (base / +TCP / +DCS / +DPA).
+//! * [`kernel`] — memoized per-channel kernel latency model calibrated by
+//!   exact cycle simulation.
+//! * [`stage`] — attention/FC stage composition under TP and PP.
+//! * [`serve`] — wave-based serving simulation producing the decode
+//!   throughput of Figs. 13–15 and 17.
+//! * [`energy`] — the Fig. 16 energy decomposition.
+//! * [`gpu`] — the A100 flash-decoding + paged-attention baseline of
+//!   Fig. 20.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use llm_model::LLM_7B_32K;
+//! use system::{Evaluator, SystemConfig, Techniques};
+//! use workload::{Dataset, TraceBuilder};
+//!
+//! let trace = TraceBuilder::new(Dataset::QmSum).requests(8).decode_len(16).build();
+//! let eval = Evaluator::new(
+//!     SystemConfig::cent_for(&LLM_7B_32K),
+//!     LLM_7B_32K,
+//!     Techniques::pimphony(),
+//! );
+//! let report = eval.run_trace(&trace);
+//! println!("{:.1} tokens/s", report.tokens_per_second);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod energy;
+pub mod gpu;
+pub mod kernel;
+pub mod serve;
+pub mod stage;
+
+pub use config::{ModuleConfig, SystemConfig, SystemKind, Techniques};
+pub use energy::{EnergyBreakdown, EnergyModel};
+pub use gpu::GpuSystem;
+pub use kernel::{AttentionKind, KernelModel, KernelStats};
+pub use serve::{Evaluator, ServingReport};
+pub use stage::{AttentionStage, IterationBreakdown, StageModel};

@@ -1,0 +1,385 @@
+//! Decode-iteration composition: attention stage, FC stage, TP/PP.
+//!
+//! One decode iteration advances every admitted request by one token.
+//! Under tensor parallelism each module owns `kv_heads / tp` heads and a
+//! `1/tp` shard of every FC matrix; under pipeline parallelism each module
+//! owns `layers / pp` consecutive layers and micro-batches flow through
+//! the stages (bubbles appear when the batch is smaller than the pipeline
+//! depth — the CENT collapse of paper Fig. 17(b)).
+
+use crate::config::{SystemConfig, SystemKind, Techniques};
+use crate::kernel::{AttentionKind, KernelModel, KernelStats};
+use llm_model::ModelConfig;
+use pim_compiler::{ModulePartition, Partitioning};
+use pim_sim::SchedulerKind;
+use serde::Serialize;
+
+/// Latency and activity of one attention stage execution on one module.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct AttentionStage {
+    /// Module makespan in cycles (slowest channel).
+    pub cycles: f64,
+    /// MAC utilization across the module's channels in `[0, 1]`.
+    pub utilization: f64,
+    /// Aggregate kernel statistics across all channels.
+    pub totals: KernelStats,
+    /// Channels with work.
+    pub active_channels: u32,
+}
+
+/// One decode iteration's latency breakdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct IterationBreakdown {
+    /// Wall-clock seconds for the iteration.
+    pub seconds: f64,
+    /// Seconds in PIM attention.
+    pub attn_seconds: f64,
+    /// Seconds in the FC stage.
+    pub fc_seconds: f64,
+    /// Seconds in TP synchronization.
+    pub sync_seconds: f64,
+    /// Pipeline-bubble seconds.
+    pub bubble_seconds: f64,
+    /// Attention MAC utilization (module average).
+    pub attn_utilization: f64,
+    /// Aggregate attention kernel statistics (per replica, all layers).
+    pub attn_totals: KernelStats,
+    /// FC FLOPs executed (per replica).
+    pub fc_flops: f64,
+    /// Aggregate FC kernel statistics (PIM-only systems).
+    pub fc_totals: KernelStats,
+}
+
+/// Computes stage latencies for one (system, model, techniques) tuple.
+#[derive(Debug)]
+pub struct StageModel<'a> {
+    system: SystemConfig,
+    model: ModelConfig,
+    techniques: Techniques,
+    kernels: &'a KernelModel,
+}
+
+impl<'a> StageModel<'a> {
+    /// Creates a stage model.
+    pub fn new(
+        system: SystemConfig,
+        model: ModelConfig,
+        techniques: Techniques,
+        kernels: &'a KernelModel,
+    ) -> Self {
+        StageModel { system, model, techniques, kernels }
+    }
+
+    /// The command scheduler implied by the technique set.
+    pub fn scheduler(&self) -> SchedulerKind {
+        if self.techniques.dcs {
+            SchedulerKind::Dcs
+        } else {
+            SchedulerKind::Static
+        }
+    }
+
+    /// Whether the GQA row-reuse mapping is active (profitable only with
+    /// DCS, paper §V-C), given the module's effective group size.
+    pub fn row_reuse(&self) -> bool {
+        self.effective_group() > 1 && self.techniques.dcs
+    }
+
+    fn partitioning(&self) -> Partitioning {
+        if self.techniques.tcp {
+            Partitioning::TokenCentric
+        } else {
+            Partitioning::HeadFirst
+        }
+    }
+
+    /// Query heads resident on one module under TP.
+    fn q_heads_per_module(&self) -> u32 {
+        self.model.heads.div_ceil(self.system.parallel.tp).max(1)
+    }
+
+    /// GQA group size as seen by one module: TP shards query heads, so a
+    /// module may hold fewer queries per KV head than the model's `g`.
+    pub fn effective_group(&self) -> u32 {
+        self.model.gqa_group.min(self.q_heads_per_module()).max(1)
+    }
+
+    /// KV-head instances a module computes against (its query heads
+    /// grouped by shared KV).
+    fn kv_instances_per_module(&self) -> u32 {
+        self.q_heads_per_module().div_ceil(self.effective_group()).max(1)
+    }
+
+    /// Attention stage for one layer on one module, given the admitted
+    /// requests' current token counts.
+    pub fn attention_layer(&self, batch_tokens: &[(u64, u64)]) -> AttentionStage {
+        if batch_tokens.is_empty() {
+            return AttentionStage::default();
+        }
+        let channels = self.system.module.channels;
+        let partition = ModulePartition::assign(
+            self.partitioning(),
+            channels,
+            self.kv_instances_per_module(),
+            batch_tokens,
+        );
+        let sched = self.scheduler();
+        let buffers = self.techniques.dcs;
+        let group = self.effective_group();
+        let row_reuse = self.row_reuse();
+        let epu = pim_sim::epu::Epu::default();
+        // Inter-channel SV reduction through the HUB/GPR + EPU (TCP only)
+        // — negligible by design (paper §IV-C: <0.2% of attention time).
+        let reduction = if self.techniques.tcp {
+            epu.reduce_cycles(channels, self.model.head_dim) as f64
+        } else {
+            0.0
+        };
+
+        let mut makespan: f64 = 0.0;
+        let mut totals = KernelStats::default();
+        let mut busy_sum = 0.0;
+        for ch in partition.channels() {
+            let mut cycles = 0.0;
+            for slice in &ch.slices {
+                let t = slice.tokens();
+                let qkt =
+                    self.kernels.attention(AttentionKind::Qkt, sched, buffers, group, row_reuse, t);
+                let sv =
+                    self.kernels.attention(AttentionKind::Sv, sched, buffers, group, row_reuse, t);
+                cycles += qkt.cycles + sv.cycles + reduction;
+                totals.accumulate(&qkt);
+                totals.accumulate(&sv);
+                busy_sum += qkt.mac_busy + sv.mac_busy;
+            }
+            makespan = makespan.max(cycles);
+        }
+        // Softmax on the EPU between QKT and SV, per (request, head);
+        // pipelined with PIM execution, it adds only its serial tail.
+        let softmax: f64 = batch_tokens
+            .iter()
+            .map(|&(_, t)| epu.softmax_cycles(t) as f64)
+            .sum::<f64>()
+            * f64::from(self.kv_instances_per_module())
+            / f64::from(channels);
+        makespan += softmax;
+        let utilization = if makespan > 0.0 {
+            (busy_sum / (f64::from(channels) * makespan)).min(1.0)
+        } else {
+            0.0
+        };
+        AttentionStage {
+            cycles: makespan,
+            utilization,
+            totals,
+            active_channels: partition.active_channels(),
+        }
+    }
+
+    /// FC-op dimensions of one decoder layer: Q/K/V/O projections + gated
+    /// FFN.
+    fn fc_ops(&self) -> [(u32, u32); 7] {
+        let d = self.model.hidden_dim;
+        let kvd = self.model.kv_heads() * self.model.head_dim;
+        let f = self.model.ffn_dim;
+        [(d, d), (kvd, d), (kvd, d), (d, d), (f, d), (f, d), (d, f)]
+    }
+
+    /// FC stage seconds for one layer at batch size `batch`, plus FLOPs
+    /// and (PIM-only) kernel statistics.
+    pub fn fc_layer(&self, batch: usize) -> (f64, f64, KernelStats) {
+        if batch == 0 {
+            return (0.0, 0.0, KernelStats::default());
+        }
+        let tp = self.system.parallel.tp;
+        let ops = self.fc_ops();
+        let flops: f64 =
+            2.0 * batch as f64 * ops.iter().map(|&(o, i)| f64::from(o) * f64::from(i)).sum::<f64>()
+                / f64::from(tp);
+        match self.system.kind {
+            SystemKind::PimOnly => {
+                // FC runs on PIM: every channel owns a dout shard; the
+                // batch streams through as `batch` GEMV passes.
+                let sched = self.scheduler();
+                let buffers = self.techniques.dcs;
+                let channels = self.system.module.channels;
+                let mut cycles = 0.0;
+                let mut totals = KernelStats::default();
+                for &(dout, din) in &ops {
+                    let dout_pc = dout.div_ceil(tp * channels).max(1);
+                    let g = self.kernels.gemv(sched, buffers, dout_pc, din);
+                    cycles += batch as f64 * g.cycles;
+                    totals.accumulate(&g.scaled(batch as f64 * f64::from(channels)));
+                }
+                (cycles / self.system.module.clock_hz, flops, totals)
+            }
+            SystemKind::XpuPim => {
+                let weight_bytes: f64 = ops
+                    .iter()
+                    .map(|&(o, i)| f64::from(o) * f64::from(i))
+                    .sum::<f64>()
+                    * f64::from(self.model.dtype_bytes)
+                    / f64::from(tp);
+                let compute = flops / self.system.module.xpu_flops;
+                let memory = weight_bytes / self.system.module.xpu_mem_bw;
+                (compute.max(memory), flops, KernelStats::default())
+            }
+        }
+    }
+
+    /// TP all-reduce seconds per layer.
+    fn sync_layer(&self, batch: usize) -> f64 {
+        let tp = self.system.parallel.tp;
+        if tp <= 1 || batch == 0 {
+            return 0.0;
+        }
+        let bytes = batch as f64
+            * f64::from(self.model.hidden_dim)
+            * f64::from(self.model.dtype_bytes);
+        2.0 * (f64::from(tp) - 1.0) / f64::from(tp) * bytes / self.system.module.interconnect_bw
+    }
+
+    /// One decode iteration over the admitted requests (id, tokens pairs).
+    pub fn iteration(&self, batch: &[(u64, u64)]) -> IterationBreakdown {
+        let b = batch.len();
+        if b == 0 {
+            return IterationBreakdown::default();
+        }
+        let pp = self.system.parallel.pp as usize;
+        let layers_per_stage = (self.model.layers as usize).div_ceil(pp);
+        let m = b.min(pp).max(1);
+        // Round-robin micro-batch split.
+        let mut micros: Vec<Vec<(u64, u64)>> = vec![Vec::new(); m];
+        for (i, &req) in batch.iter().enumerate() {
+            micros[i % m].push(req);
+        }
+
+        let clock = self.system.module.clock_hz;
+        let mut out = IterationBreakdown::default();
+        let mut stage_secs_sum = 0.0;
+        let mut util_weighted = 0.0;
+        for micro in &micros {
+            let attn = self.attention_layer(micro);
+            let (fc_secs, fc_flops, fc_stats) = self.fc_layer(micro.len());
+            let sync = self.sync_layer(micro.len());
+            let attn_secs = attn.cycles / clock;
+            let layer_secs = attn_secs + fc_secs + sync;
+            let stage = layers_per_stage as f64 * layer_secs;
+            stage_secs_sum += stage;
+            out.attn_seconds += layers_per_stage as f64 * attn_secs;
+            out.fc_seconds += layers_per_stage as f64 * fc_secs;
+            out.sync_seconds += layers_per_stage as f64 * sync;
+            out.attn_totals
+                .accumulate(&attn.totals.scaled(layers_per_stage as f64 * pp as f64));
+            out.fc_flops += fc_flops * layers_per_stage as f64 * pp as f64;
+            out.fc_totals.accumulate(&fc_stats.scaled(layers_per_stage as f64 * pp as f64));
+            util_weighted += attn.utilization * stage;
+        }
+        let mean_stage = stage_secs_sum / m as f64;
+        out.bubble_seconds = (pp.saturating_sub(m)) as f64 * mean_stage;
+        out.seconds = stage_secs_sum + out.bubble_seconds;
+        out.attn_utilization = if stage_secs_sum > 0.0 {
+            // Bubbles idle the whole module, scaling utilization down.
+            (util_weighted / stage_secs_sum) * (stage_secs_sum / out.seconds)
+        } else {
+            0.0
+        };
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm_model::{LLM_7B_128K_GQA, LLM_7B_32K};
+    use pim_compiler::ParallelConfig;
+    use pim_sim::Timing;
+
+    fn kernels() -> KernelModel {
+        KernelModel::new(Timing::aimx(), 128)
+    }
+
+    #[test]
+    fn tcp_raises_attention_utilization() {
+        let k = kernels();
+        let sys = SystemConfig::cent_for(&LLM_7B_32K);
+        let base = StageModel::new(sys, LLM_7B_32K, Techniques::baseline(), &k);
+        let tcp = StageModel::new(sys, LLM_7B_32K, Techniques::tcp_only(), &k);
+        // One long request: HFP strands all but a few channels.
+        let batch = [(0u64, 32_768u64)];
+        let b = base.attention_layer(&batch);
+        let t = tcp.attention_layer(&batch);
+        assert!(t.utilization > b.utilization * 2.0, "{} vs {}", t.utilization, b.utilization);
+        assert!(t.cycles < b.cycles);
+        assert_eq!(t.active_channels, 32);
+    }
+
+    #[test]
+    fn dcs_shrinks_attention_cycles_further() {
+        let k = kernels();
+        let sys = SystemConfig::cent_for(&LLM_7B_32K);
+        let tcp = StageModel::new(sys, LLM_7B_32K, Techniques::tcp_only(), &k);
+        let dcs = StageModel::new(sys, LLM_7B_32K, Techniques::tcp_dcs(), &k);
+        let batch = [(0u64, 32_768u64), (1, 16_384)];
+        assert!(dcs.attention_layer(&batch).cycles < tcp.attention_layer(&batch).cycles);
+    }
+
+    #[test]
+    fn iteration_time_grows_with_context() {
+        let k = kernels();
+        let sys = SystemConfig::cent_for(&LLM_7B_32K);
+        let m = StageModel::new(sys, LLM_7B_32K, Techniques::pimphony(), &k);
+        let short = m.iteration(&[(0, 4096)]);
+        let long = m.iteration(&[(0, 65_536)]);
+        assert!(long.seconds > 2.0 * short.seconds);
+        assert!(long.attn_seconds > short.attn_seconds);
+    }
+
+    #[test]
+    fn pp_with_small_batch_has_bubbles() {
+        let k = kernels();
+        let sys = SystemConfig::cent_for(&LLM_7B_32K).with_parallel(ParallelConfig::new(1, 8));
+        let m = StageModel::new(sys, LLM_7B_32K, Techniques::pimphony(), &k);
+        let solo = m.iteration(&[(0, 16_384)]);
+        assert!(solo.bubble_seconds > 0.0);
+        let full: Vec<(u64, u64)> = (0..8).map(|i| (i, 16_384)).collect();
+        let filled = m.iteration(&full);
+        assert_eq!(filled.bubble_seconds, 0.0);
+        // Eight requests through a full pipeline finish in far less than
+        // eight times the solo latency.
+        assert!(filled.seconds < 4.0 * solo.seconds);
+    }
+
+    #[test]
+    fn xpu_fc_is_much_faster_than_pim_fc() {
+        let k = kernels();
+        let cent = SystemConfig::cent_for(&LLM_7B_32K);
+        let neu = SystemConfig::neupims_for(&LLM_7B_32K);
+        let mc = StageModel::new(cent, LLM_7B_32K, Techniques::pimphony(), &k);
+        let mn = StageModel::new(neu, LLM_7B_32K, Techniques::pimphony(), &k);
+        // At batch 1, PIM's internal bandwidth makes FC GEMV competitive;
+        // the NPU pulls ahead once batching amortizes weight streaming.
+        let (fc_c, _, _) = mc.fc_layer(16);
+        let (fc_n, _, _) = mn.fc_layer(16);
+        assert!(fc_c > 2.0 * fc_n, "CENT {fc_c} vs NeuPIMs {fc_n}");
+    }
+
+    #[test]
+    fn gqa_row_reuse_only_with_dcs() {
+        let k = kernels();
+        let sys = SystemConfig::cent_for(&LLM_7B_128K_GQA);
+        let no_dcs = StageModel::new(sys, LLM_7B_128K_GQA, Techniques::tcp_only(), &k);
+        let dcs = StageModel::new(sys, LLM_7B_128K_GQA, Techniques::tcp_dcs(), &k);
+        assert!(!no_dcs.row_reuse());
+        assert!(dcs.row_reuse());
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let k = kernels();
+        let sys = SystemConfig::cent_for(&LLM_7B_32K);
+        let m = StageModel::new(sys, LLM_7B_32K, Techniques::pimphony(), &k);
+        assert_eq!(m.iteration(&[]).seconds, 0.0);
+        assert_eq!(m.attention_layer(&[]).cycles, 0.0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Request and trace generation.
+//!
+//! Context lengths are drawn from a normal distribution truncated to the
+//! dataset's `[min, max]` range (rejection sampling), matching Table II's
+//! moments. Decode lengths default to a fixed budget, as the paper's
+//! throughput metric is decode-phase tokens/second.
+
+use crate::dataset::{Dataset, DatasetStats};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One inference request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Stable identifier within its trace.
+    pub id: u64,
+    /// Prompt (context) length in tokens.
+    pub context_len: u64,
+    /// Tokens to generate in the decode phase.
+    pub decode_len: u64,
+}
+
+impl Request {
+    /// Context plus generated tokens at decode completion.
+    pub fn final_len(&self) -> u64 {
+        self.context_len + self.decode_len
+    }
+}
+
+/// An ordered set of requests presented to the serving system.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    requests: Vec<Request>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The requests in arrival order.
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Iterates over requests.
+    pub fn iter(&self) -> std::slice::Iter<'_, Request> {
+        self.requests.iter()
+    }
+
+    /// Mean context length (0 for an empty trace).
+    pub fn mean_context(&self) -> f64 {
+        if self.requests.is_empty() {
+            return 0.0;
+        }
+        self.requests.iter().map(|r| r.context_len as f64).sum::<f64>() / self.len() as f64
+    }
+
+    /// Standard deviation of context lengths.
+    pub fn std_context(&self) -> f64 {
+        if self.requests.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean_context();
+        let var = self
+            .requests
+            .iter()
+            .map(|r| (r.context_len as f64 - mean).powi(2))
+            .sum::<f64>()
+            / self.len() as f64;
+        var.sqrt()
+    }
+
+    /// Minimum and maximum context lengths, or `None` if empty.
+    pub fn context_range(&self) -> Option<(u64, u64)> {
+        let min = self.requests.iter().map(|r| r.context_len).min()?;
+        let max = self.requests.iter().map(|r| r.context_len).max()?;
+        Some((min, max))
+    }
+
+    /// Total decode tokens across the trace.
+    pub fn total_decode_tokens(&self) -> u64 {
+        self.requests.iter().map(|r| r.decode_len).sum()
+    }
+}
+
+impl FromIterator<Request> for Trace {
+    fn from_iter<I: IntoIterator<Item = Request>>(iter: I) -> Self {
+        Trace { requests: iter.into_iter().collect() }
+    }
+}
+
+/// Builder for reproducible traces.
+///
+/// # Example
+///
+/// ```
+/// use workload::{Dataset, TraceBuilder};
+/// let trace = TraceBuilder::new(Dataset::QmSum).seed(7).requests(64).build();
+/// assert_eq!(trace.len(), 64);
+/// let (min, max) = trace.context_range().unwrap();
+/// assert!(min >= Dataset::QmSum.stats().min && max <= Dataset::QmSum.stats().max);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceBuilder {
+    stats: DatasetStats,
+    seed: u64,
+    n: usize,
+    decode_len: u64,
+    sigma_clip: Option<f64>,
+}
+
+impl TraceBuilder {
+    /// Starts a builder for one of the Table II datasets.
+    pub fn new(dataset: Dataset) -> Self {
+        TraceBuilder {
+            stats: dataset.stats(),
+            seed: 0,
+            n: 128,
+            decode_len: 256,
+            sigma_clip: None,
+        }
+    }
+
+    /// Starts a builder from custom statistics (used by the Fig. 17
+    /// 3-sigma synthetic sweep).
+    pub fn from_stats(stats: DatasetStats) -> Self {
+        TraceBuilder { stats, seed: 0, n: 128, decode_len: 256, sigma_clip: None }
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of requests.
+    pub fn requests(mut self, n: usize) -> Self {
+        self.n = n;
+        self
+    }
+
+    /// Sets the per-request decode budget.
+    pub fn decode_len(mut self, tokens: u64) -> Self {
+        self.decode_len = tokens;
+        self
+    }
+
+    /// Additionally truncates samples to `mean ± k·std` (the paper's
+    /// "3-sigma context variation" uses `k = 3`).
+    pub fn sigma_clip(mut self, k: f64) -> Self {
+        self.sigma_clip = Some(k);
+        self
+    }
+
+    /// Generates the trace.
+    pub fn build(&self) -> Trace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let (mut lo, mut hi) = (self.stats.min as f64, self.stats.max as f64);
+        if let Some(k) = self.sigma_clip {
+            lo = lo.max(self.stats.mean - k * self.stats.std);
+            hi = hi.min(self.stats.mean + k * self.stats.std);
+        }
+        let mut requests = Vec::with_capacity(self.n);
+        for id in 0..self.n as u64 {
+            let len = sample_truncated_normal(&mut rng, self.stats.mean, self.stats.std, lo, hi);
+            requests.push(Request {
+                id,
+                context_len: len.round().max(1.0) as u64,
+                decode_len: self.decode_len,
+            });
+        }
+        Trace { requests }
+    }
+}
+
+/// Box–Muller normal sample truncated to `[lo, hi]` by rejection (with a
+/// clamp fallback after 64 rejections to guarantee termination).
+fn sample_truncated_normal(rng: &mut StdRng, mean: f64, std: f64, lo: f64, hi: f64) -> f64 {
+    for _ in 0..64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let x = mean + std * z;
+        if x >= lo && x <= hi {
+            return x;
+        }
+    }
+    mean.clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_reproducible() {
+        let a = TraceBuilder::new(Dataset::Musique).seed(42).requests(32).build();
+        let b = TraceBuilder::new(Dataset::Musique).seed(42).requests(32).build();
+        assert_eq!(a, b);
+        let c = TraceBuilder::new(Dataset::Musique).seed(43).requests(32).build();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn samples_respect_table2_bounds() {
+        for d in Dataset::ALL {
+            let t = TraceBuilder::new(d).seed(1).requests(500).build();
+            let s = d.stats();
+            let (min, max) = t.context_range().unwrap();
+            assert!(min >= s.min, "{d}: {min} < {}", s.min);
+            assert!(max <= s.max, "{d}: {max} > {}", s.max);
+        }
+    }
+
+    #[test]
+    fn sample_moments_roughly_match() {
+        let t = TraceBuilder::new(Dataset::QmSum).seed(9).requests(4000).build();
+        let s = Dataset::QmSum.stats();
+        let mean_err = (t.mean_context() - s.mean).abs() / s.mean;
+        assert!(mean_err < 0.08, "mean off by {:.1}%", mean_err * 100.0);
+        // Truncation shrinks the std a bit; accept a broad band.
+        let std_ratio = t.std_context() / s.std;
+        assert!((0.6..=1.2).contains(&std_ratio), "std ratio {std_ratio}");
+    }
+
+    #[test]
+    fn sigma_clip_narrows_spread() {
+        let wide = TraceBuilder::new(Dataset::MultiFieldQa).seed(5).requests(1000).build();
+        let narrow = TraceBuilder::new(Dataset::MultiFieldQa)
+            .seed(5)
+            .requests(1000)
+            .sigma_clip(1.0)
+            .build();
+        assert!(narrow.std_context() < wide.std_context());
+    }
+
+    #[test]
+    fn decode_budget_applies() {
+        let t = TraceBuilder::new(Dataset::QmSum).decode_len(77).requests(3).build();
+        assert!(t.iter().all(|r| r.decode_len == 77));
+        assert_eq!(t.total_decode_tokens(), 231);
+        assert!(t.iter().all(|r| r.final_len() == r.context_len + 77));
+    }
+
+    #[test]
+    fn empty_trace_stats_are_defined() {
+        let t = Trace::new();
+        assert_eq!(t.mean_context(), 0.0);
+        assert_eq!(t.std_context(), 0.0);
+        assert_eq!(t.context_range(), None);
+        assert!(t.is_empty());
+    }
+}

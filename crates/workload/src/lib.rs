@@ -1,0 +1,16 @@
+//! Long-context LLM request traces for the PIMphony reproduction.
+//!
+//! The paper evaluates on four tasks (Table II): QMSum and Musique from
+//! LongBench, multifieldqa and Loogle-SD from LV-Eval. Only the *context
+//! length distribution* of each task feeds the evaluation, so this crate
+//! reproduces exactly that: a truncated-normal sampler matched to each
+//! dataset's mean/std/min/max, plus request/trace containers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod gen;
+
+pub use dataset::{Dataset, DatasetStats};
+pub use gen::{Request, Trace, TraceBuilder};

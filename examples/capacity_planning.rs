@@ -1,0 +1,51 @@
+//! Capacity planning: how much batch (and therefore throughput) does DPA's
+//! lazy allocation buy over static worst-case reservations, across the
+//! Table II datasets?
+//!
+//! Run with: `cargo run --example capacity_planning`
+
+use pimphony::llm_model::LLM_7B_128K_GQA;
+use pimphony::pim_mem::{ChunkAllocator, RequestId, StaticAllocator};
+use pimphony::system::{Evaluator, SystemConfig, Techniques};
+use pimphony::workload::{Dataset, TraceBuilder};
+
+fn main() {
+    let model = LLM_7B_128K_GQA;
+    let system = SystemConfig::cent_for(&model);
+    println!(
+        "{:<14} {:>12} {:>12} {:>11} {:>11}",
+        "dataset", "static util", "DPA util", "static b", "DPA batch"
+    );
+    for d in [Dataset::MultiFieldQa, Dataset::LoogleSd] {
+        let trace = TraceBuilder::new(d).seed(3).requests(48).decode_len(64).build();
+        let t_max = trace.iter().map(|r| r.final_len()).max().expect("nonempty");
+
+        // Allocator-level view.
+        let capacity = system.total_capacity() - model.weight_bytes();
+        let mut stat = StaticAllocator::new(capacity, model.kv_bytes(t_max));
+        let mut dpa = ChunkAllocator::with_default_chunks(capacity);
+        for r in trace.iter() {
+            let used = model.kv_bytes(r.final_len());
+            if stat.admit(RequestId(r.id), used).is_err() {
+                break;
+            }
+            dpa.register(RequestId(r.id)).expect("fresh id");
+            dpa.grow(RequestId(r.id), used).expect("fits");
+        }
+
+        // System-level view: achievable batch per policy.
+        let es = Evaluator::new(system, model, Techniques::tcp_dcs());
+        let ed = Evaluator::new(system, model, Techniques::pimphony());
+        let mean = trace.mean_context() as u64;
+        let bs = es.replica_kv_capacity() / es.kv_reservation(mean, t_max);
+        let bd = ed.replica_kv_capacity() / ed.kv_reservation(mean, t_max);
+        println!(
+            "{:<14} {:>11.1}% {:>11.1}% {:>11} {:>11}",
+            d.name(),
+            stat.capacity_utilization() * 100.0,
+            dpa.capacity_utilization() * 100.0,
+            bs,
+            bd
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Long-context serving scenario: a 72B GQA model on LV-Eval-style
+//! workloads across both node organizations (PIM-only and xPU+PIM),
+//! sweeping the technique ladder — the paper's headline experiment.
+//!
+//! Run with: `cargo run --example long_context_serving`
+
+use pimphony::llm_model::LLM_72B_128K_GQA;
+use pimphony::system::{Evaluator, SystemConfig, Techniques};
+use pimphony::workload::{Dataset, TraceBuilder};
+
+fn main() {
+    let model = LLM_72B_128K_GQA;
+    let trace =
+        TraceBuilder::new(Dataset::MultiFieldQa).seed(9).requests(16).decode_len(32).build();
+    for system in [SystemConfig::cent_for(&model), SystemConfig::neupims_for(&model)] {
+        println!("\n=== {} ({} modules, {} GB) ===", system.kind.name(), system.modules,
+                 system.total_capacity() >> 30);
+        let mut base = 0.0;
+        for t in Techniques::ladder() {
+            let r = Evaluator::new(system, model, t).run_trace(&trace);
+            if t == Techniques::baseline() {
+                base = r.tokens_per_second;
+            }
+            println!(
+                "{:<16} {:>10.1} tok/s ({:>5.2}x)  util {:>5.1}%  batch {:>5.1}",
+                t.label(),
+                r.tokens_per_second,
+                r.tokens_per_second / base,
+                r.attn_utilization * 100.0,
+                r.mean_batch
+            );
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Quickstart: serve a long-context trace on a PIM system, with and
+//! without PIMphony, and print the headline comparison.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use pimphony::OrchestratorBuilder;
+use pimphony::workload::{Dataset, TraceBuilder};
+
+fn main() {
+    // A QMSum-like workload: 32 requests, 64 generated tokens each.
+    let trace = TraceBuilder::new(Dataset::QmSum).seed(1).requests(32).decode_len(64).build();
+    println!(
+        "workload: {} requests, mean context {:.0} tokens",
+        trace.len(),
+        trace.mean_context()
+    );
+
+    let baseline = OrchestratorBuilder::new(pimphony::llm_model::LLM_7B_32K)
+        .pim_only()
+        .baseline()
+        .build();
+    let phony = OrchestratorBuilder::new(pimphony::llm_model::LLM_7B_32K)
+        .pim_only()
+        .full_pimphony()
+        .build();
+
+    let rb = baseline.serve(&trace);
+    let rp = phony.serve(&trace);
+    println!("\n{:<12} {:>12} {:>10} {:>10}", "config", "tokens/s", "MAC util", "capacity");
+    for (name, r) in [("baseline", &rb), ("PIMphony", &rp)] {
+        println!(
+            "{:<12} {:>12.1} {:>9.1}% {:>9.1}%",
+            name,
+            r.tokens_per_second,
+            r.attn_utilization * 100.0,
+            r.capacity_utilization * 100.0
+        );
+    }
+    println!("\nspeedup: {:.2}x", rp.tokens_per_second / rb.tokens_per_second);
+}

@@ -1,0 +1,9 @@
+//! Workspace-root helper crate.
+//!
+//! Hosts the repository's runnable examples (`examples/`) and cross-crate
+//! integration tests (`tests/`); re-exports the facade crate for
+//! convenience.
+
+#![forbid(unsafe_code)]
+
+pub use pimphony;

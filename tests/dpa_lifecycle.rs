@@ -1,0 +1,98 @@
+//! End-to-end DPA lifecycle: a request decodes token by token while the
+//! host lazily allocates chunks, extends the VA2PA mapping, and the
+//! on-module dispatcher expands DPA programs against the growing T_cur —
+//! with no per-step host communication (paper §VI-C).
+
+use pimphony::pim_compiler::lower::{lower_attention_dpa, AttentionLowering};
+use pimphony::pim_mem::{ChunkAllocator, Dispatcher, RequestId, Va2PaTable};
+use pimphony::pim_sim::epu::Epu;
+use pimphony::pim_sim::module::PimModule;
+use pimphony::pim_sim::Geometry;
+
+/// Rows of KV data one chunk holds in this test's geometry.
+const ROWS_PER_CHUNK: u64 = 8;
+/// Tokens covered per DRAM row (channel-tile granularity for the test).
+const TOKENS_PER_ROW: u64 = 256;
+
+fn kv_rows(tokens: u64) -> u64 {
+    tokens.div_ceil(TOKENS_PER_ROW)
+}
+
+#[test]
+fn decode_grows_lazily_without_host_chatter() {
+    let shape = AttentionLowering::aimx_default();
+    let program = lower_attention_dpa(&shape);
+    let mut dispatcher = Dispatcher::new(program, ROWS_PER_CHUNK);
+    let mut allocator = ChunkAllocator::new(64 << 20, 1 << 20);
+
+    // Admission: register and map the prompt's chunks.
+    let id = RequestId(7);
+    let prompt = 10_000u64;
+    allocator.register(id).expect("fresh request");
+    let rows = kv_rows(prompt);
+    let maps = allocator.grow(id, rows * (1 << 20) / ROWS_PER_CHUNK).expect("fits");
+    let table: Va2PaTable = maps.into_iter().collect();
+    dispatcher.register(id, prompt, table).expect("fresh request");
+    let msgs_after_admission = dispatcher.host_messages();
+
+    // Decode 2048 tokens: each step advances T_cur locally; the host only
+    // intervenes when a new chunk boundary is crossed.
+    let mut extra_host_msgs = 0;
+    for _ in 0..2048 {
+        let t = dispatcher.advance_token(id).expect("registered");
+        let needed_rows = kv_rows(t);
+        let needed_bytes = needed_rows * (1 << 20) / ROWS_PER_CHUNK;
+        let new_maps = allocator.grow(id, needed_bytes).expect("capacity");
+        if !new_maps.is_empty() {
+            dispatcher.extend_mapping(id, new_maps).expect("registered");
+            extra_host_msgs += 1;
+        }
+        // The decode must always succeed against the current mapping.
+        let decoded = dispatcher.decode(id).expect("fully mapped");
+        assert!(!decoded.is_empty());
+    }
+
+    // Host messages: one per crossed chunk boundary, nothing per step.
+    let total_msgs = dispatcher.host_messages() - msgs_after_admission;
+    assert_eq!(total_msgs, extra_host_msgs);
+    assert!(total_msgs <= kv_rows(prompt + 2048).div_ceil(ROWS_PER_CHUNK) + 1);
+    assert!(total_msgs < 8, "host chatter too high: {total_msgs}");
+
+    // Expansion tracks T_cur: more tokens, more instructions.
+    let long = dispatcher.decode(id).expect("mapped").len();
+    assert!(long > 0);
+    dispatcher.release(id).expect("registered");
+    allocator.release(id).expect("registered");
+    assert_eq!(allocator.free_chunks(), allocator.total_chunks());
+}
+
+#[test]
+fn module_attention_consumes_growing_kv() {
+    // TCP module-level attention stays correct as the KV grows mid-decode.
+    let geom = Geometry { banks: 4, gbuf_entries: 8, out_entries: 2, row_tiles: 8, elems_per_tile: 4 };
+    let module = PimModule::new(4, geom);
+    let epu = Epu::default();
+    let head_dim = 8usize;
+    let key = |t: usize, d: usize| ((t * 3 + d) % 7) as f32 * 0.2 - 0.4;
+    let val = |t: usize, d: usize| ((t + d * 2) % 5) as f32 * 0.3 - 0.6;
+    let query: Vec<f32> = (0..head_dim).map(|d| d as f32 * 0.25 - 0.5).collect();
+
+    let mut prev_entropyish = f32::INFINITY;
+    for tokens in [8usize, 16, 24] {
+        let keys: Vec<Vec<f32>> =
+            (0..tokens).map(|t| (0..head_dim).map(|d| key(t, d)).collect()).collect();
+        let values: Vec<Vec<f32>> =
+            (0..tokens).map(|t| (0..head_dim).map(|d| val(t, d)).collect()).collect();
+        let out = module.attention_head(&keys, &values, &[query.clone()], 0.5);
+        // Probabilities stay a distribution at every length...
+        let sum: f32 = out.probabilities[0].iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "tokens={tokens}");
+        // ...and the peak probability can only fall as mass spreads.
+        let peak = out.probabilities[0].iter().copied().fold(0.0f32, f32::max);
+        assert!(peak <= prev_entropyish + 1e-4);
+        prev_entropyish = peak;
+        // EPU reduction agrees with a direct sum over channel partials.
+        let direct = epu.reduce_partials(&[out.outputs[0].clone()]);
+        assert_eq!(direct, out.outputs[0]);
+    }
+}

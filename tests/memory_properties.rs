@@ -1,0 +1,96 @@
+//! Property-based tests for the DPA memory-management substrate.
+
+use pimphony::pim_isa::dpa::{DpaInstruction, DpaProgram, DynLoop, DynModi, LoopBound, OperandField};
+use pimphony::pim_isa::{ChannelMask, PimInstruction};
+use pimphony::pim_mem::{ChunkAllocator, Dispatcher, RequestId, StaticAllocator, Va2PaTable};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The chunk allocator never double-books a chunk, never leaks, and
+    /// its utilization never exceeds 1.
+    #[test]
+    fn chunk_allocator_invariants(
+        sizes in prop::collection::vec(1u64..5_000_000, 1..12),
+        chunk_log in 16u32..21,
+    ) {
+        let chunk = 1u64 << chunk_log;
+        let mut a = ChunkAllocator::new(256 * chunk, chunk);
+        let mut seen = std::collections::HashSet::new();
+        let mut admitted = vec![];
+        for (i, &sz) in sizes.iter().enumerate() {
+            let id = RequestId(i as u64);
+            a.register(id).expect("fresh id");
+            match a.grow(id, sz) {
+                Ok(maps) => {
+                    for (_, pc) in maps {
+                        prop_assert!(seen.insert(pc), "chunk double-booked");
+                    }
+                    admitted.push(id);
+                }
+                Err(_) => { a.release(id).ok(); }
+            }
+            prop_assert!(a.capacity_utilization() <= 1.0 + 1e-12);
+        }
+        let free_before = a.free_chunks();
+        for id in admitted {
+            a.release(id).expect("admitted id");
+        }
+        prop_assert!(a.free_chunks() >= free_before);
+        prop_assert_eq!(a.free_chunks(), a.total_chunks());
+    }
+
+    /// Static reservations are monotone: admitting more requests never
+    /// raises capacity utilization above actual/reserved.
+    #[test]
+    fn static_allocator_utilization_bounded(
+        usages in prop::collection::vec(0u64..1_000, 1..10),
+    ) {
+        let mut a = StaticAllocator::new(10_000, 1_000);
+        for (i, &u) in usages.iter().enumerate() {
+            if a.admit(RequestId(i as u64), u).is_err() {
+                break;
+            }
+        }
+        let util = a.capacity_utilization();
+        prop_assert!((0.0..=1.0).contains(&util));
+        let expect = a.used_bytes() as f64 / a.reserved_bytes() as f64;
+        prop_assert!((util - expect).abs() < 1e-12);
+    }
+
+    /// VA2PA row translation is injective across distinct virtual rows
+    /// when the physical chunks are distinct.
+    #[test]
+    fn va2pa_translation_is_injective(n_chunks in 1u64..16, rows_per_chunk in 1u64..64) {
+        let table: Va2PaTable =
+            (0..n_chunks).map(|vc| (vc, pimphony::pim_mem::ChunkId(100 + vc * 3))).collect();
+        let mut seen = std::collections::HashSet::new();
+        for vrow in 0..n_chunks * rows_per_chunk {
+            let prow = table.translate_row(vrow, rows_per_chunk).expect("mapped");
+            prop_assert!(seen.insert(prow), "physical row {prow} aliased");
+        }
+    }
+
+    /// Dispatcher decode length equals the DPA program's expansion for the
+    /// request's token length, independent of the VA2PA layout.
+    #[test]
+    fn dispatcher_expansion_matches_program(t_cur in 1u64..100_000, divisor in 1u32..512) {
+        let mac = PimInstruction::mac(ChannelMask::first(16), 1, 0, 0, 0, 0);
+        let mut p = DpaProgram::new();
+        p.push(DpaInstruction::Loop(DynLoop {
+            bound: LoopBound::TokensDiv { divisor },
+            body: vec![DpaInstruction::Plain(mac)],
+            modifiers: vec![DynModi::new(0, OperandField::Row, 1)],
+        }));
+        let expect = p.expand(t_cur).len();
+        let rows_per_chunk = 4u64;
+        let needed_chunks = (expect as u64).div_ceil(rows_per_chunk).max(1);
+        let table: Va2PaTable =
+            (0..needed_chunks).map(|vc| (vc, pimphony::pim_mem::ChunkId(vc * 7))).collect();
+        let mut d = Dispatcher::new(p, rows_per_chunk);
+        d.register(RequestId(1), t_cur, table).expect("fresh");
+        let decoded = d.decode(RequestId(1)).expect("mapped");
+        prop_assert_eq!(decoded.len(), expect);
+    }
+}

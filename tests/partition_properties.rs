@@ -1,0 +1,86 @@
+//! Property-based tests for partitioning, lowering and workload
+//! generation invariants.
+
+use pimphony::pim_compiler::lower::{
+    dpa_footprint, lower_attention_dpa, lower_attention_static, static_footprint,
+    AttentionLowering,
+};
+use pimphony::pim_compiler::{ModulePartition, Partitioning};
+use pimphony::workload::{DatasetStats, TraceBuilder};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// TCP covers every token of every (request, head) exactly once and
+    /// never loses work relative to HFP.
+    #[test]
+    fn tcp_covers_exactly_once(
+        lengths in prop::collection::vec(1u64..50_000, 1..6),
+        channels in 1u32..33,
+        heads in 1u32..9,
+    ) {
+        let reqs: Vec<(u64, u64)> =
+            lengths.iter().enumerate().map(|(i, &l)| (i as u64, l)).collect();
+        let tcp = ModulePartition::assign(Partitioning::TokenCentric, channels, heads, &reqs);
+        let hfp = ModulePartition::assign(Partitioning::HeadFirst, channels, heads, &reqs);
+        prop_assert_eq!(tcp.total_tokens(), hfp.total_tokens());
+        // Exactly-once coverage for a sampled (request, head).
+        let (rid, len) = reqs[0];
+        let mut covered = vec![0u32; len as usize];
+        for ch in tcp.channels() {
+            for s in ch.slices.iter().filter(|s| s.request == rid && s.kv_head == 0) {
+                for t in s.token_start..s.token_end {
+                    covered[t as usize] += 1;
+                }
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1));
+    }
+
+    /// TCP's makespan never exceeds HFP's, and TCP's balance never falls
+    /// below HFP's.
+    #[test]
+    fn tcp_dominates_hfp(
+        lengths in prop::collection::vec(1u64..100_000, 1..8),
+        heads in 1u32..9,
+    ) {
+        let reqs: Vec<(u64, u64)> =
+            lengths.iter().enumerate().map(|(i, &l)| (i as u64, l)).collect();
+        let tcp = ModulePartition::assign(Partitioning::TokenCentric, 16, heads, &reqs);
+        let hfp = ModulePartition::assign(Partitioning::HeadFirst, 16, heads, &reqs);
+        prop_assert!(tcp.makespan_tokens() <= hfp.makespan_tokens());
+        prop_assert!(tcp.balance() + 1e-9 >= hfp.balance());
+    }
+
+    /// The DPA lowering expands to exactly the statically compiled stream
+    /// length for any context, and its stored footprint stays constant.
+    #[test]
+    fn dpa_lowering_equivalence(t in 1u64..2_000_000) {
+        let shape = AttentionLowering::aimx_default();
+        let dpa = lower_attention_dpa(&shape).expand(t);
+        let stat = lower_attention_static(&shape, t);
+        prop_assert_eq!(dpa.len(), stat.len());
+        prop_assert_eq!(dpa_footprint(&shape).bytes, dpa_footprint(&shape).bytes);
+        prop_assert!(dpa_footprint(&shape).bytes <= static_footprint(&shape, t).bytes);
+    }
+
+    /// Generated traces always respect their dataset's bounds and are
+    /// deterministic in the seed.
+    #[test]
+    fn traces_respect_bounds(seed in 0u64..500, mean in 1_000f64..100_000f64) {
+        let stats = DatasetStats {
+            name: "prop",
+            suite: "prop",
+            mean,
+            std: mean * 0.3,
+            max: (mean * 3.0) as u64,
+            min: (mean * 0.2) as u64,
+        };
+        let t1 = TraceBuilder::from_stats(stats).seed(seed).requests(64).build();
+        let t2 = TraceBuilder::from_stats(stats).seed(seed).requests(64).build();
+        prop_assert_eq!(&t1, &t2);
+        let (min, max) = t1.context_range().expect("nonempty");
+        prop_assert!(min >= stats.min && max <= stats.max);
+    }
+}
