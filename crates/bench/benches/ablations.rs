@@ -12,9 +12,11 @@ fn ablation_scheduler(c: &mut Criterion) {
     let stream = SvKernel::new(AttentionSpec::gqa(2048, 128, 4), geom).stream();
     let mut g = c.benchmark_group("ablation_scheduler_sv_gqa4");
     for kind in SchedulerKind::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| schedule(&stream, kind, &timing, &geom))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| b.iter(|| schedule(&stream, kind, &timing, &geom)),
+        );
     }
     g.finish();
 }
@@ -23,7 +25,10 @@ fn ablation_obuf_depth(c: &mut Criterion) {
     let timing = Timing::aimx();
     let mut g = c.benchmark_group("ablation_obuf_depth");
     for depth in [2u32, 4, 8, 16, 32] {
-        let geom = Geometry { out_entries: depth, ..Geometry::baseline() };
+        let geom = Geometry {
+            out_entries: depth,
+            ..Geometry::baseline()
+        };
         let stream = SvKernel::new(AttentionSpec::mha(2048, 128), geom).stream();
         g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
             b.iter(|| schedule(&stream, SchedulerKind::Dcs, &timing, &geom))
@@ -35,19 +40,29 @@ fn ablation_obuf_depth(c: &mut Criterion) {
 fn ablation_chunk_size(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_chunk_size");
     for log2 in [16u32, 18, 20, 22] {
-        g.bench_with_input(BenchmarkId::from_parameter(1u64 << log2), &log2, |b, &log2| {
-            b.iter(|| {
-                let mut a = ChunkAllocator::new(1 << 30, 1u64 << log2);
-                for i in 0..32u64 {
-                    a.register(RequestId(i)).expect("fresh");
-                    a.grow(RequestId(i), (i + 1) * 3_000_000 % 20_000_000 + 1).expect("fits");
-                }
-                a.capacity_utilization()
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(1u64 << log2),
+            &log2,
+            |b, &log2| {
+                b.iter(|| {
+                    let mut a = ChunkAllocator::new(1 << 30, 1u64 << log2);
+                    for i in 0..32u64 {
+                        a.register(RequestId(i)).expect("fresh");
+                        a.grow(RequestId(i), (i + 1) * 3_000_000 % 20_000_000 + 1)
+                            .expect("fits");
+                    }
+                    a.capacity_utilization()
+                })
+            },
+        );
     }
     g.finish();
 }
 
-criterion_group!(benches, ablation_scheduler, ablation_obuf_depth, ablation_chunk_size);
+criterion_group!(
+    benches,
+    ablation_scheduler,
+    ablation_obuf_depth,
+    ablation_chunk_size
+);
 criterion_main!(benches);

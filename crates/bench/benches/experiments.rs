@@ -14,7 +14,11 @@ use system::{Evaluator, GpuSystem, SystemConfig, Techniques};
 use workload::{Dataset, TraceBuilder};
 
 fn small_trace() -> workload::Trace {
-    TraceBuilder::new(Dataset::QmSum).seed(2026).requests(4).decode_len(8).build()
+    TraceBuilder::new(Dataset::QmSum)
+        .seed(2026)
+        .requests(4)
+        .decode_len(8)
+        .build()
 }
 
 fn fig2_analytics(c: &mut Criterion) {
@@ -41,9 +45,23 @@ fn fig4_utilization(c: &mut Criterion) {
 
 fn fig8_breakdown(c: &mut Criterion) {
     let geom = Geometry::baseline();
-    let stream = GemvKernel::new(GemvSpec { dout: 512, din: 512 }, geom).stream();
+    let stream = GemvKernel::new(
+        GemvSpec {
+            dout: 512,
+            din: 512,
+        },
+        geom,
+    )
+    .stream();
     c.bench_function("fig8_gemv_breakdown", |b| {
-        b.iter(|| schedule(black_box(&stream), SchedulerKind::Static, &Timing::aimx(), &geom))
+        b.iter(|| {
+            schedule(
+                black_box(&stream),
+                SchedulerKind::Static,
+                &Timing::aimx(),
+                &geom,
+            )
+        })
     });
 }
 
@@ -92,7 +110,11 @@ fn fig18_scheduler_comparison(c: &mut Criterion) {
 }
 
 fn fig19_allocators(c: &mut Criterion) {
-    let trace = TraceBuilder::new(Dataset::QmSum).seed(1).requests(32).decode_len(64).build();
+    let trace = TraceBuilder::new(Dataset::QmSum)
+        .seed(1)
+        .requests(32)
+        .decode_len(64)
+        .build();
     c.bench_function("fig19_capacity_utilization", |b| {
         b.iter(|| {
             let model = LLM_7B_32K;

@@ -16,7 +16,16 @@ fn bench_stream_building(c: &mut Criterion) {
         b.iter(|| SvKernel::new(AttentionSpec::gqa(4096, 128, 8), geom).stream())
     });
     g.bench_function("gemv_4kx4k", |b| {
-        b.iter(|| GemvKernel::new(GemvSpec { dout: 4096, din: 4096 }, geom).stream())
+        b.iter(|| {
+            GemvKernel::new(
+                GemvSpec {
+                    dout: 4096,
+                    din: 4096,
+                },
+                geom,
+            )
+            .stream()
+        })
     });
     g.finish();
 }
@@ -27,9 +36,11 @@ fn bench_schedulers(c: &mut Criterion) {
     let stream = QktKernel::new(AttentionSpec::mha(4096, 128), geom).stream();
     let mut g = c.benchmark_group("schedule_qkt_4k");
     for kind in SchedulerKind::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| schedule(black_box(&stream), kind, &timing, &geom))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| b.iter(|| schedule(black_box(&stream), kind, &timing, &geom)),
+        );
     }
     g.finish();
 }

@@ -7,7 +7,10 @@ fn main() {
     bench::header("Fig. 10(c): per-kernel instruction bytes vs context length");
     let shape = AttentionLowering::aimx_default();
     let dpa = dpa_footprint(&shape);
-    println!("{:>10} {:>14} {:>12} {:>10}", "context", "static bytes", "DPA bytes", "ratio");
+    println!(
+        "{:>10} {:>14} {:>12} {:>10}",
+        "context", "static bytes", "DPA bytes", "ratio"
+    );
     for exp in [12u32, 14, 16, 17, 18, 19, 20] {
         let t = 1u64 << exp;
         let s = static_footprint(&shape, t);
@@ -19,5 +22,8 @@ fn main() {
             s.bytes as f64 / dpa.bytes as f64
         );
     }
-    println!("(DPA encoding is context-independent: {} instructions)", dpa.instructions);
+    println!(
+        "(DPA encoding is context-independent: {} instructions)",
+        dpa.instructions
+    );
 }

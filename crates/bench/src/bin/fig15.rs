@@ -10,7 +10,11 @@ fn main() {
     bench::header("Fig. 15: tensor vs pipeline parallelization (CENT, 8 modules)");
     let cases = [
         (LLM_7B_32K, Dataset::QmSum, "LLM-7B-32K / QMSum"),
-        (LLM_7B_128K_GQA, Dataset::MultiFieldQa, "LLM-7B-128K-GQA / multifieldqa"),
+        (
+            LLM_7B_128K_GQA,
+            Dataset::MultiFieldQa,
+            "LLM-7B-128K-GQA / multifieldqa",
+        ),
     ];
     for (model, dataset, title) in cases {
         println!("\n{title}");

@@ -16,7 +16,11 @@ fn best(sys: SystemConfig, t: Techniques, trace: &workload::Trace) -> ServingRep
             let e = Evaluator::new(sys.with_parallel(p), model, t);
             e.feasible(t_max).then(|| e.run_trace(trace))
         })
-        .max_by(|a, b| a.tokens_per_second.partial_cmp(&b.tokens_per_second).expect("finite"))
+        .max_by(|a, b| {
+            a.tokens_per_second
+                .partial_cmp(&b.tokens_per_second)
+                .expect("finite")
+        })
         .unwrap_or_else(|| Evaluator::new(sys, model, t).run_trace(trace))
 }
 
@@ -29,7 +33,12 @@ fn synthetic_trace(ctx: u64, n: usize) -> workload::Trace {
         max: ctx * 2,
         min: (ctx / 4).max(1),
     };
-    TraceBuilder::from_stats(stats).seed(11).requests(n).decode_len(24).sigma_clip(3.0).build()
+    TraceBuilder::from_stats(stats)
+        .seed(11)
+        .requests(n)
+        .decode_len(24)
+        .sigma_clip(3.0)
+        .build()
 }
 
 fn system(kind: SystemKind, modules: u32) -> SystemConfig {
@@ -37,7 +46,12 @@ fn system(kind: SystemKind, modules: u32) -> SystemConfig {
         SystemKind::PimOnly => ModuleConfig::cent(),
         SystemKind::XpuPim => ModuleConfig::neupims(),
     };
-    SystemConfig { kind, module, modules, parallel: ParallelConfig::new(modules, 1) }
+    SystemConfig {
+        kind,
+        module,
+        modules,
+        parallel: ParallelConfig::new(modules, 1),
+    }
 }
 
 fn main() {
@@ -48,7 +62,10 @@ fn main() {
         (SystemKind::XpuPim, vec![4u32, 8, 16, 32]),
     ] {
         println!("\n{}", kind.name());
-        println!("{:<10} {:>10} {:>14} {:>14}", "modules", "capacity", "base tok/s", "phony tok/s");
+        println!(
+            "{:<10} {:>10} {:>14} {:>14}",
+            "modules", "capacity", "base tok/s", "phony tok/s"
+        );
         for m in mods {
             let sys = system(kind, m);
             let trace = synthetic_trace(64 * 1024, 24);
@@ -71,7 +88,10 @@ fn main() {
             SystemKind::XpuPim => 16,
         };
         println!("\n{}", kind.name());
-        println!("{:>9} {:>14} {:>14} {:>9}", "context", "base tok/s", "phony tok/s", "speedup");
+        println!(
+            "{:>9} {:>14} {:>14} {:>9}",
+            "context", "base tok/s", "phony tok/s", "speedup"
+        );
         for exp in [12u32, 14, 16, 18, 20] {
             let ctx = 1u64 << exp;
             let sys = system(kind, modules);

@@ -6,8 +6,10 @@ use pim_sim::kernels::{AttentionSpec, QktKernel, SvKernel};
 use pim_sim::{schedule, Geometry, SchedulerKind, Timing};
 
 fn attn_util(spec: AttentionSpec, kind: SchedulerKind, geom: Geometry, timing: &Timing) -> f64 {
-    let streams: [CommandStream; 2] =
-        [QktKernel::new(spec, geom).stream(), SvKernel::new(spec, geom).stream()];
+    let streams: [CommandStream; 2] = [
+        QktKernel::new(spec, geom).stream(),
+        SvKernel::new(spec, geom).stream(),
+    ];
     let mut busy = 0.0;
     let mut total = 0.0;
     for s in &streams {
@@ -22,13 +24,31 @@ fn main() {
     bench::header("Fig. 18: compute utilization, ping-pong vs DCS (attention)");
     let timing = Timing::aimx();
     let geom = Geometry::pimphony();
-    println!("{:<10} {:>10} {:>10} {:>8}", "workload", "ping-pong", "DCS", "gain");
-    for (label, g) in [("MHA", 1u32), ("GQA g=2", 2), ("GQA g=4", 4), ("GQA g=8", 8)] {
-        let spec =
-            AttentionSpec { tokens: 4096, head_dim: 128, group_size: g, row_reuse: g > 1 };
+    println!(
+        "{:<10} {:>10} {:>10} {:>8}",
+        "workload", "ping-pong", "DCS", "gain"
+    );
+    for (label, g) in [
+        ("MHA", 1u32),
+        ("GQA g=2", 2),
+        ("GQA g=4", 4),
+        ("GQA g=8", 8),
+    ] {
+        let spec = AttentionSpec {
+            tokens: 4096,
+            head_dim: 128,
+            group_size: g,
+            row_reuse: g > 1,
+        };
         let pp = attn_util(spec, SchedulerKind::PingPong, geom, &timing);
         let dcs = attn_util(spec, SchedulerKind::Dcs, geom, &timing);
-        println!("{:<10} {:>9.1}% {:>9.1}% {:>7.2}x", label, pp * 100.0, dcs * 100.0, dcs / pp);
+        println!(
+            "{:<10} {:>9.1}% {:>9.1}% {:>7.2}x",
+            label,
+            pp * 100.0,
+            dcs * 100.0,
+            dcs / pp
+        );
     }
     println!("(paper: DCS achieves up to 1.4x higher compute-unit utilization)");
 }

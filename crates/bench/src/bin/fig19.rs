@@ -9,7 +9,10 @@ const MODULES: u64 = 8;
 
 fn main() {
     bench::header("Fig. 19: capacity utilization with and without DPA");
-    println!("{:<14} {:<18} {:>9} {:>9}", "dataset", "model", "static", "DPA");
+    println!(
+        "{:<14} {:<18} {:>9} {:>9}",
+        "dataset", "model", "static", "DPA"
+    );
     let mut static_sum = 0.0;
     let mut dpa_sum = 0.0;
     for d in Dataset::ALL {
@@ -40,7 +43,13 @@ fn main() {
         let p = dpa.capacity_utilization();
         static_sum += s;
         dpa_sum += p;
-        println!("{:<14} {:<18} {:>8.1}% {:>8.1}%", d.name(), model.name, s * 100.0, p * 100.0);
+        println!(
+            "{:<14} {:<18} {:>8.1}% {:>8.1}%",
+            d.name(),
+            model.name,
+            s * 100.0,
+            p * 100.0
+        );
     }
     println!(
         "{:<14} {:<18} {:>8.1}% {:>8.1}%",

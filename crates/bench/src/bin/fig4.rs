@@ -44,7 +44,12 @@ fn main() {
             if t == Techniques::baseline() {
                 base_util[i] = it.attn_utilization;
             }
-            println!("{:<16} {:>9.1}% {:>8}", t.label(), it.attn_utilization * 100.0, batch);
+            println!(
+                "{:<16} {:>9.1}% {:>8}",
+                t.label(),
+                it.attn_utilization * 100.0,
+                batch
+            );
         }
     }
     println!(

@@ -31,7 +31,11 @@ fn stream() -> CommandStream {
 
 fn main() {
     let s = stream();
-    let timing = Timing { t_act: 0, t_pre: 0, ..Timing::aimx_no_refresh() };
+    let timing = Timing {
+        t_act: 0,
+        t_pre: 0,
+        ..Timing::aimx_no_refresh()
+    };
     let geom = Geometry::pimphony();
     bench::header("Fig. 7: GEMV command stack, static vs DCS issue schedule");
     for kind in [SchedulerKind::Static, SchedulerKind::Dcs] {

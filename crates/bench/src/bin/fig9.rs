@@ -8,8 +8,14 @@ use pim_sim::{schedule, Geometry, SchedulerKind, Timing};
 fn main() {
     bench::header("Fig. 9: LLM-72B attention breakdown (row-reuse mapping, g=8)");
     let timing = Timing::aimx();
-    let spec = AttentionSpec { tokens: 4096, head_dim: 128, group_size: 8, row_reuse: true };
-    let kernels: [(&str, fn(AttentionSpec, Geometry) -> CommandStream); 2] = [
+    let spec = AttentionSpec {
+        tokens: 4096,
+        head_dim: 128,
+        group_size: 8,
+        row_reuse: true,
+    };
+    type StreamOf = fn(AttentionSpec, Geometry) -> CommandStream;
+    let kernels: [(&str, StreamOf); 2] = [
         ("QKT", |s, g| QktKernel::new(s, g).stream()),
         ("SV", |s, g| SvKernel::new(s, g).stream()),
     ];

@@ -17,7 +17,11 @@ fn main() {
             m.head_dim,
             m.hidden_dim,
             m.ffn_dim,
-            if m.uses_gqa() { format!("g={}", m.gqa_group) } else { "x".into() },
+            if m.uses_gqa() {
+                format!("g={}", m.gqa_group)
+            } else {
+                "x".into()
+            },
             m.context_window / 1024,
             m.param_count() as f64 / 1e9,
         );

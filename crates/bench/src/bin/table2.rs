@@ -14,7 +14,16 @@ fn main() {
         let (min, max) = t.context_range().expect("nonempty");
         println!(
             "{:<14} {:<10} {:>9.0} {:>9.0} {:>8} {:>8} | {:>9.0} {:>9.0} {:>8} {:>8}",
-            s.name, s.suite, s.mean, s.std, s.max, s.min, t.mean_context(), t.std_context(), max, min
+            s.name,
+            s.suite,
+            s.mean,
+            s.std,
+            s.max,
+            s.min,
+            t.mean_context(),
+            t.std_context(),
+            max,
+            min
         );
     }
 }

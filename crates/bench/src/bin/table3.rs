@@ -4,18 +4,18 @@ use pim_isa::{ChannelMask, PimInstruction};
 
 fn main() {
     bench::header("Table III: PIM instructions for LLM inference");
-    println!("{:<8} {:<42} {}", "inst", "description", "arguments");
+    println!("{:<8} {:<42} arguments", "inst", "description");
     println!(
-        "{:<8} {:<42} {}",
-        "WR-INP", "copy input from GPR to GBuf", "Ch-mask Op-size GPR-addr GBuf-Idx"
+        "{:<8} {:<42} Ch-mask Op-size GPR-addr GBuf-Idx",
+        "WR-INP", "copy input from GPR to GBuf"
     );
     println!(
-        "{:<8} {:<42} {}",
-        "MAC", "dot-product on a DRAM row", "Ch-mask Op-size GBuf-Idx Row/Col Out-Idx"
+        "{:<8} {:<42} Ch-mask Op-size GBuf-Idx Row/Col Out-Idx",
+        "MAC", "dot-product on a DRAM row"
     );
     println!(
-        "{:<8} {:<42} {}",
-        "RD-OUT", "copy output from OutReg to GPR", "Ch-mask Op-size GPR-addr Out-Idx"
+        "{:<8} {:<42} Ch-mask Op-size GPR-addr Out-Idx",
+        "RD-OUT", "copy output from OutReg to GPR"
     );
     bench::header("Example encodings");
     let m = ChannelMask::first(16);

@@ -4,7 +4,10 @@ use system::ModuleConfig;
 
 fn main() {
     bench::header("Table IV: PIMphony module configurations");
-    let rows = [("NeuPIMs (xPU+PIM)", ModuleConfig::neupims()), ("CENT (PIM-only)", ModuleConfig::cent())];
+    let rows = [
+        ("NeuPIMs (xPU+PIM)", ModuleConfig::neupims()),
+        ("CENT (PIM-only)", ModuleConfig::cent()),
+    ];
     println!(
         "{:<20} {:>10} {:>10} {:>12} {:>14}",
         "module", "channels", "memory", "internal BW", "compute"

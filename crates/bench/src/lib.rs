@@ -16,7 +16,11 @@ pub fn header(title: &str) {
 /// The standard evaluation trace for a dataset (small but representative;
 /// seeds are fixed for reproducibility).
 pub fn trace_for(dataset: Dataset, requests: usize, decode_len: u64) -> Trace {
-    TraceBuilder::new(dataset).seed(2026).requests(requests).decode_len(decode_len).build()
+    TraceBuilder::new(dataset)
+        .seed(2026)
+        .requests(requests)
+        .decode_len(decode_len)
+        .build()
 }
 
 /// Runs the base/+TCP/+DCS/+DPA ladder on one (system, model, trace),
@@ -50,18 +54,35 @@ pub fn ladder(
 
 /// Formats a speedup column relative to the first entry.
 pub fn speedups(rows: &[(&'static str, ServingReport)]) -> Vec<(String, f64, f64)> {
-    let base = rows.first().map(|(_, r)| r.tokens_per_second).unwrap_or(1.0).max(1e-12);
+    let base = rows
+        .first()
+        .map(|(_, r)| r.tokens_per_second)
+        .unwrap_or(1.0)
+        .max(1e-12);
     rows.iter()
-        .map(|(label, r)| (label.to_string(), r.tokens_per_second, r.tokens_per_second / base))
+        .map(|(label, r)| {
+            (
+                label.to_string(),
+                r.tokens_per_second,
+                r.tokens_per_second / base,
+            )
+        })
         .collect()
 }
 
 /// Prints a ladder as an aligned table.
 pub fn print_ladder(title: &str, rows: &[(&'static str, ServingReport)]) {
     println!("\n{title}");
-    println!("{:<16} {:>14} {:>9} {:>10} {:>10}", "config", "tokens/s", "speedup", "util", "batch");
+    println!(
+        "{:<16} {:>14} {:>9} {:>10} {:>10}",
+        "config", "tokens/s", "speedup", "util", "batch"
+    );
     for (label, tput, speedup) in speedups(rows) {
-        let report = &rows.iter().find(|(l, _)| *l == label).expect("label present").1;
+        let report = &rows
+            .iter()
+            .find(|(l, _)| *l == label)
+            .expect("label present")
+            .1;
         println!(
             "{:<16} {:>14.1} {:>8.2}x {:>9.1}% {:>10.1}",
             label,

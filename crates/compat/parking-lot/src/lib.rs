@@ -1,0 +1,49 @@
+//! Offline stand-in for `parking_lot`, backed by `std::sync`.
+//!
+//! Only the `Mutex` subset the repository uses is provided. Unlike the
+//! std mutex, `lock()` does not return a poison `Result` — matching the
+//! upstream `parking_lot` signature — so a panic while holding the lock
+//! simply hands the (kernel-cache) contents to the next locker.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::MutexGuard;
+
+/// A mutex whose `lock` returns the guard directly (upstream signature).
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wraps a value.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Locks, ignoring poisoning (the protected caches stay usable).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_round_trips() {
+        let m = Mutex::new(41);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+}

@@ -1,0 +1,32 @@
+//! Offline no-op stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, and nothing in this
+//! repository actually serializes (there is no `serde_json` or similar
+//! consumer) — the derives exist so downstream users of the library can
+//! plug in real serde later. This shim keeps every `#[derive(Serialize,
+//! Deserialize)]` and trait bound compiling: the traits are markers with
+//! blanket impls, and the derive macros expand to nothing. Swapping the
+//! workspace `[patch]`-style path deps back to upstream serde requires no
+//! source change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker replacement for `serde::Serialize`; every type satisfies it.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker replacement for `serde::Deserialize`; every type satisfies it.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker replacement for `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Marker for types deserializable without borrowing.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}

@@ -72,7 +72,7 @@ impl DecodeAnalytics {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{LLM_7B_128K_GQA, LLM_7B_32K, LLM_72B_32K};
+    use crate::config::{LLM_72B_32K, LLM_7B_128K_GQA, LLM_7B_32K};
 
     #[test]
     fn intensity_falls_with_context() {

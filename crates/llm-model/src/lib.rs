@@ -12,4 +12,4 @@ pub mod analytics;
 pub mod config;
 
 pub use analytics::DecodeAnalytics;
-pub use config::{ModelConfig, LLM_7B_128K_GQA, LLM_7B_32K, LLM_72B_128K_GQA, LLM_72B_32K};
+pub use config::{ModelConfig, LLM_72B_128K_GQA, LLM_72B_32K, LLM_7B_128K_GQA, LLM_7B_32K};

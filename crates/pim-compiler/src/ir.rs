@@ -51,7 +51,10 @@ pub enum OpKind {
 impl OpKind {
     /// Whether the op is a memory-bound GEMV-class kernel PIM should own.
     pub fn is_pim_amenable(&self) -> bool {
-        matches!(self, OpKind::Gemv { .. } | OpKind::QkT { .. } | OpKind::Sv { .. })
+        matches!(
+            self,
+            OpKind::Gemv { .. } | OpKind::QkT { .. } | OpKind::Sv { .. }
+        )
     }
 
     /// Whether the op touches the dynamic-length KV cache.
@@ -88,7 +91,12 @@ impl DecoderGraph {
     /// Adds an op, returning its id.
     pub fn add(&mut self, kind: OpKind, inputs: Vec<OpId>, label: &'static str) -> OpId {
         let id = OpId(self.ops.len() as u32);
-        self.ops.push(Op { id, kind, inputs, label });
+        self.ops.push(Op {
+            id,
+            kind,
+            inputs,
+            label,
+        });
         id
     }
 
@@ -121,25 +129,68 @@ impl DecoderGraph {
         let kv_dim = model.kv_heads() * model.head_dim;
         let input = g.add(OpKind::Elementwise, vec![], "layer-in");
         let q = g.add(OpKind::Gemv { dout: d, din: d }, vec![input], "q-proj");
-        let k = g.add(OpKind::Gemv { dout: kv_dim, din: d }, vec![input], "k-proj");
-        let v = g.add(OpKind::Gemv { dout: kv_dim, din: d }, vec![input], "v-proj");
+        let k = g.add(
+            OpKind::Gemv {
+                dout: kv_dim,
+                din: d,
+            },
+            vec![input],
+            "k-proj",
+        );
+        let v = g.add(
+            OpKind::Gemv {
+                dout: kv_dim,
+                din: d,
+            },
+            vec![input],
+            "v-proj",
+        );
         let qkt = g.add(
-            OpKind::QkT { heads: model.heads, head_dim: model.head_dim, gqa_group: model.gqa_group },
+            OpKind::QkT {
+                heads: model.heads,
+                head_dim: model.head_dim,
+                gqa_group: model.gqa_group,
+            },
             vec![q, k],
             "qkt",
         );
         let sm = g.add(OpKind::Softmax, vec![qkt], "softmax");
         let sv = g.add(
-            OpKind::Sv { heads: model.heads, head_dim: model.head_dim, gqa_group: model.gqa_group },
+            OpKind::Sv {
+                heads: model.heads,
+                head_dim: model.head_dim,
+                gqa_group: model.gqa_group,
+            },
             vec![sm, v],
             "sv",
         );
         let o = g.add(OpKind::Gemv { dout: d, din: d }, vec![sv], "o-proj");
         let res1 = g.add(OpKind::Elementwise, vec![input, o], "residual-1");
-        let up = g.add(OpKind::Gemv { dout: model.ffn_dim, din: d }, vec![res1], "ffn-up");
-        let gate = g.add(OpKind::Gemv { dout: model.ffn_dim, din: d }, vec![res1], "ffn-gate");
+        let up = g.add(
+            OpKind::Gemv {
+                dout: model.ffn_dim,
+                din: d,
+            },
+            vec![res1],
+            "ffn-up",
+        );
+        let gate = g.add(
+            OpKind::Gemv {
+                dout: model.ffn_dim,
+                din: d,
+            },
+            vec![res1],
+            "ffn-gate",
+        );
         let act = g.add(OpKind::Activation, vec![up, gate], "ffn-act");
-        let down = g.add(OpKind::Gemv { dout: d, din: model.ffn_dim }, vec![act], "ffn-down");
+        let down = g.add(
+            OpKind::Gemv {
+                dout: d,
+                din: model.ffn_dim,
+            },
+            vec![act],
+            "ffn-down",
+        );
         let _res2 = g.add(OpKind::Elementwise, vec![res1, down], "residual-2");
         g
     }
@@ -154,7 +205,11 @@ mod tests {
     fn decoder_layer_has_expected_shape() {
         let g = DecoderGraph::decoder_layer(&LLM_7B_32K);
         assert_eq!(g.len(), 14);
-        let gemvs = g.ops().iter().filter(|o| matches!(o.kind, OpKind::Gemv { .. })).count();
+        let gemvs = g
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Gemv { .. }))
+            .count();
         assert_eq!(gemvs, 7, "q,k,v,o + up,gate,down");
         assert!(g.ops().iter().any(|o| matches!(o.kind, OpKind::QkT { .. })));
         assert!(g.ops().iter().any(|o| matches!(o.kind, OpKind::Sv { .. })));
@@ -173,7 +228,12 @@ mod tests {
     #[test]
     fn amenability_classification() {
         assert!(OpKind::Gemv { dout: 1, din: 1 }.is_pim_amenable());
-        assert!(OpKind::QkT { heads: 1, head_dim: 1, gqa_group: 1 }.is_attention_kernel());
+        assert!(OpKind::QkT {
+            heads: 1,
+            head_dim: 1,
+            gqa_group: 1
+        }
+        .is_attention_kernel());
         assert!(!OpKind::Softmax.is_pim_amenable());
         assert!(!OpKind::Gemv { dout: 1, din: 1 }.is_attention_kernel());
     }

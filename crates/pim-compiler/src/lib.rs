@@ -24,5 +24,8 @@ pub mod partition;
 pub mod pattern;
 
 pub use ir::{DecoderGraph, Op, OpId, OpKind};
-pub use lower::{compile_layer, lower_attention_dpa, lower_attention_static, lower_sv_dpa, CompiledLayer, LoweredFootprint};
+pub use lower::{
+    compile_layer, lower_attention_dpa, lower_attention_static, lower_sv_dpa, CompiledLayer,
+    LoweredFootprint,
+};
 pub use partition::{ChannelWork, ModulePartition, ParallelConfig, Partitioning, RequestSlice};

@@ -29,7 +29,12 @@ pub struct AttentionLowering {
 impl AttentionLowering {
     /// AiMX-flavoured default.
     pub fn aimx_default() -> Self {
-        AttentionLowering { channels: 16, head_dim: 128, elems_per_tile: 16, banks: 16 }
+        AttentionLowering {
+            channels: 16,
+            head_dim: 128,
+            elems_per_tile: 16,
+            banks: 16,
+        }
     }
 
     fn in_tiles(&self) -> u32 {
@@ -60,13 +65,18 @@ pub fn lower_attention_dpa(shape: &AttentionLowering) -> DpaProgram {
     let in_tiles = shape.in_tiles();
     let mut program = DpaProgram::new();
     // Query tiles into GBuf.
-    program.push(DpaInstruction::Plain(PimInstruction::wr_inp(mask, in_tiles, 0, 0)));
+    program.push(DpaInstruction::Plain(PimInstruction::wr_inp(
+        mask, in_tiles, 0, 0,
+    )));
     // One iteration per token group: in_tiles MACs + one RD-OUT.
-    let mut body = Vec::with_capacity(2);
-    body.push(DpaInstruction::Plain(PimInstruction::mac(mask, in_tiles, 0, 0, 0, 0)));
-    body.push(DpaInstruction::Plain(PimInstruction::rd_out(mask, 1, 0, 0)));
+    let body = vec![
+        DpaInstruction::Plain(PimInstruction::mac(mask, in_tiles, 0, 0, 0, 0)),
+        DpaInstruction::Plain(PimInstruction::rd_out(mask, 1, 0, 0)),
+    ];
     program.push(DpaInstruction::Loop(DynLoop {
-        bound: LoopBound::TokensDiv { divisor: shape.tokens_per_iteration() },
+        bound: LoopBound::TokensDiv {
+            divisor: shape.tokens_per_iteration(),
+        },
         body,
         modifiers: vec![
             // Advance the MAC's virtual column by the group's tile span;
@@ -98,7 +108,10 @@ pub fn lower_attention_static(shape: &AttentionLowering, t_max: u64) -> Vec<PimI
 /// Footprint of a static lowering at `t_max`.
 pub fn static_footprint(shape: &AttentionLowering, t_max: u64) -> LoweredFootprint {
     let n = lower_attention_static(shape, t_max).len() as u64;
-    LoweredFootprint { bytes: n * PLAIN_INSTRUCTION_BYTES, instructions: n }
+    LoweredFootprint {
+        bytes: n * PLAIN_INSTRUCTION_BYTES,
+        instructions: n,
+    }
 }
 
 /// Footprint of the DPA lowering (context-independent).
@@ -122,7 +135,10 @@ pub fn dpa_footprint(shape: &AttentionLowering) -> LoweredFootprint {
         }
     }
     walk(program.instructions(), &mut bytes, &mut instructions);
-    LoweredFootprint { bytes, instructions }
+    LoweredFootprint {
+        bytes,
+        instructions,
+    }
 }
 
 #[cfg(test)]
@@ -190,7 +206,9 @@ pub fn lower_sv_dpa(shape: &AttentionLowering) -> DpaProgram {
     // per output-feature group, advancing the virtual column.
     let mut body = Vec::with_capacity(2 + out_groups as usize);
     body.push(DpaInstruction::Plain(PimInstruction::wr_inp(mask, 1, 0, 0)));
-    body.push(DpaInstruction::Plain(PimInstruction::mac(mask, out_groups, 0, 0, 0, 0)));
+    body.push(DpaInstruction::Plain(PimInstruction::mac(
+        mask, out_groups, 0, 0, 0, 0,
+    )));
     program.push(DpaInstruction::Loop(DynLoop {
         bound: LoopBound::TokensDiv {
             divisor: shape.elems_per_tile * u32::from(shape.channels),
@@ -202,7 +220,9 @@ pub fn lower_sv_dpa(shape: &AttentionLowering) -> DpaProgram {
         ],
     }));
     // Final drains of the accumulated output features.
-    program.push(DpaInstruction::Plain(PimInstruction::rd_out(mask, out_groups, 0, 0)));
+    program.push(DpaInstruction::Plain(PimInstruction::rd_out(
+        mask, out_groups, 0, 0,
+    )));
     program
 }
 
@@ -223,7 +243,10 @@ pub struct CompiledLayer {
 /// [`crate::pattern`]) into PIM programs.
 pub fn compile_layer(graph: &crate::ir::DecoderGraph, shape: &AttentionLowering) -> CompiledLayer {
     let attention = crate::pattern::match_attention(graph);
-    assert!(!attention.is_empty(), "decoder layer has no attention pattern");
+    assert!(
+        !attention.is_empty(),
+        "decoder layer has no attention pattern"
+    );
     let fc = crate::pattern::match_fc(graph)
         .into_iter()
         .map(|m| {
@@ -233,7 +256,11 @@ pub fn compile_layer(graph: &crate::ir::DecoderGraph, shape: &AttentionLowering)
             (m.dout, m.din, tiles + groups * tiles + groups)
         })
         .collect();
-    CompiledLayer { qkt: lower_attention_dpa(shape), sv: lower_sv_dpa(shape), fc }
+    CompiledLayer {
+        qkt: lower_attention_dpa(shape),
+        sv: lower_sv_dpa(shape),
+        fc,
+    }
 }
 
 #[cfg(test)]
@@ -266,8 +293,16 @@ mod layer_tests {
         assert!(layer.qkt.expand(4096).len() > 1);
         assert!(layer.sv.expand(4096).len() > 1);
         // FC instruction counts grow with the op size.
-        let ffn = layer.fc.iter().find(|&&(o, _, _)| o == 12288).expect("ffn up");
-        let proj = layer.fc.iter().find(|&&(o, i, _)| o == 4096 && i == 4096).expect("q proj");
+        let ffn = layer
+            .fc
+            .iter()
+            .find(|&&(o, _, _)| o == 12288)
+            .expect("ffn up");
+        let proj = layer
+            .fc
+            .iter()
+            .find(|&&(o, i, _)| o == 4096 && i == 4096)
+            .expect("q proj");
         assert!(ffn.2 > proj.2);
     }
 

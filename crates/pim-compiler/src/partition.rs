@@ -64,7 +64,10 @@ impl ParallelConfig {
     pub fn factorizations(modules: u32) -> Vec<ParallelConfig> {
         (1..=modules)
             .filter(|tp| modules % tp == 0)
-            .map(|tp| ParallelConfig { tp, pp: modules / tp })
+            .map(|tp| ParallelConfig {
+                tp,
+                pp: modules / tp,
+            })
             .collect()
     }
 }
@@ -171,7 +174,10 @@ impl ModulePartition {
                 }
             }
         }
-        ModulePartition { scheme, channels: work }
+        ModulePartition {
+            scheme,
+            channels: work,
+        }
     }
 
     /// The scheme used.
@@ -186,12 +192,18 @@ impl ModulePartition {
 
     /// Per-channel token totals.
     pub fn channel_tokens(&self) -> Vec<u64> {
-        self.channels.iter().map(ChannelWork::total_tokens).collect()
+        self.channels
+            .iter()
+            .map(ChannelWork::total_tokens)
+            .collect()
     }
 
     /// Channels with any work.
     pub fn active_channels(&self) -> u32 {
-        self.channels.iter().filter(|c| !c.slices.is_empty()).count() as u32
+        self.channels
+            .iter()
+            .filter(|c| !c.slices.is_empty())
+            .count() as u32
     }
 
     /// Load balance in `[0, 1]`: mean over max of per-channel tokens —
@@ -256,35 +268,26 @@ mod tests {
                     }
                 }
             }
-            assert!(covered.iter().all(|&c| c), "head {head} has uncovered tokens");
+            assert!(
+                covered.iter().all(|&c| c),
+                "head {head} has uncovered tokens"
+            );
         }
     }
 
     #[test]
     fn hfp_imbalance_grows_with_length_skew() {
-        let balanced = ModulePartition::assign(
-            Partitioning::HeadFirst,
-            4,
-            2,
-            &[(0, 1000), (1, 1000)],
-        );
-        let skewed = ModulePartition::assign(
-            Partitioning::HeadFirst,
-            4,
-            2,
-            &[(0, 1000), (1, 16_000)],
-        );
+        let balanced =
+            ModulePartition::assign(Partitioning::HeadFirst, 4, 2, &[(0, 1000), (1, 1000)]);
+        let skewed =
+            ModulePartition::assign(Partitioning::HeadFirst, 4, 2, &[(0, 1000), (1, 16_000)]);
         assert!(skewed.balance() < balanced.balance());
     }
 
     #[test]
     fn tcp_balance_insensitive_to_skew() {
-        let skewed = ModulePartition::assign(
-            Partitioning::TokenCentric,
-            16,
-            2,
-            &[(0, 1000), (1, 64_000)],
-        );
+        let skewed =
+            ModulePartition::assign(Partitioning::TokenCentric, 16, 2, &[(0, 1000), (1, 64_000)]);
         assert!(skewed.balance() > 0.95, "balance {}", skewed.balance());
     }
 

@@ -40,11 +40,19 @@ pub fn match_attention(graph: &DecoderGraph) -> Vec<AttentionMatch> {
     let mut out = Vec::new();
     for sv in graph.ops() {
         let (heads, head_dim, gqa_group) = match sv.kind {
-            OpKind::Sv { heads, head_dim, gqa_group } => (heads, head_dim, gqa_group),
+            OpKind::Sv {
+                heads,
+                head_dim,
+                gqa_group,
+            } => (heads, head_dim, gqa_group),
             _ => continue,
         };
         // SV's first input should be a softmax fed by a matching QkT.
-        let Some(sm) = sv.inputs.iter().filter_map(|&i| graph.op(i)).find(|o| o.kind == OpKind::Softmax)
+        let Some(sm) = sv
+            .inputs
+            .iter()
+            .filter_map(|&i| graph.op(i))
+            .find(|o| o.kind == OpKind::Softmax)
         else {
             continue;
         };
@@ -54,7 +62,14 @@ pub fn match_attention(graph: &DecoderGraph) -> Vec<AttentionMatch> {
         }) else {
             continue;
         };
-        out.push(AttentionMatch { qkt: qkt.id, softmax: sm.id, sv: sv.id, heads, head_dim, gqa_group });
+        out.push(AttentionMatch {
+            qkt: qkt.id,
+            softmax: sm.id,
+            sv: sv.id,
+            heads,
+            head_dim,
+            gqa_group,
+        });
     }
     out
 }
@@ -65,7 +80,11 @@ pub fn match_fc(graph: &DecoderGraph) -> Vec<FcMatch> {
         .ops()
         .iter()
         .filter_map(|o| match o.kind {
-            OpKind::Gemv { dout, din } => Some(FcMatch { op: o.id, dout, din }),
+            OpKind::Gemv { dout, din } => Some(FcMatch {
+                op: o.id,
+                dout,
+                din,
+            }),
             _ => None,
         })
         .collect()
@@ -103,17 +122,49 @@ mod tests {
     #[test]
     fn no_match_without_softmax_link() {
         let mut g = DecoderGraph::new();
-        let a = g.add(OpKind::QkT { heads: 2, head_dim: 4, gqa_group: 1 }, vec![], "qkt");
-        let _ = g.add(OpKind::Sv { heads: 2, head_dim: 4, gqa_group: 1 }, vec![a], "sv");
+        let a = g.add(
+            OpKind::QkT {
+                heads: 2,
+                head_dim: 4,
+                gqa_group: 1,
+            },
+            vec![],
+            "qkt",
+        );
+        let _ = g.add(
+            OpKind::Sv {
+                heads: 2,
+                head_dim: 4,
+                gqa_group: 1,
+            },
+            vec![a],
+            "sv",
+        );
         assert!(match_attention(&g).is_empty());
     }
 
     #[test]
     fn mismatched_shapes_do_not_match() {
         let mut g = DecoderGraph::new();
-        let a = g.add(OpKind::QkT { heads: 2, head_dim: 4, gqa_group: 1 }, vec![], "qkt");
+        let a = g.add(
+            OpKind::QkT {
+                heads: 2,
+                head_dim: 4,
+                gqa_group: 1,
+            },
+            vec![],
+            "qkt",
+        );
         let s = g.add(OpKind::Softmax, vec![a], "sm");
-        let _ = g.add(OpKind::Sv { heads: 4, head_dim: 4, gqa_group: 1 }, vec![s], "sv");
+        let _ = g.add(
+            OpKind::Sv {
+                heads: 4,
+                head_dim: 4,
+                gqa_group: 1,
+            },
+            vec![s],
+            "sv",
+        );
         assert!(match_attention(&g).is_empty());
     }
 }

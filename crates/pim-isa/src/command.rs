@@ -92,7 +92,10 @@ pub struct PimCommand {
 impl PimCommand {
     /// Creates a command with the given id and kind.
     pub fn new(id: u32, kind: CommandKind) -> Self {
-        PimCommand { id: CommandId(id), kind }
+        PimCommand {
+            id: CommandId(id),
+            kind,
+        }
     }
 
     /// Convenience constructor for a `WR-INP` command.
@@ -102,7 +105,15 @@ impl PimCommand {
 
     /// Convenience constructor for a `MAC` command.
     pub fn mac(id: u32, gbuf_idx: u16, row: u32, col: u16, out_idx: u16) -> Self {
-        Self::new(id, CommandKind::Mac { gbuf_idx, row, col, out_idx })
+        Self::new(
+            id,
+            CommandKind::Mac {
+                gbuf_idx,
+                row,
+                col,
+                out_idx,
+            },
+        )
     }
 
     /// Convenience constructor for an `RD-OUT` command.
@@ -115,8 +126,17 @@ impl fmt::Display for PimCommand {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.kind {
             CommandKind::WrInp { gbuf_idx, .. } => write!(f, "W{}(gbuf={})", self.id.0, gbuf_idx),
-            CommandKind::Mac { gbuf_idx, row, col, out_idx } => {
-                write!(f, "M{}(gbuf={},r={},c={},out={})", self.id.0, gbuf_idx, row, col, out_idx)
+            CommandKind::Mac {
+                gbuf_idx,
+                row,
+                col,
+                out_idx,
+            } => {
+                write!(
+                    f,
+                    "M{}(gbuf={},r={},c={},out={})",
+                    self.id.0, gbuf_idx, row, col, out_idx
+                )
             }
             CommandKind::RdOut { out_idx, .. } => write!(f, "R{}(out={})", self.id.0, out_idx),
         }
@@ -231,20 +251,45 @@ mod tests {
 
     #[test]
     fn io_classification() {
-        assert!(CommandKind::WrInp { gbuf_idx: 0, gpr_addr: 0 }.is_io());
-        assert!(CommandKind::RdOut { out_idx: 0, gpr_addr: 0 }.is_io());
-        assert!(!CommandKind::Mac { gbuf_idx: 0, row: 0, col: 0, out_idx: 0 }.is_io());
+        assert!(CommandKind::WrInp {
+            gbuf_idx: 0,
+            gpr_addr: 0
+        }
+        .is_io());
+        assert!(CommandKind::RdOut {
+            out_idx: 0,
+            gpr_addr: 0
+        }
+        .is_io());
+        assert!(!CommandKind::Mac {
+            gbuf_idx: 0,
+            row: 0,
+            col: 0,
+            out_idx: 0
+        }
+        .is_io());
     }
 
     #[test]
     fn entry_accessors() {
-        let mac = CommandKind::Mac { gbuf_idx: 3, row: 1, col: 2, out_idx: 5 };
+        let mac = CommandKind::Mac {
+            gbuf_idx: 3,
+            row: 1,
+            col: 2,
+            out_idx: 5,
+        };
         assert_eq!(mac.gbuf_entry(), Some(3));
         assert_eq!(mac.out_entry(), Some(5));
-        let w = CommandKind::WrInp { gbuf_idx: 7, gpr_addr: 0 };
+        let w = CommandKind::WrInp {
+            gbuf_idx: 7,
+            gpr_addr: 0,
+        };
         assert_eq!(w.gbuf_entry(), Some(7));
         assert_eq!(w.out_entry(), None);
-        let r = CommandKind::RdOut { out_idx: 9, gpr_addr: 0 };
+        let r = CommandKind::RdOut {
+            out_idx: 9,
+            gpr_addr: 0,
+        };
         assert_eq!(r.gbuf_entry(), None);
         assert_eq!(r.out_entry(), Some(9));
     }
@@ -252,8 +297,16 @@ mod tests {
     #[test]
     fn stream_push_next_assigns_sequential_ids() {
         let mut s = CommandStream::new();
-        let a = s.push_next(CommandKind::WrInp { gbuf_idx: 0, gpr_addr: 0 });
-        let b = s.push_next(CommandKind::Mac { gbuf_idx: 0, row: 0, col: 0, out_idx: 0 });
+        let a = s.push_next(CommandKind::WrInp {
+            gbuf_idx: 0,
+            gpr_addr: 0,
+        });
+        let b = s.push_next(CommandKind::Mac {
+            gbuf_idx: 0,
+            row: 0,
+            col: 0,
+            out_idx: 0,
+        });
         assert_eq!(a, CommandId(0));
         assert_eq!(b, CommandId(1));
         assert_eq!(s.len(), 2);

@@ -77,25 +77,43 @@ pub struct DynModi {
 impl DynModi {
     /// Creates a modifier without wrap-around.
     pub fn new(target: u16, field: OperandField, stride: i64) -> Self {
-        DynModi { target, field, stride, modulo: 0 }
+        DynModi {
+            target,
+            field,
+            stride,
+            modulo: 0,
+        }
     }
 
     /// Creates a modifier that wraps at `modulo`.
     pub fn with_modulo(target: u16, field: OperandField, stride: i64, modulo: u32) -> Self {
-        DynModi { target, field, stride, modulo }
+        DynModi {
+            target,
+            field,
+            stride,
+            modulo,
+        }
     }
 
     fn apply(&self, inst: &mut PimInstruction, iteration: u64) {
         let delta = self.stride * iteration as i64;
         let adjust_u16 = |base: u16| -> u16 {
             let v = i64::from(base) + delta;
-            let v = if self.modulo > 0 { v.rem_euclid(i64::from(self.modulo)) } else { v };
+            let v = if self.modulo > 0 {
+                v.rem_euclid(i64::from(self.modulo))
+            } else {
+                v
+            };
             u16::try_from(v.max(0)).unwrap_or(u16::MAX)
         };
         match self.field {
             OperandField::Row => {
                 let v = i64::from(inst.row) + delta;
-                let v = if self.modulo > 0 { v.rem_euclid(i64::from(self.modulo)) } else { v };
+                let v = if self.modulo > 0 {
+                    v.rem_euclid(i64::from(self.modulo))
+                } else {
+                    v
+                };
                 inst.row = u32::try_from(v.max(0)).unwrap_or(u32::MAX);
             }
             OperandField::Col => inst.col = adjust_u16(inst.col),
@@ -196,7 +214,9 @@ impl DpaProgram {
 
 impl FromIterator<DpaInstruction> for DpaProgram {
     fn from_iter<I: IntoIterator<Item = DpaInstruction>>(iter: I) -> Self {
-        DpaProgram { instructions: iter.into_iter().collect() }
+        DpaProgram {
+            instructions: iter.into_iter().collect(),
+        }
     }
 }
 

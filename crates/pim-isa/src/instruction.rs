@@ -249,9 +249,18 @@ mod tests {
     #[test]
     fn constructors_set_kind() {
         let m = ChannelMask::first(1);
-        assert_eq!(PimInstruction::wr_inp(m, 1, 0, 0).kind, InstructionKind::WrInp);
-        assert_eq!(PimInstruction::mac(m, 1, 0, 0, 0, 0).kind, InstructionKind::Mac);
-        assert_eq!(PimInstruction::rd_out(m, 1, 0, 0).kind, InstructionKind::RdOut);
+        assert_eq!(
+            PimInstruction::wr_inp(m, 1, 0, 0).kind,
+            InstructionKind::WrInp
+        );
+        assert_eq!(
+            PimInstruction::mac(m, 1, 0, 0, 0, 0).kind,
+            InstructionKind::Mac
+        );
+        assert_eq!(
+            PimInstruction::rd_out(m, 1, 0, 0).kind,
+            InstructionKind::RdOut
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ pub struct RoutedCommand {
 impl Sequencer {
     /// Creates a sequencer for a module with `channels` channels.
     pub fn new(channels: u8) -> Self {
-        Sequencer { channels, next_id: 0 }
+        Sequencer {
+            channels,
+            next_id: 0,
+        }
     }
 
     /// Number of channels in the module.
@@ -76,7 +79,10 @@ impl Sequencer {
                         gpr_addr: inst.gpr_addr + 32 * rep,
                     },
                 };
-                out.push(RoutedCommand { channel: ch, command: PimCommand::new(base_id + rep, kind) });
+                out.push(RoutedCommand {
+                    channel: ch,
+                    command: PimCommand::new(base_id + rep, kind),
+                });
             }
         }
         out

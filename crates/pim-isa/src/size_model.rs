@@ -35,7 +35,12 @@ pub struct AttentionShape {
 impl AttentionShape {
     /// AiMX-flavoured default: d_h=128, 16 channels, 16 banks, fp16 tiles.
     pub fn aimx_default() -> Self {
-        AttentionShape { head_dim: 128, channels: 16, banks: 16, elems_per_tile: 16 }
+        AttentionShape {
+            head_dim: 128,
+            channels: 16,
+            banks: 16,
+            elems_per_tile: 16,
+        }
     }
 
     /// Tokens handled per channel for a context of `tokens`.
@@ -47,7 +52,9 @@ impl AttentionShape {
     /// one MAC per (input tile × 16-token output group).
     pub fn qkt_macs_per_channel(&self, tokens: u64) -> u64 {
         let input_tiles = u64::from(self.head_dim.div_ceil(self.elems_per_tile));
-        let out_groups = self.tokens_per_channel(tokens).div_ceil(u64::from(self.banks));
+        let out_groups = self
+            .tokens_per_channel(tokens)
+            .div_ceil(u64::from(self.banks));
         input_tiles * out_groups
     }
 }
@@ -56,7 +63,9 @@ impl AttentionShape {
 /// sized for `t_max` tokens: every `WR-INP`/`MAC`/`RD-OUT` is materialized.
 pub fn static_stream_bytes(shape: &AttentionShape, t_max: u64) -> u64 {
     let input_tiles = u64::from(shape.head_dim.div_ceil(shape.elems_per_tile));
-    let out_groups = shape.tokens_per_channel(t_max).div_ceil(u64::from(shape.banks));
+    let out_groups = shape
+        .tokens_per_channel(t_max)
+        .div_ceil(u64::from(shape.banks));
     let macs = shape.qkt_macs_per_channel(t_max);
     // WR-INP for each input tile, MAC per (tile x group), RD-OUT per group.
     (input_tiles + macs + out_groups) * PLAIN_INSTRUCTION_BYTES

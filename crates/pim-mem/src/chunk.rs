@@ -44,7 +44,12 @@ impl ChunkAllocator {
         let total_chunks = capacity_bytes / chunk_bytes;
         // LIFO free list: most recently freed chunk is reused first.
         let free = (0..total_chunks).rev().map(ChunkId).collect();
-        ChunkAllocator { chunk_bytes, total_chunks, free, requests: HashMap::new() }
+        ChunkAllocator {
+            chunk_bytes,
+            total_chunks,
+            free,
+            requests: HashMap::new(),
+        }
     }
 
     /// Creates an allocator with the paper's 1 MB chunks.
@@ -75,7 +80,13 @@ impl ChunkAllocator {
         if self.requests.contains_key(&id.0) {
             return Err(MemError::DuplicateRequest(id));
         }
-        self.requests.insert(id.0, Owned { chunks: Vec::new(), used_bytes: 0 });
+        self.requests.insert(
+            id.0,
+            Owned {
+                chunks: Vec::new(),
+                used_bytes: 0,
+            },
+        );
         Ok(())
     }
 
@@ -92,7 +103,10 @@ impl ChunkAllocator {
         id: RequestId,
         used_bytes: u64,
     ) -> Result<Vec<(u64, ChunkId)>, MemError> {
-        let owned = self.requests.get(&id.0).ok_or(MemError::UnknownRequest(id))?;
+        let owned = self
+            .requests
+            .get(&id.0)
+            .ok_or(MemError::UnknownRequest(id))?;
         let needed_chunks = used_bytes.div_ceil(self.chunk_bytes);
         let have = owned.chunks.len() as u64;
         let extra = needed_chunks.saturating_sub(have);
@@ -118,7 +132,10 @@ impl ChunkAllocator {
     /// # Errors
     /// [`MemError::UnknownRequest`] if not registered.
     pub fn release(&mut self, id: RequestId) -> Result<(), MemError> {
-        let owned = self.requests.remove(&id.0).ok_or(MemError::UnknownRequest(id))?;
+        let owned = self
+            .requests
+            .remove(&id.0)
+            .ok_or(MemError::UnknownRequest(id))?;
         self.free.extend(owned.chunks);
         Ok(())
     }
@@ -230,11 +247,20 @@ mod tests {
     fn freed_chunks_are_reused() {
         let mut a = ChunkAllocator::new(2 * 1024, 1024);
         a.register(RequestId(1)).unwrap();
-        let first: Vec<ChunkId> = a.grow(RequestId(1), 2048).unwrap().into_iter().map(|m| m.1).collect();
+        let first: Vec<ChunkId> = a
+            .grow(RequestId(1), 2048)
+            .unwrap()
+            .into_iter()
+            .map(|m| m.1)
+            .collect();
         a.release(RequestId(1)).unwrap();
         a.register(RequestId(2)).unwrap();
-        let second: Vec<ChunkId> =
-            a.grow(RequestId(2), 2048).unwrap().into_iter().map(|m| m.1).collect();
+        let second: Vec<ChunkId> = a
+            .grow(RequestId(2), 2048)
+            .unwrap()
+            .into_iter()
+            .map(|m| m.1)
+            .collect();
         let mut f = first.clone();
         let mut s = second.clone();
         f.sort();

@@ -71,7 +71,14 @@ impl Dispatcher {
         if self.contexts.contains_key(&id.0) {
             return Err(MemError::DuplicateRequest(id));
         }
-        self.contexts.insert(id.0, RequestContext { id, t_cur: t_initial, va2pa });
+        self.contexts.insert(
+            id.0,
+            RequestContext {
+                id,
+                t_cur: t_initial,
+                va2pa,
+            },
+        );
         self.host_messages += 1;
         Ok(())
     }
@@ -86,7 +93,10 @@ impl Dispatcher {
         id: RequestId,
         mappings: impl IntoIterator<Item = (u64, crate::chunk::ChunkId)>,
     ) -> Result<(), MemError> {
-        let ctx = self.contexts.get_mut(&id.0).ok_or(MemError::UnknownRequest(id))?;
+        let ctx = self
+            .contexts
+            .get_mut(&id.0)
+            .ok_or(MemError::UnknownRequest(id))?;
         for (vc, pc) in mappings {
             ctx.va2pa.insert(vc, pc);
         }
@@ -99,7 +109,9 @@ impl Dispatcher {
     /// # Errors
     /// [`MemError::UnknownRequest`] if not registered.
     pub fn release(&mut self, id: RequestId) -> Result<(), MemError> {
-        self.contexts.remove(&id.0).ok_or(MemError::UnknownRequest(id))?;
+        self.contexts
+            .remove(&id.0)
+            .ok_or(MemError::UnknownRequest(id))?;
         self.host_messages += 1;
         Ok(())
     }
@@ -110,7 +122,10 @@ impl Dispatcher {
     /// # Errors
     /// [`MemError::UnknownRequest`] if not registered.
     pub fn advance_token(&mut self, id: RequestId) -> Result<u64, MemError> {
-        let ctx = self.contexts.get_mut(&id.0).ok_or(MemError::UnknownRequest(id))?;
+        let ctx = self
+            .contexts
+            .get_mut(&id.0)
+            .ok_or(MemError::UnknownRequest(id))?;
         ctx.t_cur += 1;
         Ok(ctx.t_cur)
     }
@@ -123,7 +138,10 @@ impl Dispatcher {
     /// [`MemError::UnknownRequest`] if not registered;
     /// [`MemError::Unmapped`] if a virtual row falls outside the table.
     pub fn decode(&mut self, id: RequestId) -> Result<Vec<PimInstruction>, MemError> {
-        let ctx = self.contexts.get(&id.0).ok_or(MemError::UnknownRequest(id))?;
+        let ctx = self
+            .contexts
+            .get(&id.0)
+            .ok_or(MemError::UnknownRequest(id))?;
         let mut expanded = self.program.expand(ctx.t_cur);
         for inst in &mut expanded {
             if inst.kind == pim_isa::InstructionKind::Mac {
@@ -190,12 +208,16 @@ mod tests {
     #[test]
     fn decode_translates_virtual_rows_per_request() {
         let mut d = Dispatcher::new(token_loop_program(), 2);
-        d.register(RequestId(1), 1024, table(&[(0, 22), (1, 33)])).unwrap();
+        d.register(RequestId(1), 1024, table(&[(0, 22), (1, 33)]))
+            .unwrap();
         d.register(RequestId(2), 512, table(&[(0, 5)])).unwrap();
         // Request 1: 4 MACs, virtual rows 0..4 -> chunks {22, 33}.
         let i1 = d.decode(RequestId(1)).unwrap();
         assert_eq!(i1.len(), 4);
-        assert_eq!(i1.iter().map(|i| i.row).collect::<Vec<_>>(), vec![44, 45, 66, 67]);
+        assert_eq!(
+            i1.iter().map(|i| i.row).collect::<Vec<_>>(),
+            vec![44, 45, 66, 67]
+        );
         // Request 2: same virtual address 0 resolves differently.
         let i2 = d.decode(RequestId(2)).unwrap();
         assert_eq!(i2[0].row, 10);
@@ -219,7 +241,11 @@ mod tests {
             d.advance_token(RequestId(1)).unwrap();
         }
         assert_eq!(d.t_cur(RequestId(1)), Some(110));
-        assert_eq!(d.host_messages(), before, "token advance must not message the host");
+        assert_eq!(
+            d.host_messages(),
+            before,
+            "token advance must not message the host"
+        );
     }
 
     #[test]
@@ -237,7 +263,8 @@ mod tests {
     fn host_messages_counted_per_lifecycle_event() {
         let mut d = Dispatcher::new(token_loop_program(), 2);
         d.register(RequestId(1), 1, table(&[(0, 0)])).unwrap();
-        d.extend_mapping(RequestId(1), vec![(1, ChunkId(3))]).unwrap();
+        d.extend_mapping(RequestId(1), vec![(1, ChunkId(3))])
+            .unwrap();
         d.release(RequestId(1)).unwrap();
         assert_eq!(d.host_messages(), 3);
         assert_eq!(d.active_requests(), 0);

@@ -66,12 +66,24 @@ pub enum MemError {
 impl std::fmt::Display for MemError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MemError::OutOfMemory { requested, available } => {
-                write!(f, "out of memory: requested {requested} B, available {available} B")
+            MemError::OutOfMemory {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "out of memory: requested {requested} B, available {available} B"
+                )
             }
             MemError::UnknownRequest(id) => write!(f, "unknown request {id}"),
-            MemError::Unmapped { request, virtual_chunk } => {
-                write!(f, "{request} has no mapping for virtual chunk {virtual_chunk}")
+            MemError::Unmapped {
+                request,
+                virtual_chunk,
+            } => {
+                write!(
+                    f,
+                    "{request} has no mapping for virtual chunk {virtual_chunk}"
+                )
             }
             MemError::DuplicateRequest(id) => write!(f, "request {id} already registered"),
         }

@@ -26,7 +26,11 @@ impl StaticAllocator {
     /// Panics if `reservation_bytes` is zero.
     pub fn new(capacity_bytes: u64, reservation_bytes: u64) -> Self {
         assert!(reservation_bytes > 0, "reservation must be nonzero");
-        StaticAllocator { capacity_bytes, reservation_bytes, requests: HashMap::new() }
+        StaticAllocator {
+            capacity_bytes,
+            reservation_bytes,
+            requests: HashMap::new(),
+        }
     }
 
     /// Total capacity in bytes.
@@ -60,7 +64,8 @@ impl StaticAllocator {
                 available: self.capacity_bytes - reserved,
             });
         }
-        self.requests.insert(id.0, used_bytes.min(self.reservation_bytes));
+        self.requests
+            .insert(id.0, used_bytes.min(self.reservation_bytes));
         Ok(())
     }
 
@@ -84,7 +89,10 @@ impl StaticAllocator {
     /// # Errors
     /// [`MemError::UnknownRequest`] if not admitted.
     pub fn release(&mut self, id: RequestId) -> Result<(), MemError> {
-        self.requests.remove(&id.0).map(|_| ()).ok_or(MemError::UnknownRequest(id))
+        self.requests
+            .remove(&id.0)
+            .map(|_| ())
+            .ok_or(MemError::UnknownRequest(id))
     }
 
     /// Number of admitted requests.
@@ -133,7 +141,10 @@ mod tests {
     fn duplicate_admit_rejected() {
         let mut a = StaticAllocator::new(1000, 300);
         a.admit(RequestId(1), 10).unwrap();
-        assert!(matches!(a.admit(RequestId(1), 10), Err(MemError::DuplicateRequest(_))));
+        assert!(matches!(
+            a.admit(RequestId(1), 10),
+            Err(MemError::DuplicateRequest(_))
+        ));
     }
 
     #[test]

@@ -54,7 +54,10 @@ impl Va2PaTable {
 
     /// Iterates over `(virtual_chunk, physical_chunk)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (u64, ChunkId)> + '_ {
-        self.map.iter().enumerate().filter_map(|(vc, pc)| pc.map(|p| (vc as u64, p)))
+        self.map
+            .iter()
+            .enumerate()
+            .filter_map(|(vc, pc)| pc.map(|p| (vc as u64, p)))
     }
 }
 

@@ -43,8 +43,11 @@ impl fmt::Display for Violation {
 ///
 /// Returns all violations (empty = schedule is hazard-free).
 pub fn check_schedule(stream: &CommandStream, report: &ExecutionReport) -> Vec<Violation> {
-    let timing: HashMap<CommandId, (u64, u64)> =
-        report.timings.iter().map(|t| (t.id, (t.issue, t.complete))).collect();
+    let timing: HashMap<CommandId, (u64, u64)> = report
+        .timings
+        .iter()
+        .map(|t| (t.id, (t.issue, t.complete)))
+        .collect();
     let mut violations = Vec::new();
 
     // Last accessors per entry, walked in program order.
@@ -65,12 +68,16 @@ pub fn check_schedule(stream: &CommandStream, report: &ExecutionReport) -> Vec<V
     let mut obuf: HashMap<u16, Access> = HashMap::new();
 
     let push = |violations: &mut Vec<Violation>,
-                    first: CommandId,
-                    second: CommandId,
-                    ok: bool,
-                    rule: &'static str| {
+                first: CommandId,
+                second: CommandId,
+                ok: bool,
+                rule: &'static str| {
         if !ok {
-            violations.push(Violation { first, second, rule });
+            violations.push(Violation {
+                first,
+                second,
+                rule,
+            });
         }
     };
 
@@ -108,9 +115,17 @@ pub fn check_schedule(stream: &CommandStream, report: &ExecutionReport) -> Vec<V
                         _ => {}
                     }
                 }
-                gbuf.insert(gbuf_idx, Access { id: cmd.id, kind: AccessKind::Write });
+                gbuf.insert(
+                    gbuf_idx,
+                    Access {
+                        id: cmd.id,
+                        kind: AccessKind::Write,
+                    },
+                );
             }
-            CommandKind::Mac { gbuf_idx, out_idx, .. } => {
+            CommandKind::Mac {
+                gbuf_idx, out_idx, ..
+            } => {
                 if let Some(prev) = gbuf.get(&gbuf_idx) {
                     if prev.kind == AccessKind::Write {
                         let (_, p_complete) = timing[&prev.id];
@@ -143,8 +158,20 @@ pub fn check_schedule(stream: &CommandStream, report: &ExecutionReport) -> Vec<V
                         _ => {}
                     }
                 }
-                gbuf.insert(gbuf_idx, Access { id: cmd.id, kind: AccessKind::MacRead });
-                obuf.insert(out_idx, Access { id: cmd.id, kind: AccessKind::MacAcc });
+                gbuf.insert(
+                    gbuf_idx,
+                    Access {
+                        id: cmd.id,
+                        kind: AccessKind::MacRead,
+                    },
+                );
+                obuf.insert(
+                    out_idx,
+                    Access {
+                        id: cmd.id,
+                        kind: AccessKind::MacAcc,
+                    },
+                );
             }
             CommandKind::RdOut { out_idx, .. } => {
                 if let Some(prev) = obuf.get(&out_idx) {
@@ -167,7 +194,13 @@ pub fn check_schedule(stream: &CommandStream, report: &ExecutionReport) -> Vec<V
                         _ => {}
                     }
                 }
-                obuf.insert(out_idx, Access { id: cmd.id, kind: AccessKind::Drain });
+                obuf.insert(
+                    out_idx,
+                    Access {
+                        id: cmd.id,
+                        kind: AccessKind::Drain,
+                    },
+                );
             }
         }
     }
@@ -206,9 +239,21 @@ mod tests {
     fn clean_schedule_has_no_violations() {
         let s = wmr_stream();
         let r = report_from(vec![
-            CommandTiming { id: CommandId(0), issue: 0, complete: 8 },
-            CommandTiming { id: CommandId(1), issue: 8, complete: 16 },
-            CommandTiming { id: CommandId(2), issue: 16, complete: 24 },
+            CommandTiming {
+                id: CommandId(0),
+                issue: 0,
+                complete: 8,
+            },
+            CommandTiming {
+                id: CommandId(1),
+                issue: 8,
+                complete: 16,
+            },
+            CommandTiming {
+                id: CommandId(2),
+                issue: 16,
+                complete: 24,
+            },
         ]);
         assert!(check_schedule(&s, &r).is_empty());
     }
@@ -217,9 +262,21 @@ mod tests {
     fn early_mac_read_is_flagged() {
         let s = wmr_stream();
         let r = report_from(vec![
-            CommandTiming { id: CommandId(0), issue: 0, complete: 8 },
-            CommandTiming { id: CommandId(1), issue: 4, complete: 12 }, // too early
-            CommandTiming { id: CommandId(2), issue: 12, complete: 20 },
+            CommandTiming {
+                id: CommandId(0),
+                issue: 0,
+                complete: 8,
+            },
+            CommandTiming {
+                id: CommandId(1),
+                issue: 4,
+                complete: 12,
+            }, // too early
+            CommandTiming {
+                id: CommandId(2),
+                issue: 12,
+                complete: 20,
+            },
         ]);
         let v = check_schedule(&s, &r);
         assert_eq!(v.len(), 1);
@@ -230,9 +287,21 @@ mod tests {
     fn early_drain_is_flagged() {
         let s = wmr_stream();
         let r = report_from(vec![
-            CommandTiming { id: CommandId(0), issue: 0, complete: 8 },
-            CommandTiming { id: CommandId(1), issue: 8, complete: 16 },
-            CommandTiming { id: CommandId(2), issue: 10, complete: 18 }, // too early
+            CommandTiming {
+                id: CommandId(0),
+                issue: 0,
+                complete: 8,
+            },
+            CommandTiming {
+                id: CommandId(1),
+                issue: 8,
+                complete: 16,
+            },
+            CommandTiming {
+                id: CommandId(2),
+                issue: 10,
+                complete: 18,
+            }, // too early
         ]);
         let v = check_schedule(&s, &r);
         assert_eq!(v.len(), 1);
@@ -242,7 +311,11 @@ mod tests {
     #[test]
     fn missing_command_is_flagged() {
         let s = wmr_stream();
-        let r = report_from(vec![CommandTiming { id: CommandId(0), issue: 0, complete: 8 }]);
+        let r = report_from(vec![CommandTiming {
+            id: CommandId(0),
+            issue: 0,
+            complete: 8,
+        }]);
         let v = check_schedule(&s, &r);
         assert!(v.iter().any(|x| x.rule.contains("missing")));
     }

@@ -68,7 +68,11 @@ pub struct EpuConfig {
 
 impl Default for EpuConfig {
     fn default() -> Self {
-        EpuConfig { softmax_lanes: 16, reduce_lanes: 16, exp_segments: 256 }
+        EpuConfig {
+            softmax_lanes: 16,
+            reduce_lanes: 16,
+            exp_segments: 256,
+        }
     }
 }
 
@@ -100,7 +104,10 @@ impl Epu {
             return Vec::new();
         }
         let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let exps: Vec<f32> = scores.iter().map(|&s| self.exp_lut.approximate(s - max)).collect();
+        let exps: Vec<f32> = scores
+            .iter()
+            .map(|&s| self.exp_lut.approximate(s - max))
+            .collect();
         let sum: f32 = exps.iter().sum();
         if sum <= 0.0 {
             // Degenerate input: fall back to uniform.
@@ -137,8 +144,7 @@ impl Epu {
     /// EPU cycles for the inter-channel reduction of `channels` partial
     /// vectors of `dims` elements.
     pub fn reduce_cycles(&self, channels: u32, dims: u32) -> u64 {
-        u64::from(channels.saturating_sub(1))
-            * u64::from(dims.div_ceil(self.config.reduce_lanes))
+        u64::from(channels.saturating_sub(1)) * u64::from(dims.div_ceil(self.config.reduce_lanes))
     }
 }
 

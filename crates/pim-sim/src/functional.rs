@@ -51,7 +51,11 @@ impl FunctionalChannel {
     /// # Panics
     /// Panics if `bank` is out of range or the tile length mismatches.
     pub fn store_tile(&mut self, bank: u32, row: u32, col: u16, tile: Vec<f32>) {
-        assert_eq!(tile.len(), self.geometry.elems_per_tile as usize, "tile length");
+        assert_eq!(
+            tile.len(),
+            self.geometry.elems_per_tile as usize,
+            "tile length"
+        );
         self.banks[bank as usize].insert((row, col), tile);
     }
 
@@ -84,7 +88,12 @@ impl FunctionalChannel {
                     self.gbuf[gbuf_idx as usize].copy_from_slice(tile);
                     next_input += 1;
                 }
-                CommandKind::Mac { gbuf_idx, row, col, out_idx } => {
+                CommandKind::Mac {
+                    gbuf_idx,
+                    row,
+                    col,
+                    out_idx,
+                } => {
                     let x = &self.gbuf[gbuf_idx as usize];
                     for bank in 0..self.geometry.banks as usize {
                         let w = self.banks[bank].get(&(row, col));
@@ -114,7 +123,10 @@ impl FunctionalChannel {
     /// Flattens the drain log into one output vector (bank-major within
     /// each drain).
     pub fn drained_flat(&self) -> Vec<f32> {
-        self.drained.iter().flat_map(|(_, v)| v.iter().copied()).collect()
+        self.drained
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect()
     }
 }
 
@@ -124,7 +136,13 @@ mod tests {
     use pim_isa::PimCommand;
 
     fn geom() -> Geometry {
-        Geometry { banks: 2, gbuf_entries: 4, out_entries: 2, row_tiles: 4, elems_per_tile: 2 }
+        Geometry {
+            banks: 2,
+            gbuf_entries: 4,
+            out_entries: 2,
+            row_tiles: 4,
+            elems_per_tile: 2,
+        }
     }
 
     #[test]
@@ -155,7 +173,11 @@ mod tests {
         ch.execute(&s, &[vec![5.0, 0.0]]);
         let d = ch.drained();
         assert_eq!(d[0].1, vec![5.0, 5.0]);
-        assert_eq!(d[1].1, vec![5.0, 5.0], "second accumulation starts from zero");
+        assert_eq!(
+            d[1].1,
+            vec![5.0, 5.0],
+            "second accumulation starts from zero"
+        );
     }
 
     #[test]

@@ -22,12 +22,21 @@ pub struct Geometry {
 impl Geometry {
     /// Conventional AiM channel: 16 banks, 64-entry GBuf, 2-entry OutRegs.
     pub fn baseline() -> Self {
-        Geometry { banks: 16, gbuf_entries: 64, out_entries: 2, row_tiles: 32, elems_per_tile: 16 }
+        Geometry {
+            banks: 16,
+            gbuf_entries: 64,
+            out_entries: 2,
+            row_tiles: 32,
+            elems_per_tile: 16,
+        }
     }
 
     /// PIMphony channel with expanded Output Buffers (16 entries).
     pub fn pimphony() -> Self {
-        Geometry { out_entries: 16, ..Self::baseline() }
+        Geometry {
+            out_entries: 16,
+            ..Self::baseline()
+        }
     }
 
     /// Bytes per tile (32 B for 16 fp16 lanes).

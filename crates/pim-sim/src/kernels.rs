@@ -43,7 +43,10 @@ impl GemvKernel {
     /// # Panics
     /// Panics if either dimension is zero.
     pub fn new(spec: GemvSpec, geometry: Geometry) -> Self {
-        assert!(spec.dout > 0 && spec.din > 0, "GEMV dimensions must be nonzero");
+        assert!(
+            spec.dout > 0 && spec.din > 0,
+            "GEMV dimensions must be nonzero"
+        );
         GemvKernel { spec, geometry }
     }
 
@@ -105,7 +108,10 @@ impl GemvKernel {
         if self.input_fits() {
             let block = g.out_entries.min(n_groups).max(1);
             for t in 0..in_tiles {
-                s.push_next(CommandKind::WrInp { gbuf_idx: t as u16, gpr_addr: t * 32 });
+                s.push_next(CommandKind::WrInp {
+                    gbuf_idx: t as u16,
+                    gpr_addr: t * 32,
+                });
             }
             let mut gb_start = 0;
             while gb_start < n_groups {
@@ -152,7 +158,10 @@ impl GemvKernel {
                             out_idx: slot,
                         });
                     }
-                    s.push_next(CommandKind::RdOut { out_idx: slot, gpr_addr: grp * 32 });
+                    s.push_next(CommandKind::RdOut {
+                        out_idx: slot,
+                        gpr_addr: grp * 32,
+                    });
                     slot = (slot + 1) % out_slots;
                 }
                 chunk_start = chunk_end;
@@ -215,10 +224,7 @@ impl GemvKernel {
     /// Accumulates an ordered drain sequence into the output vector.
     /// Drains are emitted group-ascending (and chunk-outer when the input
     /// does not fit).
-    pub fn accumulate_drains<'a>(
-        &self,
-        drains: impl Iterator<Item = &'a [f32]>,
-    ) -> Vec<f32> {
+    pub fn accumulate_drains<'a>(&self, drains: impl Iterator<Item = &'a [f32]>) -> Vec<f32> {
         let banks = self.geometry.banks as usize;
         let n_groups = self.n_groups() as usize;
         let mut out = vec![0.0f32; self.spec.dout as usize];
@@ -252,12 +258,22 @@ pub struct AttentionSpec {
 impl AttentionSpec {
     /// MHA spec without row reuse.
     pub fn mha(tokens: u32, head_dim: u32) -> Self {
-        AttentionSpec { tokens, head_dim, group_size: 1, row_reuse: false }
+        AttentionSpec {
+            tokens,
+            head_dim,
+            group_size: 1,
+            row_reuse: false,
+        }
     }
 
     /// GQA spec with the row-reuse mapping.
     pub fn gqa(tokens: u32, head_dim: u32, group_size: u32) -> Self {
-        AttentionSpec { tokens, head_dim, group_size, row_reuse: true }
+        AttentionSpec {
+            tokens,
+            head_dim,
+            group_size,
+            row_reuse: true,
+        }
     }
 }
 
@@ -309,7 +325,12 @@ impl QktKernel {
             for t in 0..in_tiles {
                 let tile_idx = u64::from(grp) * u64::from(in_tiles) + u64::from(t);
                 let (row, col) = g.tile_to_row_col(tile_idx);
-                s.push_next(CommandKind::Mac { gbuf_idx: t as u16, row, col, out_idx: out_slot });
+                s.push_next(CommandKind::Mac {
+                    gbuf_idx: t as u16,
+                    row,
+                    col,
+                    out_idx: out_slot,
+                });
             }
             s.push_next(CommandKind::RdOut {
                 out_idx: out_slot,
@@ -365,7 +386,10 @@ impl QktKernel {
     /// Loads the key cache: `k(token, d)` is `K[token][d]`.
     pub fn load_keys<F: Fn(usize, usize) -> f32>(&self, ch: &mut FunctionalChannel, k: F) {
         let gemv = GemvKernel::new(
-            GemvSpec { dout: self.spec.tokens, din: self.spec.head_dim },
+            GemvSpec {
+                dout: self.spec.tokens,
+                din: self.spec.head_dim,
+            },
             self.geometry,
         );
         gemv.load_weights(ch, k);
@@ -404,8 +428,7 @@ impl QktKernel {
     pub fn scores_from(&self, ch: &FunctionalChannel) -> Vec<Vec<f32>> {
         let banks = self.geometry.banks as usize;
         let n_groups = self.n_groups();
-        let mut out =
-            vec![vec![0.0f32; self.spec.tokens as usize]; self.spec.group_size as usize];
+        let mut out = vec![vec![0.0f32; self.spec.tokens as usize]; self.spec.group_size as usize];
         // Drain gpr_addr encodes (q * n_groups + grp) * 32.
         let stream = self.stream();
         let drains: Vec<u32> = stream
@@ -476,7 +499,10 @@ impl SvKernel {
         if queries == 1 || !self.spec.row_reuse {
             // Query-sequential: one chunked GEMV per query.
             let gemv = GemvKernel::new(
-                GemvSpec { dout: self.spec.head_dim, din: self.spec.tokens },
+                GemvSpec {
+                    dout: self.spec.head_dim,
+                    din: self.spec.tokens,
+                },
                 self.geometry,
             );
             let mut s = CommandStream::new();
@@ -493,8 +519,9 @@ impl SvKernel {
         let n_groups = self.n_groups();
         let slots_per_q = (g.gbuf_entries / queries).max(1);
         // Accumulators: one per (query, group) pair, blocked by OBuf size.
-        let pairs: Vec<(u32, u32)> =
-            (0..n_groups).flat_map(|grp| (0..queries).map(move |q| (grp, q))).collect();
+        let pairs: Vec<(u32, u32)> = (0..n_groups)
+            .flat_map(|grp| (0..queries).map(move |q| (grp, q)))
+            .collect();
         let block = g.out_entries.max(1) as usize;
         let mut s = CommandStream::new();
         for pair_block in pairs.chunks(block) {
@@ -532,8 +559,7 @@ impl SvKernel {
                             if bg != grp {
                                 continue;
                             }
-                            let qi =
-                                qs.iter().position(|&x| x == q).expect("query present") as u32;
+                            let qi = qs.iter().position(|&x| x == q).expect("query present") as u32;
                             s.push_next(CommandKind::Mac {
                                 gbuf_idx: (qi * slots_per_q + (t - chunk_start)) as u16,
                                 row,
@@ -559,7 +585,10 @@ impl SvKernel {
     pub fn load_values<F: Fn(usize, usize) -> f32>(&self, ch: &mut FunctionalChannel, v: F) {
         // As a GEMV, W[o][i] = V[i][o].
         let gemv = GemvKernel::new(
-            GemvSpec { dout: self.spec.head_dim, din: self.spec.tokens },
+            GemvSpec {
+                dout: self.spec.head_dim,
+                din: self.spec.tokens,
+            },
             self.geometry,
         );
         gemv.load_weights(ch, |o, i| v(i, o));
@@ -568,7 +597,11 @@ impl SvKernel {
     /// Input tiles for every `WR-INP`, in stream order. `scores[q]` is the
     /// `q`-th score vector over this channel's tokens.
     pub fn input_tiles(&self, scores: &[Vec<f32>]) -> Vec<Vec<f32>> {
-        assert_eq!(scores.len(), self.spec.group_size as usize, "score-vector count");
+        assert_eq!(
+            scores.len(),
+            self.spec.group_size as usize,
+            "score-vector count"
+        );
         let lanes = self.geometry.elems_per_tile as usize;
         let in_tiles = self.in_tiles();
         let tile_of = |q: usize, t: u32| -> Vec<f32> {
@@ -584,7 +617,10 @@ impl SvKernel {
         let queries = self.spec.group_size;
         if queries == 1 || !self.spec.row_reuse {
             let gemv = GemvKernel::new(
-                GemvSpec { dout: self.spec.head_dim, din: self.spec.tokens },
+                GemvSpec {
+                    dout: self.spec.head_dim,
+                    din: self.spec.tokens,
+                },
                 self.geometry,
             );
             let mut tiles = Vec::new();
@@ -618,7 +654,10 @@ impl SvKernel {
             // GEMV drain order (with per-chunk partials when the scores do
             // not fit in GBuf).
             let gemv = GemvKernel::new(
-                GemvSpec { dout: self.spec.head_dim, din: self.spec.tokens },
+                GemvSpec {
+                    dout: self.spec.head_dim,
+                    din: self.spec.tokens,
+                },
                 self.geometry,
             );
             let per_q = ch.drained().len() / queries;
@@ -651,16 +690,30 @@ impl SvKernel {
 }
 
 #[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index loops mirror the reference math
 mod tests {
     use super::*;
     use crate::functional::FunctionalChannel;
 
     fn small_geom() -> Geometry {
-        Geometry { banks: 4, gbuf_entries: 8, out_entries: 2, row_tiles: 8, elems_per_tile: 4 }
+        Geometry {
+            banks: 4,
+            gbuf_entries: 8,
+            out_entries: 2,
+            row_tiles: 8,
+            elems_per_tile: 4,
+        }
     }
 
-    fn reference_gemv(dout: usize, din: usize, w: impl Fn(usize, usize) -> f32, x: &[f32]) -> Vec<f32> {
-        (0..dout).map(|o| (0..din).map(|i| w(o, i) * x[i]).sum()).collect()
+    fn reference_gemv(
+        dout: usize,
+        din: usize,
+        w: impl Fn(usize, usize) -> f32,
+        x: &[f32],
+    ) -> Vec<f32> {
+        (0..dout)
+            .map(|o| (0..din).map(|i| w(o, i) * x[i]).sum())
+            .collect()
     }
 
     #[test]
@@ -720,7 +773,7 @@ mod tests {
         let q: Vec<f32> = (0..8).map(|d| d as f32 * 0.5).collect();
         let mut ch = FunctionalChannel::new(geom);
         k.load_keys(&mut ch, key);
-        ch.execute(&k.stream(), &k.input_tiles(&[q.clone()]));
+        ch.execute(&k.stream(), &k.input_tiles(std::slice::from_ref(&q)));
         let scores = k.scores_from(&ch);
         for tok in 0..24 {
             let want: f32 = (0..8).map(|d| key(tok, d) * q[d]).sum();
@@ -734,8 +787,9 @@ mod tests {
         let spec = AttentionSpec::gqa(32, 8, 3);
         let k = QktKernel::new(spec, geom);
         let key = |tok: usize, d: usize| ((tok + d * 2) % 7) as f32 * 0.25;
-        let queries: Vec<Vec<f32>> =
-            (0..3).map(|q| (0..8).map(|d| (q + d) as f32 * 0.1).collect()).collect();
+        let queries: Vec<Vec<f32>> = (0..3)
+            .map(|q| (0..8).map(|d| (q + d) as f32 * 0.1).collect())
+            .collect();
         let mut ch = FunctionalChannel::new(geom);
         k.load_keys(&mut ch, key);
         ch.execute(&k.stream(), &k.input_tiles(&queries));
@@ -751,8 +805,16 @@ mod tests {
     #[test]
     fn qkt_row_reuse_reduces_row_switches() {
         let geom = Geometry::baseline();
-        let base = AttentionSpec { tokens: 2048, head_dim: 128, group_size: 4, row_reuse: false };
-        let reuse = AttentionSpec { row_reuse: true, ..base };
+        let base = AttentionSpec {
+            tokens: 2048,
+            head_dim: 128,
+            group_size: 4,
+            row_reuse: false,
+        };
+        let reuse = AttentionSpec {
+            row_reuse: true,
+            ..base
+        };
         let s_base = QktKernel::new(base, geom).stream();
         let s_reuse = QktKernel::new(reuse, geom).stream();
         let switches = |s: &CommandStream| {
@@ -782,11 +844,15 @@ mod tests {
         let s: Vec<f32> = (0..40).map(|t| ((t * 11) % 13) as f32 * 0.1).collect();
         let mut ch = FunctionalChannel::new(geom);
         k.load_values(&mut ch, val);
-        ch.execute(&k.stream(), &k.input_tiles(&[s.clone()]));
+        ch.execute(&k.stream(), &k.input_tiles(std::slice::from_ref(&s)));
         let out = k.outputs_from(&ch);
         for d in 0..8 {
             let want: f32 = (0..40).map(|t| s[t] * val(t, d)).sum();
-            assert!((out[0][d] - want).abs() < 1e-2, "d={d}: {} vs {want}", out[0][d]);
+            assert!(
+                (out[0][d] - want).abs() < 1e-2,
+                "d={d}: {} vs {want}",
+                out[0][d]
+            );
         }
     }
 
@@ -796,8 +862,9 @@ mod tests {
         let spec = AttentionSpec::gqa(32, 8, 2);
         let k = SvKernel::new(spec, geom);
         let val = |tok: usize, d: usize| ((tok + d) % 4) as f32 * 0.5;
-        let scores: Vec<Vec<f32>> =
-            (0..2).map(|q| (0..32).map(|t| ((q * 17 + t) % 5) as f32 * 0.2).collect()).collect();
+        let scores: Vec<Vec<f32>> = (0..2)
+            .map(|q| (0..32).map(|t| ((q * 17 + t) % 5) as f32 * 0.2).collect())
+            .collect();
         let mut ch = FunctionalChannel::new(geom);
         k.load_values(&mut ch, val);
         ch.execute(&k.stream(), &k.input_tiles(&scores));

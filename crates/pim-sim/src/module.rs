@@ -45,7 +45,11 @@ impl PimModule {
     /// Panics if `n_channels` is zero.
     pub fn new(n_channels: u32, geometry: Geometry) -> Self {
         assert!(n_channels > 0, "a module needs at least one channel");
-        PimModule { geometry, n_channels, epu: Epu::default() }
+        PimModule {
+            geometry,
+            n_channels,
+            epu: Epu::default(),
+        }
     }
 
     /// Channels in the module.
@@ -134,8 +138,10 @@ impl PimModule {
             let kernel = SvKernel::new(spec, self.geometry);
             let mut channel = FunctionalChannel::new(self.geometry);
             kernel.load_values(&mut channel, |tok, d| values[start + tok][d]);
-            let slice_scores: Vec<Vec<f32>> =
-                probabilities.iter().map(|p| p[start..end].to_vec()).collect();
+            let slice_scores: Vec<Vec<f32>> = probabilities
+                .iter()
+                .map(|p| p[start..end].to_vec())
+                .collect();
             channel.execute(&kernel.stream(), &kernel.input_tiles(&slice_scores));
             for (q, out) in kernel.outputs_from(&channel).into_iter().enumerate() {
                 partials_per_query[q].push(out);
@@ -147,7 +153,10 @@ impl PimModule {
             .into_iter()
             .map(|partials| self.epu.reduce_partials(&partials))
             .collect();
-        HeadOutput { outputs, probabilities }
+        HeadOutput {
+            outputs,
+            probabilities,
+        }
     }
 }
 
@@ -156,7 +165,13 @@ mod tests {
     use super::*;
 
     fn small_geom() -> Geometry {
-        Geometry { banks: 4, gbuf_entries: 8, out_entries: 2, row_tiles: 8, elems_per_tile: 4 }
+        Geometry {
+            banks: 4,
+            gbuf_entries: 8,
+            out_entries: 2,
+            row_tiles: 8,
+            elems_per_tile: 4,
+        }
     }
 
     fn reference_attention(
@@ -175,17 +190,28 @@ mod tests {
         let head_dim = values[0].len();
         (0..head_dim)
             .map(|d| {
-                exps.iter().zip(values).map(|(&e, v)| e / sum * v[d]).sum::<f32>()
+                exps.iter()
+                    .zip(values)
+                    .map(|(&e, v)| e / sum * v[d])
+                    .sum::<f32>()
             })
             .collect()
     }
 
     fn kv(tokens: usize, head_dim: usize) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
         let keys = (0..tokens)
-            .map(|t| (0..head_dim).map(|d| ((t * 3 + d) % 7) as f32 * 0.2 - 0.5).collect())
+            .map(|t| {
+                (0..head_dim)
+                    .map(|d| ((t * 3 + d) % 7) as f32 * 0.2 - 0.5)
+                    .collect()
+            })
             .collect();
         let values = (0..tokens)
-            .map(|t| (0..head_dim).map(|d| ((t + d * 5) % 9) as f32 * 0.25 - 1.0).collect())
+            .map(|t| {
+                (0..head_dim)
+                    .map(|d| ((t + d * 5) % 9) as f32 * 0.25 - 1.0)
+                    .collect()
+            })
             .collect();
         (keys, values)
     }
@@ -195,7 +221,7 @@ mod tests {
         let module = PimModule::new(4, small_geom());
         let (keys, values) = kv(37, 8);
         let query: Vec<f32> = (0..8).map(|d| d as f32 * 0.3 - 1.0).collect();
-        let out = module.attention_head(&keys, &values, &[query.clone()], 0.35);
+        let out = module.attention_head(&keys, &values, std::slice::from_ref(&query), 0.35);
         let want = reference_attention(&keys, &values, &query, 0.35);
         for (a, b) in out.outputs[0].iter().zip(&want) {
             assert!((a - b).abs() < 5e-3, "{a} vs {b}");
@@ -206,8 +232,13 @@ mod tests {
     fn tcp_module_matches_reference_attention_gqa() {
         let module = PimModule::new(4, small_geom());
         let (keys, values) = kv(29, 8);
-        let queries: Vec<Vec<f32>> =
-            (0..3).map(|q| (0..8).map(|d| ((q * 2 + d) % 5) as f32 * 0.4 - 0.8).collect()).collect();
+        let queries: Vec<Vec<f32>> = (0..3)
+            .map(|q| {
+                (0..8)
+                    .map(|d| ((q * 2 + d) % 5) as f32 * 0.4 - 0.8)
+                    .collect()
+            })
+            .collect();
         let out = module.attention_head(&keys, &values, &queries, 0.35);
         for (q, qv) in queries.iter().enumerate() {
             let want = reference_attention(&keys, &values, qv, 0.35);
@@ -221,7 +252,12 @@ mod tests {
     fn channel_count_does_not_change_results() {
         let (keys, values) = kv(41, 8);
         let query: Vec<f32> = (0..8).map(|d| (d % 3) as f32 * 0.5).collect();
-        let one = PimModule::new(1, small_geom()).attention_head(&keys, &values, &[query.clone()], 1.0);
+        let one = PimModule::new(1, small_geom()).attention_head(
+            &keys,
+            &values,
+            std::slice::from_ref(&query),
+            1.0,
+        );
         let many = PimModule::new(8, small_geom()).attention_head(&keys, &values, &[query], 1.0);
         for (a, b) in one.outputs[0].iter().zip(&many.outputs[0]) {
             assert!((a - b).abs() < 5e-3, "{a} vs {b}");

@@ -93,7 +93,10 @@ mod tests {
         let r = ExecutionReport {
             timings: vec![],
             cycles: 100,
-            breakdown: Breakdown { mac: 40, ..Default::default() },
+            breakdown: Breakdown {
+                mac: 40,
+                ..Default::default()
+            },
             mac_count: 20,
             wr_inp_count: 0,
             rd_out_count: 0,
@@ -121,7 +124,14 @@ mod tests {
 
     #[test]
     fn breakdown_total_sums_fields() {
-        let b = Breakdown { mac: 1, dt_gbuf: 2, dt_outreg: 3, act_pre: 4, refresh: 5, pipeline: 6 };
+        let b = Breakdown {
+            mac: 1,
+            dt_gbuf: 2,
+            dt_outreg: 3,
+            act_pre: 4,
+            refresh: 5,
+            pipeline: 6,
+        };
         assert_eq!(b.total(), 21);
     }
 }

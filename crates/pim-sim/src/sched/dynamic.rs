@@ -70,15 +70,17 @@ pub struct DynamicScheduler {
 impl DynamicScheduler {
     /// Creates a dynamic scheduler with the given tracking granularity.
     pub fn new(timing: Timing, geometry: Geometry, tracking: Tracking) -> Self {
-        DynamicScheduler { timing, geometry, tracking }
+        DynamicScheduler {
+            timing,
+            geometry,
+            tracking,
+        }
     }
 
     fn gbuf_region(&self, entry: u16) -> usize {
         match self.tracking {
             Tracking::PerEntry => entry as usize,
-            Tracking::PerHalf => {
-                usize::from(u32::from(entry) >= self.geometry.gbuf_entries / 2)
-            }
+            Tracking::PerHalf => usize::from(u32::from(entry) >= self.geometry.gbuf_entries / 2),
         }
     }
 
@@ -116,20 +118,31 @@ impl DynamicScheduler {
                         g_dep = Some(match kind {
                             // Write-after-write streams over the pipelined
                             // data bus; issue order suffices.
-                            AccessKind::Write => Dep { producer: p, rule: DepRule::IssuePlusCcds },
+                            AccessKind::Write => Dep {
+                                producer: p,
+                                rule: DepRule::IssuePlusCcds,
+                            },
                             // WAR after a MAC read: the read must complete
                             // before its input may be overwritten.
-                            _ => Dep { producer: p, rule: DepRule::Completion },
+                            _ => Dep {
+                                producer: p,
+                                rule: DepRule::Completion,
+                            },
                         });
                     }
                     gbuf[r] = Some((idx, AccessKind::Write));
                 }
-                CommandKind::Mac { gbuf_idx, out_idx, .. } => {
+                CommandKind::Mac {
+                    gbuf_idx, out_idx, ..
+                } => {
                     let r = self.gbuf_region(gbuf_idx);
                     if let Some((p, kind)) = gbuf[r] {
                         if kind == AccessKind::Write {
                             // RAW: the input tile must be fully written.
-                            g_dep = Some(Dep { producer: p, rule: DepRule::Completion });
+                            g_dep = Some(Dep {
+                                producer: p,
+                                rule: DepRule::Completion,
+                            });
                         }
                     }
                     gbuf[r] = Some((idx, AccessKind::MacRead));
@@ -137,8 +150,14 @@ impl DynamicScheduler {
                     if let Some((p, kind)) = obuf[ro] {
                         o_dep = Some(match kind {
                             // is-MAC fast path: accumulator chaining.
-                            AccessKind::MacAcc => Dep { producer: p, rule: DepRule::IssuePlusCcds },
-                            _ => Dep { producer: p, rule: DepRule::Completion },
+                            AccessKind::MacAcc => Dep {
+                                producer: p,
+                                rule: DepRule::IssuePlusCcds,
+                            },
+                            _ => Dep {
+                                producer: p,
+                                rule: DepRule::Completion,
+                            },
                         });
                     }
                     obuf[ro] = Some((idx, AccessKind::MacAcc));
@@ -148,9 +167,18 @@ impl DynamicScheduler {
                     if let Some((p, kind)) = obuf[ro] {
                         o_dep = Some(match kind {
                             // RAW: the accumulation must be complete.
-                            AccessKind::MacAcc => Dep { producer: p, rule: DepRule::Completion },
-                            AccessKind::Drain => Dep { producer: p, rule: DepRule::IssuePlusCcds },
-                            _ => Dep { producer: p, rule: DepRule::Completion },
+                            AccessKind::MacAcc => Dep {
+                                producer: p,
+                                rule: DepRule::Completion,
+                            },
+                            AccessKind::Drain => Dep {
+                                producer: p,
+                                rule: DepRule::IssuePlusCcds,
+                            },
+                            _ => Dep {
+                                producer: p,
+                                rule: DepRule::Completion,
+                            },
                         });
                     }
                     obuf[ro] = Some((idx, AccessKind::Drain));
@@ -331,7 +359,11 @@ mod tests {
     use pim_isa::PimCommand;
 
     fn dcs() -> DynamicScheduler {
-        DynamicScheduler::new(Timing::aimx_no_refresh(), Geometry::pimphony(), Tracking::PerEntry)
+        DynamicScheduler::new(
+            Timing::aimx_no_refresh(),
+            Geometry::pimphony(),
+            Tracking::PerEntry,
+        )
     }
 
     fn stream_wmr() -> CommandStream {
@@ -409,7 +441,11 @@ mod tests {
 
         // The paper's Fig. 7 diagram isolates scheduling from activation:
         // the row is treated as already open.
-        let t = Timing { t_act: 0, t_pre: 0, ..Timing::aimx_no_refresh() };
+        let t = Timing {
+            t_act: 0,
+            t_pre: 0,
+            ..Timing::aimx_no_refresh()
+        };
         let g = Geometry::pimphony();
         let stat = crate::sched::StaticScheduler::new(t, g).run(&s);
         let dyn_ = DynamicScheduler::new(t, g, Tracking::PerEntry).run(&s);
@@ -437,15 +473,25 @@ mod tests {
                 id += 1;
             }
             for e in 0..g.gbuf_entries as u16 {
-                s.push(PimCommand::mac(id, e, pass, e % 32, (e % 16) as u16));
+                s.push(PimCommand::mac(id, e, pass, e % 32, e % 16));
                 id += 1;
             }
         }
         let stat = crate::sched::StaticScheduler::new(t, g).run(&s);
         let pp = DynamicScheduler::new(t, g, Tracking::PerHalf).run(&s);
         let dcs = DynamicScheduler::new(t, g, Tracking::PerEntry).run(&s);
-        assert!(dcs.cycles <= pp.cycles, "dcs {} vs pp {}", dcs.cycles, pp.cycles);
-        assert!(pp.cycles <= stat.cycles, "pp {} vs static {}", pp.cycles, stat.cycles);
+        assert!(
+            dcs.cycles <= pp.cycles,
+            "dcs {} vs pp {}",
+            dcs.cycles,
+            pp.cycles
+        );
+        assert!(
+            pp.cycles <= stat.cycles,
+            "pp {} vs static {}",
+            pp.cycles,
+            stat.cycles
+        );
     }
 
     #[test]
@@ -489,7 +535,7 @@ mod tests {
             id += 1;
         }
         for e in 0..8u16 {
-            s.push(PimCommand::mac(id, e, 0, e, (e % 4) as u16));
+            s.push(PimCommand::mac(id, e, 0, e, e % 4));
             id += 1;
         }
         let r = DynamicScheduler::new(t, g, Tracking::PerEntry).run(&s);

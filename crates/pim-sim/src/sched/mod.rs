@@ -43,8 +43,11 @@ pub enum SchedulerKind {
 
 impl SchedulerKind {
     /// All scheduler kinds, for sweeps.
-    pub const ALL: [SchedulerKind; 3] =
-        [SchedulerKind::Static, SchedulerKind::PingPong, SchedulerKind::Dcs];
+    pub const ALL: [SchedulerKind; 3] = [
+        SchedulerKind::Static,
+        SchedulerKind::PingPong,
+        SchedulerKind::Dcs,
+    ];
 
     /// Human-readable name.
     pub fn name(self) -> &'static str {
@@ -107,7 +110,11 @@ pub(crate) struct RefreshState {
 impl RefreshState {
     pub(crate) fn new(timing: &Timing) -> Self {
         RefreshState {
-            next: if timing.t_refi == 0 { u64::MAX } else { timing.t_refi },
+            next: if timing.t_refi == 0 {
+                u64::MAX
+            } else {
+                timing.t_refi
+            },
             interval: timing.t_refi.max(1),
             duration: timing.t_rfc,
             events: 0,
@@ -156,7 +163,11 @@ mod tests {
 
     #[test]
     fn refresh_pushes_past_window() {
-        let t = Timing { t_refi: 100, t_rfc: 10, ..Timing::aimx() };
+        let t = Timing {
+            t_refi: 100,
+            t_rfc: 10,
+            ..Timing::aimx()
+        };
         let mut r = RefreshState::new(&t);
         assert_eq!(r.adjust(50), 50);
         assert_eq!(r.adjust(100), 110);

@@ -122,7 +122,11 @@ impl StaticScheduler {
                 }
             };
             makespan = makespan.max(complete);
-            timings.push(CommandTiming { id: cmd.id, issue, complete });
+            timings.push(CommandTiming {
+                id: cmd.id,
+                issue,
+                complete,
+            });
             prev_kind = Some(cmd.kind);
             prev_issue = effective_issue;
         }
@@ -202,7 +206,11 @@ mod tests {
 
     #[test]
     fn refresh_accounted() {
-        let t = Timing { t_refi: 20, t_rfc: 5, ..Timing::aimx() };
+        let t = Timing {
+            t_refi: 20,
+            t_rfc: 5,
+            ..Timing::aimx()
+        };
         let sched = StaticScheduler::new(t, Geometry::baseline());
         let mut s = CommandStream::new();
         for i in 0..40 {

@@ -48,7 +48,10 @@ impl Timing {
     /// Same as [`Timing::aimx`] but with refresh disabled — useful for
     /// deterministic micro-examples such as the Fig. 7 timing diagram.
     pub fn aimx_no_refresh() -> Self {
-        Timing { t_refi: 0, ..Self::aimx() }
+        Timing {
+            t_refi: 0,
+            ..Self::aimx()
+        }
     }
 
     /// Row switch penalty (`t_PRE + t_ACT`).

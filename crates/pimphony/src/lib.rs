@@ -15,14 +15,24 @@
 //!   ([`pim_mem`]).
 //!
 //! The [`Orchestrator`] is the top-level entry point: configure a system
-//! (CENT-like PIM-only or NeuPIMs-like xPU+PIM), a model from Table I,
-//! and a technique set, then evaluate serving traces.
+//! (CENT-like PIM-only or NeuPIMs-like xPU+PIM), a model from Table I, a
+//! technique set, and a batch-scheduling policy, then evaluate serving
+//! traces.
 //!
-//! # Quickstart
+//! Two scheduling policies are available through the builder:
+//!
+//! * **Wave** (default) — the paper's closed-world evaluation: admit a
+//!   batch, decode it to completion, repeat. Reproduces Figs. 13–15/17.
+//! * **Continuous** — event-driven continuous batching for online
+//!   traffic: requests carry arrival times, join the running batch when
+//!   the memory policy has room, and report TTFT/TPOT/E2E latency
+//!   percentiles in [`ServingReport::latency`].
+//!
+//! # Quickstart (paper-figure throughput)
 //!
 //! ```no_run
 //! use pimphony::OrchestratorBuilder;
-//! use workload::{Dataset, TraceBuilder};
+//! use pimphony::workload::{Dataset, TraceBuilder};
 //!
 //! let orchestrator = OrchestratorBuilder::new(llm_model::LLM_7B_32K)
 //!     .pim_only()
@@ -31,6 +41,31 @@
 //! let trace = TraceBuilder::new(Dataset::QmSum).requests(32).decode_len(64).build();
 //! let report = orchestrator.serve(&trace);
 //! println!("{:.1} tok/s at batch {:.1}", report.tokens_per_second, report.mean_batch);
+//! ```
+//!
+//! # Online serving (continuous batching + latency percentiles)
+//!
+//! ```no_run
+//! use pimphony::OrchestratorBuilder;
+//! use pimphony::workload::{Dataset, TraceBuilder};
+//!
+//! let orchestrator = OrchestratorBuilder::new(llm_model::LLM_7B_32K)
+//!     .pim_only()
+//!     .full_pimphony()
+//!     .continuous_batching()
+//!     .build();
+//! // 6 req/s Poisson arrivals with production-like response-length spread.
+//! let trace = TraceBuilder::new(Dataset::QmSum)
+//!     .requests(128)
+//!     .decode_range(16, 128)
+//!     .poisson(6.0)
+//!     .build();
+//! let report = orchestrator.serve(&trace);
+//! let l = &report.latency;
+//! println!(
+//!     "{:.1} tok/s | TTFT p50/p95/p99 {:.3}/{:.3}/{:.3}s | TPOT p50 {:.4}s",
+//!     report.tokens_per_second, l.ttft.p50, l.ttft.p95, l.ttft.p99, l.tpot.p50,
+//! );
 //! ```
 
 #![forbid(unsafe_code)]
@@ -46,7 +81,7 @@ pub use workload;
 
 use llm_model::ModelConfig;
 use pim_compiler::ParallelConfig;
-use system::{Evaluator, ServingReport, SystemConfig, Techniques};
+use system::{Evaluator, SchedulingPolicy, ServingReport, SystemConfig, Techniques};
 use workload::Trace;
 
 /// Top-level handle evaluating a PIM serving system on traces.
@@ -56,12 +91,25 @@ pub struct Orchestrator {
 }
 
 impl Orchestrator {
-    /// Creates an orchestrator from explicit configuration.
+    /// Creates an orchestrator from explicit configuration, with the
+    /// default (wave) scheduling policy.
     pub fn new(system: SystemConfig, model: ModelConfig, techniques: Techniques) -> Self {
-        Orchestrator { evaluator: Evaluator::new(system, model, techniques) }
+        Self::with_policy(system, model, techniques, SchedulingPolicy::Wave)
     }
 
-    /// Serves a trace, returning the throughput/energy report.
+    /// Creates an orchestrator with an explicit scheduling policy.
+    pub fn with_policy(
+        system: SystemConfig,
+        model: ModelConfig,
+        techniques: Techniques,
+        policy: SchedulingPolicy,
+    ) -> Self {
+        Orchestrator {
+            evaluator: Evaluator::new(system, model, techniques).with_policy(policy),
+        }
+    }
+
+    /// Serves a trace, returning the throughput/latency/energy report.
     pub fn serve(&self, trace: &Trace) -> ServingReport {
         self.evaluator.run_trace(trace)
     }
@@ -75,6 +123,11 @@ impl Orchestrator {
     pub fn evaluator(&self) -> &Evaluator {
         &self.evaluator
     }
+
+    /// The active batch-scheduling policy.
+    pub fn policy(&self) -> SchedulingPolicy {
+        self.evaluator.scheduling_policy()
+    }
 }
 
 /// Builder for [`Orchestrator`] with the paper's preset configurations.
@@ -83,6 +136,7 @@ pub struct OrchestratorBuilder {
     model: ModelConfig,
     system: SystemConfig,
     techniques: Techniques,
+    policy: SchedulingPolicy,
 }
 
 impl OrchestratorBuilder {
@@ -92,6 +146,7 @@ impl OrchestratorBuilder {
             model,
             system: SystemConfig::cent_for(&model),
             techniques: Techniques::pimphony(),
+            policy: SchedulingPolicy::Wave,
         }
     }
 
@@ -131,9 +186,28 @@ impl OrchestratorBuilder {
         self
     }
 
+    /// Sets an explicit batch-scheduling policy.
+    pub fn policy(mut self, policy: SchedulingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Serves online traffic with event-driven continuous batching
+    /// (requests join running batches as memory frees; the report gains
+    /// TTFT/TPOT/E2E percentiles).
+    pub fn continuous_batching(self) -> Self {
+        self.policy(SchedulingPolicy::Continuous)
+    }
+
+    /// Serves closed-world decode waves (the default; reproduces the
+    /// paper's figures).
+    pub fn wave_serving(self) -> Self {
+        self.policy(SchedulingPolicy::Wave)
+    }
+
     /// Builds the orchestrator.
     pub fn build(self) -> Orchestrator {
-        Orchestrator::new(self.system, self.model, self.techniques)
+        Orchestrator::with_policy(self.system, self.model, self.techniques, self.policy)
     }
 }
 
@@ -144,20 +218,36 @@ mod tests {
 
     #[test]
     fn builder_presets_produce_working_orchestrators() {
-        let trace = TraceBuilder::new(Dataset::QmSum).seed(1).requests(6).decode_len(8).build();
-        let pim = OrchestratorBuilder::new(llm_model::LLM_7B_32K).pim_only().build();
-        let xpu = OrchestratorBuilder::new(llm_model::LLM_7B_32K).xpu_pim().build();
+        let trace = TraceBuilder::new(Dataset::QmSum)
+            .seed(1)
+            .requests(6)
+            .decode_len(8)
+            .build();
+        let pim = OrchestratorBuilder::new(llm_model::LLM_7B_32K)
+            .pim_only()
+            .build();
+        let xpu = OrchestratorBuilder::new(llm_model::LLM_7B_32K)
+            .xpu_pim()
+            .build();
         assert!(pim.serve(&trace).tokens_per_second > 0.0);
         assert!(xpu.serve(&trace).tokens_per_second > 0.0);
     }
 
     #[test]
     fn baseline_vs_pimphony_end_to_end() {
-        let trace = TraceBuilder::new(Dataset::QmSum).seed(2).requests(8).decode_len(8).build();
-        let base =
-            OrchestratorBuilder::new(llm_model::LLM_7B_32K).pim_only().baseline().build();
-        let full =
-            OrchestratorBuilder::new(llm_model::LLM_7B_32K).pim_only().full_pimphony().build();
+        let trace = TraceBuilder::new(Dataset::QmSum)
+            .seed(2)
+            .requests(8)
+            .decode_len(8)
+            .build();
+        let base = OrchestratorBuilder::new(llm_model::LLM_7B_32K)
+            .pim_only()
+            .baseline()
+            .build();
+        let full = OrchestratorBuilder::new(llm_model::LLM_7B_32K)
+            .pim_only()
+            .full_pimphony()
+            .build();
         let rb = base.serve(&trace);
         let rf = full.serve(&trace);
         assert!(rf.tokens_per_second > rb.tokens_per_second);
@@ -166,7 +256,9 @@ mod tests {
 
     #[test]
     fn parallel_override_applies() {
-        let o = OrchestratorBuilder::new(llm_model::LLM_7B_32K).parallel(2, 4).build();
+        let o = OrchestratorBuilder::new(llm_model::LLM_7B_32K)
+            .parallel(2, 4)
+            .build();
         assert_eq!(o.evaluator().system().parallel.tp, 2);
         assert_eq!(o.evaluator().system().parallel.pp, 4);
     }
@@ -177,5 +269,43 @@ mod tests {
         let it = o.iteration(&[(0, 8192), (1, 4096)]);
         assert!(it.seconds > 0.0);
         assert!(it.attn_seconds > 0.0);
+    }
+
+    #[test]
+    fn policy_selection_flows_through_builder() {
+        let wave = OrchestratorBuilder::new(llm_model::LLM_7B_32K).build();
+        let cont = OrchestratorBuilder::new(llm_model::LLM_7B_32K)
+            .continuous_batching()
+            .build();
+        assert_eq!(wave.policy(), SchedulingPolicy::Wave);
+        assert_eq!(cont.policy(), SchedulingPolicy::Continuous);
+        assert_eq!(
+            wave.policy(),
+            OrchestratorBuilder::new(llm_model::LLM_7B_32K)
+                .continuous_batching()
+                .wave_serving()
+                .build()
+                .policy()
+        );
+    }
+
+    #[test]
+    fn continuous_batching_reports_latency_percentiles() {
+        let trace = TraceBuilder::new(Dataset::QmSum)
+            .seed(4)
+            .requests(20)
+            .decode_range(8, 32)
+            .poisson(3.0)
+            .build();
+        let o = OrchestratorBuilder::new(llm_model::LLM_7B_32K)
+            .pim_only()
+            .full_pimphony()
+            .continuous_batching()
+            .build();
+        let r = o.serve(&trace);
+        assert_eq!(r.latency.completed, trace.len() as u64);
+        assert!(r.latency.ttft.p50 > 0.0);
+        assert!(r.latency.ttft.p50 <= r.latency.ttft.p99);
+        assert_eq!(r.tokens, trace.total_decode_tokens());
     }
 }

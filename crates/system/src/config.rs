@@ -145,27 +145,48 @@ pub struct Techniques {
 impl Techniques {
     /// The unmodified baseline (HFP + static scheduling + static memory).
     pub fn baseline() -> Self {
-        Techniques { tcp: false, dcs: false, dpa: false }
+        Techniques {
+            tcp: false,
+            dcs: false,
+            dpa: false,
+        }
     }
 
     /// TCP only.
     pub fn tcp_only() -> Self {
-        Techniques { tcp: true, dcs: false, dpa: false }
+        Techniques {
+            tcp: true,
+            dcs: false,
+            dpa: false,
+        }
     }
 
     /// TCP + DCS.
     pub fn tcp_dcs() -> Self {
-        Techniques { tcp: true, dcs: true, dpa: false }
+        Techniques {
+            tcp: true,
+            dcs: true,
+            dpa: false,
+        }
     }
 
     /// Full PIMphony (TCP + DCS + DPA).
     pub fn pimphony() -> Self {
-        Techniques { tcp: true, dcs: true, dpa: true }
+        Techniques {
+            tcp: true,
+            dcs: true,
+            dpa: true,
+        }
     }
 
     /// The incremental ladder used in Figs. 13–15.
     pub fn ladder() -> [Techniques; 4] {
-        [Self::baseline(), Self::tcp_only(), Self::tcp_dcs(), Self::pimphony()]
+        [
+            Self::baseline(),
+            Self::tcp_only(),
+            Self::tcp_dcs(),
+            Self::pimphony(),
+        ]
     }
 
     /// Short label ("base", "+TCP", "+DCS", "+DPA").
@@ -187,10 +208,22 @@ mod tests {
 
     #[test]
     fn table4_capacities() {
-        assert_eq!(SystemConfig::cent_for(&LLM_7B_32K).total_capacity(), 128 * (1 << 30));
-        assert_eq!(SystemConfig::cent_for(&LLM_72B_32K).total_capacity(), 512 * (1 << 30));
-        assert_eq!(SystemConfig::neupims_for(&LLM_7B_32K).total_capacity(), 128 * (1 << 30));
-        assert_eq!(SystemConfig::neupims_for(&LLM_72B_32K).total_capacity(), 512 * (1 << 30));
+        assert_eq!(
+            SystemConfig::cent_for(&LLM_7B_32K).total_capacity(),
+            128 * (1 << 30)
+        );
+        assert_eq!(
+            SystemConfig::cent_for(&LLM_72B_32K).total_capacity(),
+            512 * (1 << 30)
+        );
+        assert_eq!(
+            SystemConfig::neupims_for(&LLM_7B_32K).total_capacity(),
+            128 * (1 << 30)
+        );
+        assert_eq!(
+            SystemConfig::neupims_for(&LLM_72B_32K).total_capacity(),
+            512 * (1 << 30)
+        );
     }
 
     #[test]
@@ -214,8 +247,7 @@ mod tests {
 
     #[test]
     fn replicas_divide_modules() {
-        let s = SystemConfig::cent_for(&LLM_7B_32K)
-            .with_parallel(ParallelConfig::new(4, 2));
+        let s = SystemConfig::cent_for(&LLM_7B_32K).with_parallel(ParallelConfig::new(4, 2));
         assert_eq!(s.replicas(), 1);
         let s2 = SystemConfig::cent_for(&LLM_7B_32K).with_parallel(ParallelConfig::new(2, 2));
         assert_eq!(s2.replicas(), 2);

@@ -113,8 +113,16 @@ impl EnergyModel {
         acc.else_ += steps * (a_row + f_row + fc_xpu);
 
         // Attribute stage shares: background splits by stage time.
-        let attn_bg = if it.seconds > 0.0 { bg * (it.attn_seconds / it.seconds) } else { 0.0 };
-        let fc_bg = if it.seconds > 0.0 { bg * (it.fc_seconds / it.seconds) } else { 0.0 };
+        let attn_bg = if it.seconds > 0.0 {
+            bg * (it.attn_seconds / it.seconds)
+        } else {
+            0.0
+        };
+        let fc_bg = if it.seconds > 0.0 {
+            bg * (it.fc_seconds / it.seconds)
+        } else {
+            0.0
+        };
         acc.attention += steps * (a_mac + a_io + a_row + attn_bg);
         acc.fc += steps * (f_mac + f_io + f_row + fc_xpu + fc_bg);
     }

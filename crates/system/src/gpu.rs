@@ -61,8 +61,7 @@ impl GpuSystem {
         let d = f64::from(model.hidden_dim);
         let kvd = f64::from(model.kv_heads() * model.head_dim);
         let f = f64::from(model.ffn_dim);
-        let fc_weights = (2.0 * d * d + 2.0 * d * kvd + 3.0 * d * f)
-            * f64::from(model.dtype_bytes);
+        let fc_weights = (2.0 * d * d + 2.0 * d * kvd + 3.0 * d * f) * f64::from(model.dtype_bytes);
         let fc_flops = 2.0 * b * (2.0 * d * d + 2.0 * d * kvd + 3.0 * d * f);
         let agg_flops = f64::from(self.gpus) * self.flops * self.compute_eff;
         let agg_bw = f64::from(self.gpus) * self.mem_bw * self.bw_eff;
@@ -151,14 +150,18 @@ mod tests {
     fn batching_amortizes_weights() {
         let g = GpuSystem::a100(2);
         let solo = g.iteration_seconds(&LLM_7B_32K, &[8192]);
-        let batch8 = g.iteration_seconds(&LLM_7B_32K, &vec![8192; 8]);
+        let batch8 = g.iteration_seconds(&LLM_7B_32K, &[8192; 8]);
         // 8x the work in much less than 8x the time.
         assert!(batch8 < 6.0 * solo);
     }
 
     #[test]
     fn throughput_is_positive_on_real_traces() {
-        let trace = TraceBuilder::new(Dataset::QmSum).seed(1).requests(16).decode_len(32).build();
+        let trace = TraceBuilder::new(Dataset::QmSum)
+            .seed(1)
+            .requests(16)
+            .decode_len(32)
+            .build();
         let g = GpuSystem::matched_for(&LLM_7B_32K);
         assert!(g.throughput(&LLM_7B_32K, &trace) > 0.0);
     }

@@ -196,7 +196,13 @@ impl KernelModel {
         if tokens == 0 {
             return KernelStats::default();
         }
-        let key = AttnKey { kind, scheduler, group, row_reuse, pimphony_buffers };
+        let key = AttnKey {
+            kind,
+            scheduler,
+            group,
+            row_reuse,
+            pimphony_buffers,
+        };
         let a = self.affine(key);
         KernelStats::axpy(&a.intercept, &a.slope, tokens as f64)
     }
@@ -212,7 +218,12 @@ impl KernelModel {
         if dout == 0 || din == 0 {
             return KernelStats::default();
         }
-        let key = GemvKey { dout, din, scheduler, pimphony_buffers };
+        let key = GemvKey {
+            dout,
+            din,
+            scheduler,
+            pimphony_buffers,
+        };
         if let Some(s) = self.gemv_cache.lock().get(&key) {
             return *s;
         }
@@ -257,7 +268,12 @@ mod tests {
         for kind in [AttentionKind::Qkt, AttentionKind::Sv] {
             let s = m.attention(kind, SchedulerKind::Static, false, 1, false, 8192);
             let d = m.attention(kind, SchedulerKind::Dcs, true, 1, false, 8192);
-            assert!(d.cycles <= s.cycles, "{kind:?}: {} vs {}", d.cycles, s.cycles);
+            assert!(
+                d.cycles <= s.cycles,
+                "{kind:?}: {} vs {}",
+                d.cycles,
+                s.cycles
+            );
         }
     }
 
@@ -272,7 +288,14 @@ mod tests {
     fn stats_grow_with_tokens() {
         let m = model();
         let a = m.attention(AttentionKind::Qkt, SchedulerKind::Dcs, true, 1, false, 1024);
-        let b = m.attention(AttentionKind::Qkt, SchedulerKind::Dcs, true, 1, false, 65536);
+        let b = m.attention(
+            AttentionKind::Qkt,
+            SchedulerKind::Dcs,
+            true,
+            1,
+            false,
+            65536,
+        );
         assert!(b.cycles > 10.0 * a.cycles);
         assert!(b.macs > a.macs);
     }
@@ -289,7 +312,13 @@ mod tests {
     #[test]
     fn accumulate_and_scale() {
         let mut s = KernelStats::default();
-        let one = KernelStats { cycles: 10.0, mac_busy: 4.0, macs: 2.0, ios: 1.0, row_switches: 0.0 };
+        let one = KernelStats {
+            cycles: 10.0,
+            mac_busy: 4.0,
+            macs: 2.0,
+            ios: 1.0,
+            row_switches: 0.0,
+        };
         s.accumulate(&one);
         s.accumulate(&one.scaled(2.0));
         assert_eq!(s.cycles, 30.0);

@@ -9,8 +9,15 @@
 //! * [`kernel`] — memoized per-channel kernel latency model calibrated by
 //!   exact cycle simulation.
 //! * [`stage`] — attention/FC stage composition under TP and PP.
-//! * [`serve`] — wave-based serving simulation producing the decode
-//!   throughput of Figs. 13–15 and 17.
+//! * [`serve`] — the [`Evaluator`]: memory policy, admission primitives,
+//!   and the [`ServingReport`].
+//! * [`engine`] — event-driven serving core advancing per-replica
+//!   virtual time over admission/step/completion events.
+//! * [`policy`] — pluggable batch scheduling: closed-world
+//!   [`SchedulingPolicy::Wave`] (paper-figure fidelity, Figs. 13–15 and
+//!   17) and online [`SchedulingPolicy::Continuous`] batching over
+//!   arrival times.
+//! * [`metrics`] — per-request TTFT/TPOT/E2E latency percentiles.
 //! * [`energy`] — the Fig. 16 energy decomposition.
 //! * [`gpu`] — the A100 flash-decoding + paged-attention baseline of
 //!   Fig. 20.
@@ -31,20 +38,50 @@
 //! let report = eval.run_trace(&trace);
 //! println!("{:.1} tokens/s", report.tokens_per_second);
 //! ```
+//!
+//! Online serving with continuous batching and latency percentiles:
+//!
+//! ```no_run
+//! use llm_model::LLM_7B_32K;
+//! use system::{Evaluator, SchedulingPolicy, SystemConfig, Techniques};
+//! use workload::{Dataset, TraceBuilder};
+//!
+//! let trace = TraceBuilder::new(Dataset::QmSum)
+//!     .requests(64)
+//!     .decode_range(16, 128)
+//!     .poisson(4.0)
+//!     .build();
+//! let eval = Evaluator::new(
+//!     SystemConfig::cent_for(&LLM_7B_32K),
+//!     LLM_7B_32K,
+//!     Techniques::pimphony(),
+//! ).with_policy(SchedulingPolicy::Continuous);
+//! let report = eval.run_trace(&trace);
+//! println!(
+//!     "{:.1} tok/s, TTFT p99 {:.3}s, TPOT p50 {:.4}s",
+//!     report.tokens_per_second, report.latency.ttft.p99, report.latency.tpot.p50,
+//! );
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
 pub mod energy;
+pub mod engine;
 pub mod gpu;
 pub mod kernel;
+pub mod metrics;
+pub mod policy;
 pub mod serve;
 pub mod stage;
 
 pub use config::{ModuleConfig, SystemConfig, SystemKind, Techniques};
 pub use energy::{EnergyBreakdown, EnergyModel};
+pub use engine::Engine;
 pub use gpu::GpuSystem;
 pub use kernel::{AttentionKind, KernelModel, KernelStats};
+pub use metrics::{LatencyReport, LatencySummary, RequestTiming};
+pub use policy::SchedulingPolicy;
 pub use serve::{Evaluator, ServingReport};
 pub use stage::{AttentionStage, IterationBreakdown, StageModel};

@@ -1,0 +1,176 @@
+//! Per-request serving metrics: TTFT, TPOT, end-to-end latency, and
+//! their distribution summaries.
+//!
+//! The wave loop of the original reproduction only reported aggregate
+//! decode throughput (the paper's Figs. 13–15/17 metric). Online serving
+//! is judged on *latency percentiles* instead, so the engine records one
+//! [`RequestTiming`] per finished request and summarizes them here.
+//!
+//! Prefill is not modeled by this simulator (the paper's evaluation is
+//! decode-phase); TTFT therefore measures arrival → first *generated*
+//! token, which includes queueing delay and the first decode iteration
+//! but no prompt-processing time. Comparisons between policies remain
+//! apples-to-apples because every policy shares that convention.
+
+use serde::Serialize;
+
+/// Timestamps of one request's path through a replica, in seconds of the
+/// replica's virtual clock (trace epoch = 0).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestTiming {
+    /// Request id within the trace.
+    pub id: u64,
+    /// Arrival time (0 for closed-world batch traces).
+    pub arrival: f64,
+    /// When the scheduling policy admitted the request into a batch.
+    pub admitted: f64,
+    /// When the first generated token completed.
+    pub first_token: f64,
+    /// When the last generated token completed.
+    pub finished: f64,
+    /// Tokens generated.
+    pub decode_len: u64,
+}
+
+impl RequestTiming {
+    /// Time to first token: arrival → first generated token.
+    pub fn ttft(&self) -> f64 {
+        self.first_token - self.arrival
+    }
+
+    /// Time per output token over the steady decode phase (first → last
+    /// token). Single-token requests have no inter-token gap; their TPOT
+    /// is the first (only) token's service time.
+    pub fn tpot(&self) -> f64 {
+        if self.decode_len > 1 {
+            (self.finished - self.first_token) / (self.decode_len - 1) as f64
+        } else {
+            self.first_token - self.admitted
+        }
+    }
+
+    /// End-to-end latency: arrival → last generated token.
+    pub fn e2e(&self) -> f64 {
+        self.finished - self.arrival
+    }
+}
+
+/// Distribution summary of one latency metric, in seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct LatencySummary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99: f64,
+    /// Maximum observed.
+    pub max: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a sample set (empty input produces the zero summary).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latency samples"));
+        let pick = |q: f64| {
+            // Nearest-rank percentile: monotone in q by construction.
+            let rank = (q * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        LatencySummary {
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50: pick(0.50),
+            p95: pick(0.95),
+            p99: pick(0.99),
+            max: *sorted.last().expect("nonempty"),
+        }
+    }
+}
+
+/// Latency statistics over every request that completed in a run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct LatencyReport {
+    /// Requests that finished decoding.
+    pub completed: u64,
+    /// Time-to-first-token distribution.
+    pub ttft: LatencySummary,
+    /// Time-per-output-token distribution.
+    pub tpot: LatencySummary,
+    /// End-to-end latency distribution.
+    pub e2e: LatencySummary,
+}
+
+impl LatencyReport {
+    /// Builds the report from per-request timings.
+    pub fn from_timings(timings: &[RequestTiming]) -> Self {
+        let collect =
+            |f: fn(&RequestTiming) -> f64| -> Vec<f64> { timings.iter().map(f).collect() };
+        LatencyReport {
+            completed: timings.len() as u64,
+            ttft: LatencySummary::from_samples(&collect(RequestTiming::ttft)),
+            tpot: LatencySummary::from_samples(&collect(RequestTiming::tpot)),
+            e2e: LatencySummary::from_samples(&collect(RequestTiming::e2e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing(arrival: f64, admitted: f64, first: f64, finished: f64, d: u64) -> RequestTiming {
+        RequestTiming {
+            id: 0,
+            arrival,
+            admitted,
+            first_token: first,
+            finished,
+            decode_len: d,
+        }
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bounded() {
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = LatencySummary::from_samples(&samples);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.p99, 99.0);
+        assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn empty_and_singleton_summaries() {
+        assert_eq!(LatencySummary::from_samples(&[]), LatencySummary::default());
+        let s = LatencySummary::from_samples(&[2.5]);
+        assert_eq!((s.p50, s.p95, s.p99, s.max), (2.5, 2.5, 2.5, 2.5));
+    }
+
+    #[test]
+    fn timing_derivations() {
+        let t = timing(1.0, 2.0, 3.0, 12.0, 10);
+        assert_eq!(t.ttft(), 2.0);
+        assert_eq!(t.e2e(), 11.0);
+        assert!((t.tpot() - 1.0).abs() < 1e-12);
+        // Single-token request: TPOT is the sole token's service time.
+        let one = timing(0.0, 0.5, 1.5, 1.5, 1);
+        assert_eq!(one.tpot(), 1.0);
+    }
+
+    #[test]
+    fn report_counts_completions() {
+        let r = LatencyReport::from_timings(&[
+            timing(0.0, 0.0, 1.0, 5.0, 8),
+            timing(0.5, 1.0, 2.0, 6.0, 8),
+        ]);
+        assert_eq!(r.completed, 2);
+        assert!(r.ttft.p50 > 0.0 && r.e2e.max >= r.e2e.p99);
+    }
+}

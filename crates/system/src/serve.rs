@@ -1,14 +1,19 @@
-//! End-to-end serving simulation: admission, decode waves, throughput.
+//! Serving evaluation: memory policy, admission primitives, reports.
 //!
-//! Requests are served in waves: a batch is admitted under the memory
-//! policy (static `T_max` reservations vs DPA's lazy actual-size
-//! allocation), decoded to completion, then the next wave starts. The
-//! decode-phase throughput in tokens/second is the paper's Figs. 13–15/17
-//! metric.
+//! The [`Evaluator`] owns one (system, model, techniques) configuration
+//! and its memory policy — static `T_max` reservations vs DPA's lazy
+//! actual-size allocation. Serving itself runs on the event-driven
+//! [`crate::engine::Engine`] under a [`SchedulingPolicy`]: the default
+//! [`SchedulingPolicy::Wave`] reproduces the paper's closed-world decode
+//! throughput (Figs. 13–15/17), while [`SchedulingPolicy::Continuous`]
+//! serves open-loop arrival traces with per-request latency metrics.
 
 use crate::config::{SystemConfig, Techniques};
 use crate::energy::{EnergyBreakdown, EnergyModel};
+use crate::engine::Engine;
 use crate::kernel::KernelModel;
+use crate::metrics::LatencyReport;
+use crate::policy::{self, SchedulingPolicy};
 use crate::stage::{IterationBreakdown, StageModel};
 use llm_model::ModelConfig;
 use pim_mem::DEFAULT_CHUNK_BYTES;
@@ -20,17 +25,22 @@ use workload::Trace;
 pub struct ServingReport {
     /// Decode throughput in tokens/second (all replicas).
     pub tokens_per_second: f64,
-    /// Total wall-clock seconds.
+    /// Total wall-clock seconds (slowest replica's end time; includes
+    /// idle gaps waiting for arrivals under the continuous policy).
     pub seconds: f64,
+    /// Seconds replicas spent decoding, summed over replicas.
+    pub busy_seconds: f64,
     /// Total decode tokens produced.
     pub tokens: u64,
-    /// Mean admitted batch size per replica.
+    /// Mean batch size: per admitted wave under the wave policy,
+    /// per executed decode step under the continuous policy.
     pub mean_batch: f64,
-    /// Mean attention MAC utilization.
+    /// Mean attention MAC utilization over busy replica time.
     pub attn_utilization: f64,
     /// KV-capacity utilization under the active memory policy.
     pub capacity_utilization: f64,
-    /// Number of decode waves.
+    /// Admission events: decode waves under the wave policy, batch-join
+    /// events under the continuous policy.
     pub waves: u32,
     /// Energy breakdown over the run.
     pub energy: EnergyBreakdown,
@@ -38,6 +48,8 @@ pub struct ServingReport {
     pub attn_seconds: f64,
     /// Seconds spent in the FC stage.
     pub fc_seconds: f64,
+    /// Per-request latency statistics (TTFT/TPOT/E2E percentiles).
+    pub latency: LatencyReport,
 }
 
 /// Evaluates one (system, model, techniques) configuration on traces.
@@ -46,6 +58,7 @@ pub struct Evaluator {
     system: SystemConfig,
     model: ModelConfig,
     techniques: Techniques,
+    policy: SchedulingPolicy,
     kernels: KernelModel,
     energy: EnergyModel,
     /// Recompute the iteration time every `stride` decode steps (token
@@ -54,16 +67,24 @@ pub struct Evaluator {
 }
 
 impl Evaluator {
-    /// Creates an evaluator with AiMX timing and the default energy model.
+    /// Creates an evaluator with AiMX timing, the default energy model,
+    /// and the closed-world wave scheduling policy.
     pub fn new(system: SystemConfig, model: ModelConfig, techniques: Techniques) -> Self {
         Evaluator {
             system,
             model,
             techniques,
+            policy: SchedulingPolicy::Wave,
             kernels: KernelModel::new(pim_sim::Timing::aimx(), model.head_dim),
             energy: EnergyModel::aimx(),
             stride: 64,
         }
+    }
+
+    /// Returns this evaluator with a different scheduling policy.
+    pub fn with_policy(mut self, policy: SchedulingPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// The system configuration.
@@ -81,8 +102,21 @@ impl Evaluator {
         &self.techniques
     }
 
-    fn stage_model(&self) -> StageModel<'_> {
+    /// The active scheduling policy.
+    pub fn scheduling_policy(&self) -> SchedulingPolicy {
+        self.policy
+    }
+
+    pub(crate) fn stage_model(&self) -> StageModel<'_> {
         StageModel::new(self.system, self.model, self.techniques, &self.kernels)
+    }
+
+    pub(crate) fn energy_model(&self) -> &EnergyModel {
+        &self.energy
+    }
+
+    pub(crate) fn stride(&self) -> u64 {
+        self.stride
     }
 
     /// One decode iteration for an explicit batch (ids and token counts).
@@ -92,8 +126,7 @@ impl Evaluator {
 
     /// KV bytes available to one replica (capacity minus weights).
     pub fn replica_kv_capacity(&self) -> u64 {
-        let total =
-            u64::from(self.system.parallel.modules()) * self.system.module.capacity_bytes;
+        let total = u64::from(self.system.parallel.modules()) * self.system.module.capacity_bytes;
         total.saturating_sub(self.model.weight_bytes())
     }
 
@@ -107,8 +140,7 @@ impl Evaluator {
     pub fn kv_reservation(&self, final_len: u64, t_max: u64) -> u64 {
         // When TP exceeds the KV-head count, KV heads are replicated
         // across modules and the footprint grows accordingly.
-        let replication =
-            u64::from((self.system.parallel.tp / self.model.kv_heads()).max(1));
+        let replication = u64::from((self.system.parallel.tp / self.model.kv_heads()).max(1));
         if self.techniques.dpa {
             // Lazy allocation: actual KV plus one partial chunk per module.
             replication * self.model.kv_bytes(final_len)
@@ -145,9 +177,8 @@ impl Evaluator {
         let q_heads = self.model.heads.div_ceil(p.tp).max(1);
         let g_eff = self.model.gqa_group.min(q_heads).max(1);
         let kv_instances = q_heads.div_ceil(g_eff).max(1);
-        (u64::from(self.system.module.channels) * slots_per_channel
-            / u64::from(kv_instances))
-        .max(1)
+        (u64::from(self.system.module.channels) * slots_per_channel / u64::from(kv_instances))
+            .max(1)
     }
 
     /// Whether one replica can hold the model weights plus at least one
@@ -156,35 +187,20 @@ impl Evaluator {
         self.replica_kv_capacity() >= self.kv_reservation(t_max, t_max)
     }
 
-    /// Greedy admission of a wave from `pending` under the memory policy.
-    /// Returns how many of the leading requests are admitted (at least one
-    /// — a single request that cannot fit is admitted alone and truncated
-    /// to capacity by construction of the workloads).
-    fn admit(&self, pending: &[workload::Request], t_max: u64) -> usize {
-        let capacity = self.replica_kv_capacity();
-        let limit = self.hfp_batch_limit(t_max);
-        let mut used = 0u64;
-        let mut n = 0usize;
-        for r in pending {
-            if n as u64 >= limit {
-                break;
-            }
-            let need = self.kv_reservation(r.final_len(), t_max);
-            if n > 0 && used + need > capacity {
-                break;
-            }
-            used += need;
-            n += 1;
-            if used >= capacity {
-                break;
-            }
-        }
-        n.max(1)
+    /// Serves `trace` through the event-driven engine under the active
+    /// scheduling policy.
+    pub fn run_trace(&self, trace: &Trace) -> ServingReport {
+        Engine::new(self, self.policy).run(trace)
     }
 
-    /// Serves `trace`, splitting requests round-robin across replicas and
-    /// decoding each wave to completion.
-    pub fn run_trace(&self, trace: &Trace) -> ServingReport {
+    /// The original monolithic wave loop, kept verbatim as the fidelity
+    /// oracle for the engine's wave policy (hidden from docs; used by the
+    /// `engine_properties` tests). Note it reports the pre-fix
+    /// utilization formula (divided by `max_seconds × replicas`) and
+    /// leaves the newer `busy_seconds`/`latency` fields at their
+    /// defaults.
+    #[doc(hidden)]
+    pub fn run_trace_wave_reference(&self, trace: &Trace) -> ServingReport {
         let replicas = self.system.replicas();
         let stage = self.stage_model();
         let mut report = ServingReport::default();
@@ -211,7 +227,7 @@ impl Evaluator {
                 // requests evenly over the implied number of waves (a
                 // trailing near-empty wave would waste a whole decode
                 // pass).
-                let greedy = self.admit(&queue[idx..], t_max);
+                let greedy = policy::wave_greedy_admit(self, &queue[idx..], t_max);
                 let remaining = queue.len() - idx;
                 let waves_needed = remaining.div_ceil(greedy);
                 let admitted = remaining.div_ceil(waves_needed).min(greedy);
@@ -260,15 +276,26 @@ impl Evaluator {
         }
 
         report.seconds = max_seconds;
-        report.tokens_per_second =
-            if max_seconds > 0.0 { report.tokens as f64 / max_seconds } else { 0.0 };
-        report.mean_batch =
-            if report.waves > 0 { batch_sum / f64::from(report.waves) } else { 0.0 };
-        let total_secs: f64 = per_replica.iter().map(|_| max_seconds).sum();
-        report.attn_utilization =
-            if total_secs > 0.0 { util_weighted / (max_seconds * replicas as f64) } else { 0.0 };
-        report.capacity_utilization =
-            if reserved_kv > 0.0 { used_kv / reserved_kv } else { 0.0 };
+        report.tokens_per_second = if max_seconds > 0.0 {
+            report.tokens as f64 / max_seconds
+        } else {
+            0.0
+        };
+        report.mean_batch = if report.waves > 0 {
+            batch_sum / f64::from(report.waves)
+        } else {
+            0.0
+        };
+        report.attn_utilization = if max_seconds > 0.0 {
+            util_weighted / (max_seconds * replicas as f64)
+        } else {
+            0.0
+        };
+        report.capacity_utilization = if reserved_kv > 0.0 {
+            used_kv / reserved_kv
+        } else {
+            0.0
+        };
         report
     }
 }
@@ -280,7 +307,11 @@ mod tests {
     use workload::{Dataset, TraceBuilder};
 
     fn small_trace() -> Trace {
-        TraceBuilder::new(Dataset::QmSum).seed(3).requests(12).decode_len(32).build()
+        TraceBuilder::new(Dataset::QmSum)
+            .seed(3)
+            .requests(12)
+            .decode_len(32)
+            .build()
     }
 
     #[test]
@@ -327,7 +358,11 @@ mod tests {
 
     #[test]
     fn dpa_improves_capacity_utilization_and_batch() {
-        let trace = TraceBuilder::new(Dataset::QmSum).seed(5).requests(40).decode_len(16).build();
+        let trace = TraceBuilder::new(Dataset::QmSum)
+            .seed(5)
+            .requests(40)
+            .decode_len(16)
+            .build();
         let sys = SystemConfig::cent_for(&LLM_7B_32K);
         let stat = Evaluator::new(sys, LLM_7B_32K, Techniques::tcp_dcs()).run_trace(&trace);
         let dpa = Evaluator::new(sys, LLM_7B_32K, Techniques::pimphony()).run_trace(&trace);
@@ -337,8 +372,11 @@ mod tests {
 
     #[test]
     fn gqa_model_serves_long_contexts() {
-        let trace =
-            TraceBuilder::new(Dataset::MultiFieldQa).seed(2).requests(6).decode_len(16).build();
+        let trace = TraceBuilder::new(Dataset::MultiFieldQa)
+            .seed(2)
+            .requests(6)
+            .decode_len(16)
+            .build();
         let e = Evaluator::new(
             SystemConfig::cent_for(&LLM_7B_128K_GQA),
             LLM_7B_128K_GQA,
@@ -361,9 +399,57 @@ mod tests {
 
     #[test]
     fn empty_trace_yields_empty_report() {
-        let e = Evaluator::new(SystemConfig::cent_for(&LLM_7B_32K), LLM_7B_32K, Techniques::pimphony());
+        let e = Evaluator::new(
+            SystemConfig::cent_for(&LLM_7B_32K),
+            LLM_7B_32K,
+            Techniques::pimphony(),
+        );
         let r = e.run_trace(&Trace::new());
         assert_eq!(r.tokens, 0);
         assert_eq!(r.tokens_per_second, 0.0);
+        assert_eq!(r.latency.completed, 0);
+    }
+
+    #[test]
+    fn busy_seconds_accounts_every_replica() {
+        // Utilization divides by busy time, not wall-clock × replicas:
+        // with balanced load they coincide; busy is never larger.
+        let trace = small_trace();
+        let e = Evaluator::new(
+            SystemConfig::cent_for(&LLM_7B_32K),
+            LLM_7B_32K,
+            Techniques::pimphony(),
+        );
+        let r = e.run_trace(&trace);
+        let replicas = e.system().replicas() as f64;
+        assert!(r.busy_seconds > 0.0);
+        assert!(r.busy_seconds <= r.seconds * replicas + 1e-9);
+        assert!((0.0..=1.0).contains(&r.attn_utilization));
+    }
+
+    #[test]
+    fn utilization_fix_does_not_deflate_under_idle_replicas() {
+        // 3 requests over 2 replicas: one replica serves 2, the other 1,
+        // so the lighter replica idles. The fixed metric (busy-time
+        // weighted) must be at least the reference metric, which divided
+        // by max_seconds × replicas and double-counted the idle tail.
+        let sys = SystemConfig::cent_for(&LLM_7B_32K)
+            .with_parallel(pim_compiler::ParallelConfig::new(4, 1));
+        assert!(sys.replicas() >= 2);
+        let trace = TraceBuilder::new(Dataset::QmSum)
+            .seed(4)
+            .requests(3)
+            .decode_len(16)
+            .build();
+        let e = Evaluator::new(sys, LLM_7B_32K, Techniques::pimphony());
+        let fixed = e.run_trace(&trace);
+        let reference = e.run_trace_wave_reference(&trace);
+        assert!(
+            fixed.attn_utilization >= reference.attn_utilization - 1e-12,
+            "fixed {} < reference {}",
+            fixed.attn_utilization,
+            reference.attn_utilization
+        );
+        assert!(fixed.busy_seconds < fixed.seconds * e.system().replicas() as f64);
     }
 }

@@ -67,7 +67,12 @@ impl<'a> StageModel<'a> {
         techniques: Techniques,
         kernels: &'a KernelModel,
     ) -> Self {
-        StageModel { system, model, techniques, kernels }
+        StageModel {
+            system,
+            model,
+            techniques,
+            kernels,
+        }
     }
 
     /// The command scheduler implied by the technique set.
@@ -107,7 +112,9 @@ impl<'a> StageModel<'a> {
     /// KV-head instances a module computes against (its query heads
     /// grouped by shared KV).
     fn kv_instances_per_module(&self) -> u32 {
-        self.q_heads_per_module().div_ceil(self.effective_group()).max(1)
+        self.q_heads_per_module()
+            .div_ceil(self.effective_group())
+            .max(1)
     }
 
     /// Attention stage for one layer on one module, given the admitted
@@ -144,9 +151,11 @@ impl<'a> StageModel<'a> {
             for slice in &ch.slices {
                 let t = slice.tokens();
                 let qkt =
-                    self.kernels.attention(AttentionKind::Qkt, sched, buffers, group, row_reuse, t);
+                    self.kernels
+                        .attention(AttentionKind::Qkt, sched, buffers, group, row_reuse, t);
                 let sv =
-                    self.kernels.attention(AttentionKind::Sv, sched, buffers, group, row_reuse, t);
+                    self.kernels
+                        .attention(AttentionKind::Sv, sched, buffers, group, row_reuse, t);
                 cycles += qkt.cycles + sv.cycles + reduction;
                 totals.accumulate(&qkt);
                 totals.accumulate(&sv);
@@ -193,9 +202,13 @@ impl<'a> StageModel<'a> {
         }
         let tp = self.system.parallel.tp;
         let ops = self.fc_ops();
-        let flops: f64 =
-            2.0 * batch as f64 * ops.iter().map(|&(o, i)| f64::from(o) * f64::from(i)).sum::<f64>()
-                / f64::from(tp);
+        let flops: f64 = 2.0
+            * batch as f64
+            * ops
+                .iter()
+                .map(|&(o, i)| f64::from(o) * f64::from(i))
+                .sum::<f64>()
+            / f64::from(tp);
         match self.system.kind {
             SystemKind::PimOnly => {
                 // FC runs on PIM: every channel owns a dout shard; the
@@ -233,9 +246,8 @@ impl<'a> StageModel<'a> {
         if tp <= 1 || batch == 0 {
             return 0.0;
         }
-        let bytes = batch as f64
-            * f64::from(self.model.hidden_dim)
-            * f64::from(self.model.dtype_bytes);
+        let bytes =
+            batch as f64 * f64::from(self.model.hidden_dim) * f64::from(self.model.dtype_bytes);
         2.0 * (f64::from(tp) - 1.0) / f64::from(tp) * bytes / self.system.module.interconnect_bw
     }
 
@@ -272,7 +284,8 @@ impl<'a> StageModel<'a> {
             out.attn_totals
                 .accumulate(&attn.totals.scaled(layers_per_stage as f64 * pp as f64));
             out.fc_flops += fc_flops * layers_per_stage as f64 * pp as f64;
-            out.fc_totals.accumulate(&fc_stats.scaled(layers_per_stage as f64 * pp as f64));
+            out.fc_totals
+                .accumulate(&fc_stats.scaled(layers_per_stage as f64 * pp as f64));
             util_weighted += attn.utilization * stage;
         }
         let mean_stage = stage_secs_sum / m as f64;
@@ -309,7 +322,12 @@ mod tests {
         let batch = [(0u64, 32_768u64)];
         let b = base.attention_layer(&batch);
         let t = tcp.attention_layer(&batch);
-        assert!(t.utilization > b.utilization * 2.0, "{} vs {}", t.utilization, b.utilization);
+        assert!(
+            t.utilization > b.utilization * 2.0,
+            "{} vs {}",
+            t.utilization,
+            b.utilization
+        );
         assert!(t.cycles < b.cycles);
         assert_eq!(t.active_channels, 32);
     }

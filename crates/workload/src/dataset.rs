@@ -34,8 +34,12 @@ pub enum Dataset {
 
 impl Dataset {
     /// All Table II tasks.
-    pub const ALL: [Dataset; 4] =
-        [Dataset::QmSum, Dataset::Musique, Dataset::MultiFieldQa, Dataset::LoogleSd];
+    pub const ALL: [Dataset; 4] = [
+        Dataset::QmSum,
+        Dataset::Musique,
+        Dataset::MultiFieldQa,
+        Dataset::LoogleSd,
+    ];
 
     /// The Table II statistics for this task.
     pub fn stats(self) -> DatasetStats {
@@ -123,8 +127,10 @@ mod tests {
 
     #[test]
     fn suites_partition_tasks() {
-        let mut all: Vec<_> =
-            Dataset::longbench().into_iter().chain(Dataset::lv_eval()).collect();
+        let mut all: Vec<_> = Dataset::longbench()
+            .into_iter()
+            .chain(Dataset::lv_eval())
+            .collect();
         all.sort_by_key(|d| d.name());
         let mut expect: Vec<_> = Dataset::ALL.into();
         expect.sort_by_key(|d| d.name());

@@ -3,7 +3,16 @@
 //! Context lengths are drawn from a normal distribution truncated to the
 //! dataset's `[min, max]` range (rejection sampling), matching Table II's
 //! moments. Decode lengths default to a fixed budget, as the paper's
-//! throughput metric is decode-phase tokens/second.
+//! throughput metric is decode-phase tokens/second; online-serving
+//! studies can widen them with [`TraceBuilder::decode_range`].
+//!
+//! For open-loop (continuous-batching) experiments, requests additionally
+//! carry an **arrival time**. [`ArrivalProcess::Batch`] (the default)
+//! reproduces the paper's closed-world evaluation where every request is
+//! available at time zero; [`ArrivalProcess::Poisson`] models steady
+//! traffic with exponential interarrivals; [`ArrivalProcess::Bursty`]
+//! uses gamma interarrivals with a coefficient of variation above one, so
+//! requests cluster into bursts at the same average rate.
 
 use crate::dataset::{Dataset, DatasetStats};
 use rand::rngs::StdRng;
@@ -11,7 +20,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// One inference request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Request {
     /// Stable identifier within its trace.
     pub id: u64,
@@ -19,12 +28,20 @@ pub struct Request {
     pub context_len: u64,
     /// Tokens to generate in the decode phase.
     pub decode_len: u64,
+    /// Arrival time in integer microseconds since the trace epoch
+    /// (microseconds keep `Request` hashable and exactly comparable).
+    pub arrival_us: u64,
 }
 
 impl Request {
     /// Context plus generated tokens at decode completion.
     pub fn final_len(&self) -> u64 {
         self.context_len + self.decode_len
+    }
+
+    /// Arrival time in seconds since the trace epoch.
+    pub fn arrival_secs(&self) -> f64 {
+        self.arrival_us as f64 * 1e-6
     }
 }
 
@@ -65,7 +82,11 @@ impl Trace {
         if self.requests.is_empty() {
             return 0.0;
         }
-        self.requests.iter().map(|r| r.context_len as f64).sum::<f64>() / self.len() as f64
+        self.requests
+            .iter()
+            .map(|r| r.context_len as f64)
+            .sum::<f64>()
+            / self.len() as f64
     }
 
     /// Standard deviation of context lengths.
@@ -94,12 +115,86 @@ impl Trace {
     pub fn total_decode_tokens(&self) -> u64 {
         self.requests.iter().map(|r| r.decode_len).sum()
     }
+
+    /// Last arrival time in seconds (0 for batch traces and empty traces).
+    pub fn last_arrival_secs(&self) -> f64 {
+        self.requests
+            .iter()
+            .map(|r| r.arrival_us)
+            .max()
+            .unwrap_or(0) as f64
+            * 1e-6
+    }
+
+    /// Offered load in requests/second over the arrival span, or `None`
+    /// for batch traces whose arrivals all coincide.
+    pub fn offered_rate(&self) -> Option<f64> {
+        let span = self.last_arrival_secs();
+        (span > 0.0).then(|| self.len() as f64 / span)
+    }
 }
 
 impl FromIterator<Request> for Trace {
     fn from_iter<I: IntoIterator<Item = Request>>(iter: I) -> Self {
-        Trace { requests: iter.into_iter().collect() }
+        Trace {
+            requests: iter.into_iter().collect(),
+        }
     }
+}
+
+/// The request arrival-time process of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Closed world: every request is available at time zero (the paper's
+    /// wave-serving evaluation).
+    Batch,
+    /// Steady open-loop traffic: exponential interarrivals at `rate`
+    /// requests/second.
+    Poisson {
+        /// Mean arrival rate in requests/second.
+        rate: f64,
+    },
+    /// Bursty open-loop traffic: gamma interarrivals with coefficient of
+    /// variation `cv > 1` at the same mean `rate` (cv = 1 degenerates to
+    /// Poisson).
+    Bursty {
+        /// Mean arrival rate in requests/second.
+        rate: f64,
+        /// Coefficient of variation of the interarrival time (≥ 1).
+        cv: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Mean arrival rate in requests/second (`None` for batch arrivals).
+    pub fn rate(&self) -> Option<f64> {
+        match *self {
+            ArrivalProcess::Batch => None,
+            ArrivalProcess::Poisson { rate } | ArrivalProcess::Bursty { rate, .. } => Some(rate),
+        }
+    }
+
+    /// Draws one interarrival gap in seconds.
+    fn sample_gap(&self, rng: &mut StdRng) -> f64 {
+        match *self {
+            ArrivalProcess::Batch => 0.0,
+            ArrivalProcess::Poisson { rate } => sample_exponential(rng) / rate,
+            ArrivalProcess::Bursty { rate, cv } => {
+                // Gamma with mean 1/rate and cv: shape k = 1/cv², scale
+                // chosen so k·scale = 1/rate.
+                let shape = (1.0 / (cv * cv)).max(1e-3);
+                sample_gamma(rng, shape) / (shape * rate)
+            }
+        }
+    }
+}
+
+/// The per-request decode budget specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DecodeSpec {
+    Fixed(u64),
+    /// Uniform over the inclusive range.
+    Uniform(u64, u64),
 }
 
 /// Builder for reproducible traces.
@@ -112,32 +207,37 @@ impl FromIterator<Request> for Trace {
 /// assert_eq!(trace.len(), 64);
 /// let (min, max) = trace.context_range().unwrap();
 /// assert!(min >= Dataset::QmSum.stats().min && max <= Dataset::QmSum.stats().max);
+/// // Closed-world by default; opt into open-loop arrivals:
+/// let online = TraceBuilder::new(Dataset::QmSum).seed(7).requests(64).poisson(5.0).build();
+/// assert!(online.last_arrival_secs() > 0.0);
 /// ```
 #[derive(Debug, Clone)]
 pub struct TraceBuilder {
     stats: DatasetStats,
     seed: u64,
     n: usize,
-    decode_len: u64,
+    decode: DecodeSpec,
     sigma_clip: Option<f64>,
+    arrivals: ArrivalProcess,
 }
 
 impl TraceBuilder {
     /// Starts a builder for one of the Table II datasets.
     pub fn new(dataset: Dataset) -> Self {
-        TraceBuilder {
-            stats: dataset.stats(),
-            seed: 0,
-            n: 128,
-            decode_len: 256,
-            sigma_clip: None,
-        }
+        Self::from_stats(dataset.stats())
     }
 
     /// Starts a builder from custom statistics (used by the Fig. 17
     /// 3-sigma synthetic sweep).
     pub fn from_stats(stats: DatasetStats) -> Self {
-        TraceBuilder { stats, seed: 0, n: 128, decode_len: 256, sigma_clip: None }
+        TraceBuilder {
+            stats,
+            seed: 0,
+            n: 128,
+            decode: DecodeSpec::Fixed(256),
+            sigma_clip: None,
+            arrivals: ArrivalProcess::Batch,
+        }
     }
 
     /// Sets the RNG seed.
@@ -152,9 +252,18 @@ impl TraceBuilder {
         self
     }
 
-    /// Sets the per-request decode budget.
+    /// Sets a fixed per-request decode budget.
     pub fn decode_len(mut self, tokens: u64) -> Self {
-        self.decode_len = tokens;
+        self.decode = DecodeSpec::Fixed(tokens);
+        self
+    }
+
+    /// Draws each request's decode budget uniformly from `[lo, hi]`
+    /// (inclusive) — response lengths vary in production traffic, which
+    /// is what gives continuous batching its refill advantage.
+    pub fn decode_range(mut self, lo: u64, hi: u64) -> Self {
+        assert!(lo >= 1 && lo <= hi, "decode_range requires 1 <= lo <= hi");
+        self.decode = DecodeSpec::Uniform(lo, hi);
         self
     }
 
@@ -165,7 +274,38 @@ impl TraceBuilder {
         self
     }
 
+    /// Sets the arrival-time process (default: batch, all at time zero).
+    pub fn arrivals(mut self, process: ArrivalProcess) -> Self {
+        if let Some(rate) = process.rate() {
+            assert!(
+                rate > 0.0 && rate.is_finite(),
+                "arrival rate must be positive"
+            );
+        }
+        if let ArrivalProcess::Bursty { cv, .. } = process {
+            assert!(cv >= 1.0, "bursty cv must be >= 1 (cv = 1 is Poisson)");
+        }
+        self.arrivals = process;
+        self
+    }
+
+    /// Poisson arrivals at `rate` requests/second.
+    pub fn poisson(self, rate: f64) -> Self {
+        self.arrivals(ArrivalProcess::Poisson { rate })
+    }
+
+    /// Bursty (gamma) arrivals at `rate` requests/second with interarrival
+    /// coefficient of variation `cv`.
+    pub fn bursty(self, rate: f64, cv: f64) -> Self {
+        self.arrivals(ArrivalProcess::Bursty { rate, cv })
+    }
+
     /// Generates the trace.
+    ///
+    /// RNG draw order is: context lengths (one rejection loop per
+    /// request), then decode budgets (only if ranged), then interarrival
+    /// gaps (only if open-loop) — so default builds reproduce the exact
+    /// streams of earlier versions of this crate.
     pub fn build(&self) -> Trace {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let (mut lo, mut hi) = (self.stats.min as f64, self.stats.max as f64);
@@ -176,29 +316,80 @@ impl TraceBuilder {
         let mut requests = Vec::with_capacity(self.n);
         for id in 0..self.n as u64 {
             let len = sample_truncated_normal(&mut rng, self.stats.mean, self.stats.std, lo, hi);
+            let decode_len = match self.decode {
+                DecodeSpec::Fixed(d) => d,
+                DecodeSpec::Uniform(_, _) => 0, // filled below, after all context draws
+            };
             requests.push(Request {
                 id,
                 context_len: len.round().max(1.0) as u64,
-                decode_len: self.decode_len,
+                decode_len,
+                arrival_us: 0,
             });
+        }
+        if let DecodeSpec::Uniform(dlo, dhi) = self.decode {
+            for r in &mut requests {
+                // Inclusive draw without overflowing at dhi == u64::MAX
+                // (dlo >= 1 keeps the span below 2^64).
+                r.decode_len = dlo + rng.gen_range(0..dhi - dlo + 1);
+            }
+        }
+        if !matches!(self.arrivals, ArrivalProcess::Batch) {
+            let mut clock = 0.0f64;
+            for r in &mut requests {
+                clock += self.arrivals.sample_gap(&mut rng);
+                r.arrival_us = (clock * 1e6).round() as u64;
+            }
         }
         Trace { requests }
     }
 }
 
-/// Box–Muller normal sample truncated to `[lo, hi]` by rejection (with a
-/// clamp fallback after 64 rejections to guarantee termination).
+/// Box–Muller standard normal sample.
+fn sample_standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Normal sample truncated to `[lo, hi]` by rejection (with a clamp
+/// fallback after 64 rejections to guarantee termination).
 fn sample_truncated_normal(rng: &mut StdRng, mean: f64, std: f64, lo: f64, hi: f64) -> f64 {
     for _ in 0..64 {
-        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = rng.gen_range(0.0..1.0);
-        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-        let x = mean + std * z;
+        let x = mean + std * sample_standard_normal(rng);
         if x >= lo && x <= hi {
             return x;
         }
     }
     mean.clamp(lo, hi)
+}
+
+/// Unit-mean exponential sample.
+fn sample_exponential(rng: &mut StdRng) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln()
+}
+
+/// Gamma(shape, 1) sample via Marsaglia–Tsang, with the `U^(1/k)` boost
+/// for shapes below one.
+fn sample_gamma(rng: &mut StdRng, shape: f64) -> f64 {
+    if shape < 1.0 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        return sample_gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = sample_standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -207,10 +398,19 @@ mod tests {
 
     #[test]
     fn trace_is_reproducible() {
-        let a = TraceBuilder::new(Dataset::Musique).seed(42).requests(32).build();
-        let b = TraceBuilder::new(Dataset::Musique).seed(42).requests(32).build();
+        let a = TraceBuilder::new(Dataset::Musique)
+            .seed(42)
+            .requests(32)
+            .build();
+        let b = TraceBuilder::new(Dataset::Musique)
+            .seed(42)
+            .requests(32)
+            .build();
         assert_eq!(a, b);
-        let c = TraceBuilder::new(Dataset::Musique).seed(43).requests(32).build();
+        let c = TraceBuilder::new(Dataset::Musique)
+            .seed(43)
+            .requests(32)
+            .build();
         assert_ne!(a, c);
     }
 
@@ -227,7 +427,10 @@ mod tests {
 
     #[test]
     fn sample_moments_roughly_match() {
-        let t = TraceBuilder::new(Dataset::QmSum).seed(9).requests(4000).build();
+        let t = TraceBuilder::new(Dataset::QmSum)
+            .seed(9)
+            .requests(4000)
+            .build();
         let s = Dataset::QmSum.stats();
         let mean_err = (t.mean_context() - s.mean).abs() / s.mean;
         assert!(mean_err < 0.08, "mean off by {:.1}%", mean_err * 100.0);
@@ -238,7 +441,10 @@ mod tests {
 
     #[test]
     fn sigma_clip_narrows_spread() {
-        let wide = TraceBuilder::new(Dataset::MultiFieldQa).seed(5).requests(1000).build();
+        let wide = TraceBuilder::new(Dataset::MultiFieldQa)
+            .seed(5)
+            .requests(1000)
+            .build();
         let narrow = TraceBuilder::new(Dataset::MultiFieldQa)
             .seed(5)
             .requests(1000)
@@ -249,7 +455,10 @@ mod tests {
 
     #[test]
     fn decode_budget_applies() {
-        let t = TraceBuilder::new(Dataset::QmSum).decode_len(77).requests(3).build();
+        let t = TraceBuilder::new(Dataset::QmSum)
+            .decode_len(77)
+            .requests(3)
+            .build();
         assert!(t.iter().all(|r| r.decode_len == 77));
         assert_eq!(t.total_decode_tokens(), 231);
         assert!(t.iter().all(|r| r.final_len() == r.context_len + 77));
@@ -262,5 +471,108 @@ mod tests {
         assert_eq!(t.std_context(), 0.0);
         assert_eq!(t.context_range(), None);
         assert!(t.is_empty());
+        assert_eq!(t.last_arrival_secs(), 0.0);
+        assert_eq!(t.offered_rate(), None);
+    }
+
+    #[test]
+    fn batch_arrivals_are_all_zero() {
+        let t = TraceBuilder::new(Dataset::QmSum)
+            .seed(4)
+            .requests(16)
+            .build();
+        assert!(t.iter().all(|r| r.arrival_us == 0));
+        assert_eq!(t.offered_rate(), None);
+    }
+
+    #[test]
+    fn arrivals_do_not_perturb_context_sampling() {
+        // Opting into arrivals must not change the context-length stream,
+        // so closed- and open-loop runs stay length-comparable.
+        let batch = TraceBuilder::new(Dataset::QmSum)
+            .seed(11)
+            .requests(64)
+            .build();
+        let online = TraceBuilder::new(Dataset::QmSum)
+            .seed(11)
+            .requests(64)
+            .poisson(2.0)
+            .build();
+        for (a, b) in batch.iter().zip(online.iter()) {
+            assert_eq!(a.context_len, b.context_len);
+            assert_eq!(a.decode_len, b.decode_len);
+        }
+    }
+
+    #[test]
+    fn poisson_arrivals_are_monotone_at_about_the_rate() {
+        let rate = 8.0;
+        let t = TraceBuilder::new(Dataset::QmSum)
+            .seed(3)
+            .requests(2000)
+            .poisson(rate)
+            .build();
+        let mut last = 0;
+        for r in t.iter() {
+            assert!(r.arrival_us >= last, "arrivals must be nondecreasing");
+            last = r.arrival_us;
+        }
+        let measured = t.offered_rate().expect("open-loop trace");
+        assert!(
+            (measured - rate).abs() / rate < 0.1,
+            "measured {measured:.2} vs requested {rate}"
+        );
+    }
+
+    #[test]
+    fn bursty_interarrivals_spread_wider_than_poisson() {
+        let rate = 4.0;
+        let cv = |t: &Trace| {
+            let gaps: Vec<f64> = t
+                .requests()
+                .windows(2)
+                .map(|w| (w[1].arrival_us - w[0].arrival_us) as f64)
+                .collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+            var.sqrt() / mean
+        };
+        let p = TraceBuilder::new(Dataset::QmSum)
+            .seed(7)
+            .requests(3000)
+            .poisson(rate)
+            .build();
+        let b = TraceBuilder::new(Dataset::QmSum)
+            .seed(7)
+            .requests(3000)
+            .bursty(rate, 3.0)
+            .build();
+        assert!((cv(&p) - 1.0).abs() < 0.15, "poisson cv {:.2}", cv(&p));
+        assert!(cv(&b) > 2.0, "bursty cv {:.2} not bursty", cv(&b));
+        // Same average rate within tolerance.
+        let rp = p.offered_rate().unwrap();
+        let rb = b.offered_rate().unwrap();
+        assert!(
+            (rp - rb).abs() / rp < 0.25,
+            "poisson {rp:.2} vs bursty {rb:.2}"
+        );
+    }
+
+    #[test]
+    fn decode_range_samples_within_bounds() {
+        let t = TraceBuilder::new(Dataset::QmSum)
+            .seed(5)
+            .requests(500)
+            .decode_range(8, 64)
+            .build();
+        assert!(t.iter().all(|r| (8..=64).contains(&r.decode_len)));
+        let distinct: std::collections::HashSet<u64> = t.iter().map(|r| r.decode_len).collect();
+        assert!(
+            distinct.len() > 10,
+            "uniform draw should spread: {}",
+            distinct.len()
+        );
+        let mean = t.total_decode_tokens() as f64 / t.len() as f64;
+        assert!((mean - 36.0).abs() < 4.0, "mean decode {mean}");
     }
 }

@@ -5,6 +5,12 @@
 //! length distribution* of each task feeds the evaluation, so this crate
 //! reproduces exactly that: a truncated-normal sampler matched to each
 //! dataset's mean/std/min/max, plus request/trace containers.
+//!
+//! For online-serving experiments, traces can additionally carry
+//! arrival times ([`ArrivalProcess`]: Poisson or bursty gamma) and
+//! per-request decode-length variation
+//! ([`TraceBuilder::decode_range`]) — the inputs continuous batching
+//! needs to show its latency/throughput behaviour.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -13,4 +19,4 @@ pub mod dataset;
 pub mod gen;
 
 pub use dataset::{Dataset, DatasetStats};
-pub use gen::{Request, Trace, TraceBuilder};
+pub use gen::{ArrivalProcess, Request, Trace, TraceBuilder};

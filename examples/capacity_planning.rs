@@ -17,7 +17,11 @@ fn main() {
         "dataset", "static util", "DPA util", "static b", "DPA batch"
     );
     for d in [Dataset::MultiFieldQa, Dataset::LoogleSd] {
-        let trace = TraceBuilder::new(d).seed(3).requests(48).decode_len(64).build();
+        let trace = TraceBuilder::new(d)
+            .seed(3)
+            .requests(48)
+            .decode_len(64)
+            .build();
         let t_max = trace.iter().map(|r| r.final_len()).max().expect("nonempty");
 
         // Allocator-level view.

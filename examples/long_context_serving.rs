@@ -10,11 +10,21 @@ use pimphony::workload::{Dataset, TraceBuilder};
 
 fn main() {
     let model = LLM_72B_128K_GQA;
-    let trace =
-        TraceBuilder::new(Dataset::MultiFieldQa).seed(9).requests(16).decode_len(32).build();
-    for system in [SystemConfig::cent_for(&model), SystemConfig::neupims_for(&model)] {
-        println!("\n=== {} ({} modules, {} GB) ===", system.kind.name(), system.modules,
-                 system.total_capacity() >> 30);
+    let trace = TraceBuilder::new(Dataset::MultiFieldQa)
+        .seed(9)
+        .requests(16)
+        .decode_len(32)
+        .build();
+    for system in [
+        SystemConfig::cent_for(&model),
+        SystemConfig::neupims_for(&model),
+    ] {
+        println!(
+            "\n=== {} ({} modules, {} GB) ===",
+            system.kind.name(),
+            system.modules,
+            system.total_capacity() >> 30
+        );
         let mut base = 0.0;
         for t in Techniques::ladder() {
             let r = Evaluator::new(system, model, t).run_trace(&trace);

@@ -3,12 +3,16 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use pimphony::OrchestratorBuilder;
 use pimphony::workload::{Dataset, TraceBuilder};
+use pimphony::OrchestratorBuilder;
 
 fn main() {
     // A QMSum-like workload: 32 requests, 64 generated tokens each.
-    let trace = TraceBuilder::new(Dataset::QmSum).seed(1).requests(32).decode_len(64).build();
+    let trace = TraceBuilder::new(Dataset::QmSum)
+        .seed(1)
+        .requests(32)
+        .decode_len(64)
+        .build();
     println!(
         "workload: {} requests, mean context {:.0} tokens",
         trace.len(),
@@ -26,7 +30,10 @@ fn main() {
 
     let rb = baseline.serve(&trace);
     let rp = phony.serve(&trace);
-    println!("\n{:<12} {:>12} {:>10} {:>10}", "config", "tokens/s", "MAC util", "capacity");
+    println!(
+        "\n{:<12} {:>12} {:>10} {:>10}",
+        "config", "tokens/s", "MAC util", "capacity"
+    );
     for (name, r) in [("baseline", &rb), ("PIMphony", &rp)] {
         println!(
             "{:<12} {:>12.1} {:>9.1}% {:>9.1}%",
@@ -36,5 +43,8 @@ fn main() {
             r.capacity_utilization * 100.0
         );
     }
-    println!("\nspeedup: {:.2}x", rp.tokens_per_second / rb.tokens_per_second);
+    println!(
+        "\nspeedup: {:.2}x",
+        rp.tokens_per_second / rb.tokens_per_second
+    );
 }

@@ -18,7 +18,10 @@ fn main() {
     let (w, m, r) = stream.kind_counts();
     println!("QKT kernel: {} WR-INP, {} MAC, {} RD-OUT", w, m, r);
 
-    println!("\n{:<10} {:>10} {:>9} {:>10}", "scheduler", "cycles", "MAC util", "hazards");
+    println!(
+        "\n{:<10} {:>10} {:>9} {:>10}",
+        "scheduler", "cycles", "MAC util", "hazards"
+    );
     for kind in SchedulerKind::ALL {
         let report = schedule(&stream, kind, &timing, &geom);
         let violations = check_schedule(&stream, &report);
@@ -35,8 +38,9 @@ fn main() {
     // Functional execution: same values regardless of scheduler (the
     // schedulers only reorder timing; semantics are program-order).
     let key = |tok: usize, d: usize| ((tok * 7 + d) % 13) as f32 * 0.25 - 1.0;
-    let queries: Vec<Vec<f32>> =
-        (0..4).map(|q| (0..128).map(|d| ((q + d) % 5) as f32 * 0.5).collect()).collect();
+    let queries: Vec<Vec<f32>> = (0..4)
+        .map(|q| (0..128).map(|d| ((q + d) % 5) as f32 * 0.5).collect())
+        .collect();
     let mut ch = FunctionalChannel::new(geom);
     kernel.load_keys(&mut ch, key);
     ch.execute(&stream, &kernel.input_tiles(&queries));

@@ -30,9 +30,13 @@ fn decode_grows_lazily_without_host_chatter() {
     let prompt = 10_000u64;
     allocator.register(id).expect("fresh request");
     let rows = kv_rows(prompt);
-    let maps = allocator.grow(id, rows * (1 << 20) / ROWS_PER_CHUNK).expect("fits");
+    let maps = allocator
+        .grow(id, rows * (1 << 20) / ROWS_PER_CHUNK)
+        .expect("fits");
     let table: Va2PaTable = maps.into_iter().collect();
-    dispatcher.register(id, prompt, table).expect("fresh request");
+    dispatcher
+        .register(id, prompt, table)
+        .expect("fresh request");
     let msgs_after_admission = dispatcher.host_messages();
 
     // Decode 2048 tokens: each step advances T_cur locally; the host only
@@ -69,7 +73,13 @@ fn decode_grows_lazily_without_host_chatter() {
 #[test]
 fn module_attention_consumes_growing_kv() {
     // TCP module-level attention stays correct as the KV grows mid-decode.
-    let geom = Geometry { banks: 4, gbuf_entries: 8, out_entries: 2, row_tiles: 8, elems_per_tile: 4 };
+    let geom = Geometry {
+        banks: 4,
+        gbuf_entries: 8,
+        out_entries: 2,
+        row_tiles: 8,
+        elems_per_tile: 4,
+    };
     let module = PimModule::new(4, geom);
     let epu = Epu::default();
     let head_dim = 8usize;
@@ -79,11 +89,13 @@ fn module_attention_consumes_growing_kv() {
 
     let mut prev_entropyish = f32::INFINITY;
     for tokens in [8usize, 16, 24] {
-        let keys: Vec<Vec<f32>> =
-            (0..tokens).map(|t| (0..head_dim).map(|d| key(t, d)).collect()).collect();
-        let values: Vec<Vec<f32>> =
-            (0..tokens).map(|t| (0..head_dim).map(|d| val(t, d)).collect()).collect();
-        let out = module.attention_head(&keys, &values, &[query.clone()], 0.5);
+        let keys: Vec<Vec<f32>> = (0..tokens)
+            .map(|t| (0..head_dim).map(|d| key(t, d)).collect())
+            .collect();
+        let values: Vec<Vec<f32>> = (0..tokens)
+            .map(|t| (0..head_dim).map(|d| val(t, d)).collect())
+            .collect();
+        let out = module.attention_head(&keys, &values, std::slice::from_ref(&query), 0.5);
         // Probabilities stay a distribution at every length...
         let sum: f32 = out.probabilities[0].iter().sum();
         assert!((sum - 1.0).abs() < 1e-3, "tokens={tokens}");

@@ -8,17 +8,28 @@ use pimphony::workload::{Dataset, TraceBuilder};
 use pimphony::OrchestratorBuilder;
 
 fn trace(d: Dataset, n: usize) -> pimphony::workload::Trace {
-    TraceBuilder::new(d).seed(77).requests(n).decode_len(16).build()
+    TraceBuilder::new(d)
+        .seed(77)
+        .requests(n)
+        .decode_len(16)
+        .build()
 }
 
 #[test]
 fn technique_ladder_improves_throughput_on_both_systems() {
     let t = trace(Dataset::QmSum, 12);
-    for sys in [SystemConfig::cent_for(&LLM_7B_32K), SystemConfig::neupims_for(&LLM_7B_32K)] {
+    for sys in [
+        SystemConfig::cent_for(&LLM_7B_32K),
+        SystemConfig::neupims_for(&LLM_7B_32K),
+    ] {
         let mut last = 0.0;
         for tech in Techniques::ladder() {
             let r = Evaluator::new(sys, LLM_7B_32K, tech).run_trace(&t);
-            assert!(r.tokens_per_second >= last * 0.999, "{} regressed", tech.label());
+            assert!(
+                r.tokens_per_second >= last * 0.999,
+                "{} regressed",
+                tech.label()
+            );
             last = r.tokens_per_second;
         }
     }
@@ -83,8 +94,15 @@ fn every_factorization_serves_all_tokens() {
 #[test]
 fn orchestrator_matches_raw_evaluator() {
     let t = trace(Dataset::QmSum, 6);
-    let o = OrchestratorBuilder::new(LLM_7B_32K).pim_only().full_pimphony().build();
-    let e = Evaluator::new(SystemConfig::cent_for(&LLM_7B_32K), LLM_7B_32K, Techniques::pimphony());
+    let o = OrchestratorBuilder::new(LLM_7B_32K)
+        .pim_only()
+        .full_pimphony()
+        .build();
+    let e = Evaluator::new(
+        SystemConfig::cent_for(&LLM_7B_32K),
+        LLM_7B_32K,
+        Techniques::pimphony(),
+    );
     let a = o.serve(&t);
     let b = e.run_trace(&t);
     assert_eq!(a.tokens, b.tokens);
@@ -97,7 +115,11 @@ fn pim_beats_gpu_on_memory_bound_workloads() {
     let gpu = GpuSystem::matched_for(&LLM_7B_32K).throughput(&LLM_7B_32K, &t);
     let sys = SystemConfig::cent_for(&LLM_7B_32K);
     let pim = Evaluator::new(sys, LLM_7B_32K, Techniques::pimphony()).run_trace(&t);
-    assert!(pim.tokens_per_second > gpu, "PIM {} vs GPU {gpu}", pim.tokens_per_second);
+    assert!(
+        pim.tokens_per_second > gpu,
+        "PIM {} vs GPU {gpu}",
+        pim.tokens_per_second
+    );
 }
 
 #[test]

@@ -1,6 +1,8 @@
 //! Property-based tests for the DPA memory-management substrate.
 
-use pimphony::pim_isa::dpa::{DpaInstruction, DpaProgram, DynLoop, DynModi, LoopBound, OperandField};
+use pimphony::pim_isa::dpa::{
+    DpaInstruction, DpaProgram, DynLoop, DynModi, LoopBound, OperandField,
+};
 use pimphony::pim_isa::{ChannelMask, PimInstruction};
 use pimphony::pim_mem::{ChunkAllocator, Dispatcher, RequestId, StaticAllocator, Va2PaTable};
 use proptest::prelude::*;

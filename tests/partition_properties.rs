@@ -2,8 +2,7 @@
 //! generation invariants.
 
 use pimphony::pim_compiler::lower::{
-    dpa_footprint, lower_attention_dpa, lower_attention_static, static_footprint,
-    AttentionLowering,
+    dpa_footprint, lower_attention_dpa, lower_attention_static, static_footprint, AttentionLowering,
 };
 use pimphony::pim_compiler::{ModulePartition, Partitioning};
 use pimphony::workload::{DatasetStats, TraceBuilder};

@@ -9,7 +9,13 @@ use pimphony::pim_sim::{schedule, Geometry, SchedulerKind, Timing};
 use proptest::prelude::*;
 
 fn small_geometry() -> Geometry {
-    Geometry { banks: 4, gbuf_entries: 8, out_entries: 2, row_tiles: 8, elems_per_tile: 4 }
+    Geometry {
+        banks: 4,
+        gbuf_entries: 8,
+        out_entries: 2,
+        row_tiles: 8,
+        elems_per_tile: 4,
+    }
 }
 
 proptest! {
@@ -81,6 +87,7 @@ proptest! {
         ch.execute(&k.stream(), &k.input_tiles(&queries));
         let scores = k.scores_from(&ch);
         for (q, qv) in queries.iter().enumerate() {
+            #[allow(clippy::needless_range_loop)]
             for tok in 0..tokens as usize {
                 let want: f32 = (0..8).map(|d| key(tok, d) * qv[d]).sum();
                 prop_assert!((scores[q][tok] - want).abs() < 1e-2, "q={q} tok={tok}");
