@@ -4,41 +4,65 @@
 //! percentiles — the online-serving view the paper's closed-world
 //! figures (13–15) do not show.
 //!
+//! Requests are served by a 4-replica cluster (TP=2 over 8 modules) and
+//! each load point is run under both round-robin and join-shortest-queue
+//! routing (`system::cluster`), so the curve also shows where load
+//! balancing starts to matter: nowhere at light load, in the TTFT tail
+//! near the knee.
+//!
 //! The rate axis is normalized per rung: each configuration's
 //! closed-world wave throughput sets its saturation request rate
 //! (tokens/s ÷ mean decode length), and the sweep offers fixed fractions
 //! of that capacity. Run with:
-//! `cargo run --release -p bench --bin latency_curve`
+//! `cargo run --release -p bench --bin latency_curve` (`-- --tiny` for
+//! the CI smoke configuration).
 
 use llm_model::LLM_7B_32K;
-use system::{Evaluator, SchedulingPolicy, SystemConfig, Techniques};
+use pim_compiler::ParallelConfig;
+use system::{Cluster, Evaluator, RouterKind, SchedulingPolicy, SystemConfig, Techniques};
 use workload::{Dataset, TraceBuilder};
 
 /// Offered load as a fraction of the rung's closed-world capacity.
 const LOAD_FRACTIONS: [f64; 5] = [0.25, 0.5, 0.75, 1.0, 1.5];
+const TINY_LOAD_FRACTIONS: [f64; 2] = [0.5, 1.0];
 const REQUESTS: usize = 96;
+const TINY_REQUESTS: usize = 16;
 const DECODE_LO: u64 = 16;
 const DECODE_HI: u64 = 96;
 const SEED: u64 = 2026;
+const ROUTERS: [RouterKind; 2] = [RouterKind::RoundRobin, RouterKind::JoinShortestQueue];
 
 fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny");
     let model = LLM_7B_32K;
-    let sys = SystemConfig::cent_for(&model);
+    let sys = SystemConfig::cent_for(&model).with_parallel(ParallelConfig::new(2, 1));
     let dataset = Dataset::QmSum;
     let mean_decode = (DECODE_LO + DECODE_HI) as f64 / 2.0;
+    let requests = if tiny { TINY_REQUESTS } else { REQUESTS };
+    let fractions: &[f64] = if tiny {
+        &TINY_LOAD_FRACTIONS
+    } else {
+        &LOAD_FRACTIONS
+    };
+    let ladder = if tiny {
+        vec![Techniques::pimphony()]
+    } else {
+        Techniques::ladder().to_vec()
+    };
 
     bench::header(&format!(
-        "Throughput–latency sweep: {} on {dataset}, {REQUESTS} Poisson requests, decode U[{DECODE_LO},{DECODE_HI}]",
-        model.name
+        "Throughput–latency sweep: {} × {} replicas on {dataset}, {requests} Poisson requests, decode U[{DECODE_LO},{DECODE_HI}]",
+        model.name,
+        sys.replicas(),
     ));
 
-    for tech in Techniques::ladder() {
+    for tech in ladder {
         // Closed-world capacity anchors this rung's rate axis.
-        let wave = Evaluator::new(sys, model, tech);
-        let closed = wave.run_trace(
+        let eval = Evaluator::new(sys, model, tech);
+        let closed = eval.run_trace(
             &TraceBuilder::new(dataset)
                 .seed(SEED)
-                .requests(REQUESTS)
+                .requests(requests)
                 .decode_range(DECODE_LO, DECODE_HI)
                 .build(),
         );
@@ -51,40 +75,54 @@ fn main() {
             capacity_rps
         );
         println!(
-            "{:>6} {:>9} {:>11} {:>9} {:>24} {:>11} {:>9}",
-            "load", "req/s", "tok/s", "batch", "TTFT p50/p95/p99 (s)", "TPOT p50", "E2E p95"
+            "{:>6} {:>9} {:>13} {:>11} {:>9} {:>24} {:>11} {:>9}",
+            "load",
+            "req/s",
+            "router",
+            "tok/s",
+            "batch",
+            "TTFT p50/p95/p99 (s)",
+            "TPOT p50",
+            "E2E p95"
         );
 
-        let cont = Evaluator::new(sys, model, tech).with_policy(SchedulingPolicy::Continuous);
-        for frac in LOAD_FRACTIONS {
+        for &frac in fractions {
             let rate = capacity_rps * frac;
             let trace = TraceBuilder::new(dataset)
                 .seed(SEED)
-                .requests(REQUESTS)
+                .requests(requests)
                 .decode_range(DECODE_LO, DECODE_HI)
                 .poisson(rate)
                 .build();
-            let r = cont.run_trace(&trace);
-            let l = &r.latency;
-            println!(
-                "{:>5.2}x {:>9.2} {:>11.1} {:>9.1} {:>8.3}/{:>6.3}/{:>6.3} {:>11.4} {:>9.3}",
-                frac,
-                rate,
-                r.tokens_per_second,
-                r.mean_batch,
-                l.ttft.p50,
-                l.ttft.p95,
-                l.ttft.p99,
-                l.tpot.p50,
-                l.e2e.p95,
-            );
+            for kind in ROUTERS {
+                let mut router = kind.build();
+                let r = Cluster::new(&eval, SchedulingPolicy::Continuous)
+                    .with_threads(0)
+                    .run(&trace, router.as_mut());
+                let l = &r.latency;
+                println!(
+                    "{:>5.2}x {:>9.2} {:>13} {:>11.1} {:>9.1} {:>8.3}/{:>6.3}/{:>6.3} {:>11.4} {:>9.3}",
+                    frac,
+                    rate,
+                    kind.label(),
+                    r.tokens_per_second,
+                    r.mean_batch,
+                    l.ttft.p50,
+                    l.ttft.p95,
+                    l.ttft.p99,
+                    l.tpot.p50,
+                    l.e2e.p95,
+                );
+            }
         }
     }
 
     println!(
         "\nReading the curve: below 1.0x load the server keeps up (TTFT ~ one \
-         iteration); past it the queue grows and tail TTFT diverges while \
-         tok/s plateaus at the rung's capacity. DPA's lazy allocation \
-         admits more concurrent requests, pushing the knee right."
+         iteration) and the router barely matters; past the knee the queue \
+         grows, tail TTFT diverges while tok/s plateaus at the rung's \
+         capacity, and join-shortest-queue pulls the TTFT tail in versus \
+         blind round-robin. DPA's lazy allocation admits more concurrent \
+         requests, pushing the knee right."
     );
 }

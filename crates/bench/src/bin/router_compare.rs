@@ -1,0 +1,120 @@
+//! Cross-replica load balancing on bursty traffic: round-robin vs
+//! join-shortest-queue vs least-loaded (reserved KV bytes), in the style
+//! of the paper's figure binaries.
+//!
+//! Round-robin dispatches blindly, so a burst can pile onto a replica
+//! that is already draining a long queue while its neighbours idle —
+//! invisible in throughput, dominant in tail TTFT. JSQ and least-loaded
+//! route on live replica state through the cluster layer
+//! (`system::cluster`). Per-replica breakdowns and Jain's fairness index
+//! make the skew visible.
+//!
+//! Run with: `cargo run --release -p bench --bin router_compare`
+//! (`-- --tiny` for the CI smoke configuration).
+
+use llm_model::LLM_7B_32K;
+use pim_compiler::ParallelConfig;
+use system::{
+    jain_fairness, Cluster, Evaluator, RouterKind, SchedulingPolicy, ServingReport, SystemConfig,
+    Techniques,
+};
+use workload::{Dataset, TraceBuilder};
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    let model = LLM_7B_32K;
+    // TP=2 over 8 modules → 4 replicas behind one cluster front-end.
+    let sys = SystemConfig::cent_for(&model).with_parallel(ParallelConfig::new(2, 1));
+    let eval = Evaluator::new(sys, model, Techniques::pimphony());
+    let replicas = sys.replicas();
+
+    // Offered load just past the 4-replica capacity (~13.7 req/s for
+    // this config) so bursts genuinely queue; same trace as the
+    // `jsq_beats_round_robin_*` regression test.
+    let requests = if tiny { 24 } else { 160 };
+    let (rate, cv) = (16.0, 2.5);
+    let trace = TraceBuilder::new(Dataset::QmSum)
+        .seed(2026)
+        .requests(requests)
+        .decode_range(16, 96)
+        .bursty(rate, cv)
+        .build();
+
+    bench::header(&format!(
+        "Router comparison: {} × {replicas} replicas, {requests} requests, bursty gamma ({rate} req/s, cv {cv})",
+        model.name
+    ));
+    println!(
+        "{:<14} {:>9} {:>24} {:>24} {:>9}",
+        "router", "tok/s", "TTFT p50/p95/p99 (s)", "E2E p50/p95/p99 (s)", "fairness"
+    );
+
+    let mut reports: Vec<(RouterKind, ServingReport)> = Vec::new();
+    for kind in RouterKind::ALL {
+        let mut router = kind.build();
+        let r = Cluster::new(&eval, SchedulingPolicy::Continuous)
+            .with_threads(0)
+            .run(&trace, router.as_mut());
+        println!(
+            "{:<14} {:>9.1} {:>8.3}/{:>6.3}/{:>7.3} {:>8.3}/{:>6.3}/{:>7.3} {:>9.3}",
+            kind.label(),
+            r.tokens_per_second,
+            r.latency.ttft.p50,
+            r.latency.ttft.p95,
+            r.latency.ttft.p99,
+            r.latency.e2e.p50,
+            r.latency.e2e.p95,
+            r.latency.e2e.p99,
+            r.replica_fairness(),
+        );
+        reports.push((kind, r));
+    }
+
+    println!("\nPer-replica breakdown (requests served / busy seconds / peak reserved KV GB):");
+    for (kind, r) in &reports {
+        let row: Vec<String> = r
+            .per_replica
+            .iter()
+            .map(|b| {
+                format!(
+                    "{}/{:.1}s/{:.1}",
+                    b.served,
+                    b.busy_seconds,
+                    b.peak_reserved_kv as f64 / 1e9
+                )
+            })
+            .collect();
+        let served: Vec<f64> = r.per_replica.iter().map(|b| b.served as f64).collect();
+        println!(
+            "{:<14} {}  (served-fairness {:.3})",
+            kind.label(),
+            row.join("  "),
+            jain_fairness(&served)
+        );
+    }
+
+    if let (Some((_, rr)), Some((_, jsq))) = (
+        reports.iter().find(|(k, _)| *k == RouterKind::RoundRobin),
+        reports
+            .iter()
+            .find(|(k, _)| *k == RouterKind::JoinShortestQueue),
+    ) {
+        let delta = (rr.latency.ttft.p99 - jsq.latency.ttft.p99) / rr.latency.ttft.p99;
+        println!(
+            "\nJSQ vs round-robin: p99 TTFT {:.3}s -> {:.3}s ({:+.1}%), p99 E2E {:.3}s -> {:.3}s",
+            rr.latency.ttft.p99,
+            jsq.latency.ttft.p99,
+            -delta * 100.0,
+            rr.latency.e2e.p99,
+            jsq.latency.e2e.p99,
+        );
+    }
+
+    println!(
+        "\nReading the table: all routers serve the same work (tok/s is \
+         arrival-bound below saturation); the spread is in the tail. \
+         Blind round-robin lets bursts queue behind long decodes, JSQ \
+         balances in-flight counts, least-loaded balances reserved KV \
+         bytes — which also sees context length, not just request count."
+    );
+}

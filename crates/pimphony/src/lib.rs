@@ -28,6 +28,14 @@
 //!   the memory policy has room, and report TTFT/TPOT/E2E latency
 //!   percentiles in [`ServingReport::latency`].
 //!
+//! Multi-replica systems serve through the cluster layer
+//! ([`system::cluster`]): arrivals are dispatched in global time order
+//! by a pluggable load balancer (`.router(RouterKind::…)` — round-robin,
+//! join-shortest-queue, or least-loaded by reserved KV bytes), replica
+//! simulations can run in parallel (`.threads(n)`; results are
+//! byte-identical whatever the thread count), and reports carry a
+//! per-replica breakdown ([`ServingReport::per_replica`]).
+//!
 //! # Quickstart (paper-figure throughput)
 //!
 //! ```no_run
@@ -81,13 +89,17 @@ pub use workload;
 
 use llm_model::ModelConfig;
 use pim_compiler::ParallelConfig;
-use system::{Evaluator, SchedulingPolicy, ServingReport, SystemConfig, Techniques};
+use system::{
+    Cluster, Evaluator, RouterKind, SchedulingPolicy, ServingReport, SystemConfig, Techniques,
+};
 use workload::Trace;
 
 /// Top-level handle evaluating a PIM serving system on traces.
 #[derive(Debug)]
 pub struct Orchestrator {
     evaluator: Evaluator,
+    router: RouterKind,
+    threads: usize,
 }
 
 impl Orchestrator {
@@ -106,12 +118,21 @@ impl Orchestrator {
     ) -> Self {
         Orchestrator {
             evaluator: Evaluator::new(system, model, techniques).with_policy(policy),
+            router: RouterKind::RoundRobin,
+            threads: 1,
         }
     }
 
-    /// Serves a trace, returning the throughput/latency/energy report.
+    /// Serves a trace through the cluster layer — arrivals are routed to
+    /// replicas by the configured load balancer and the replica sims run
+    /// on the configured number of threads — returning the
+    /// throughput/latency/energy report. Results are independent of the
+    /// thread count.
     pub fn serve(&self, trace: &Trace) -> ServingReport {
-        self.evaluator.run_trace(trace)
+        let mut router = self.router.build();
+        Cluster::new(&self.evaluator, self.evaluator.scheduling_policy())
+            .with_threads(self.threads)
+            .run(trace, router.as_mut())
     }
 
     /// One decode iteration for an explicit `(request id, tokens)` batch.
@@ -128,6 +149,16 @@ impl Orchestrator {
     pub fn policy(&self) -> SchedulingPolicy {
         self.evaluator.scheduling_policy()
     }
+
+    /// The active cross-replica load balancer.
+    pub fn router(&self) -> RouterKind {
+        self.router
+    }
+
+    /// The replica-simulation thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
 }
 
 /// Builder for [`Orchestrator`] with the paper's preset configurations.
@@ -137,6 +168,8 @@ pub struct OrchestratorBuilder {
     system: SystemConfig,
     techniques: Techniques,
     policy: SchedulingPolicy,
+    router: RouterKind,
+    threads: usize,
 }
 
 impl OrchestratorBuilder {
@@ -147,6 +180,8 @@ impl OrchestratorBuilder {
             system: SystemConfig::cent_for(&model),
             techniques: Techniques::pimphony(),
             policy: SchedulingPolicy::Wave,
+            router: RouterKind::RoundRobin,
+            threads: 1,
         }
     }
 
@@ -205,9 +240,36 @@ impl OrchestratorBuilder {
         self.policy(SchedulingPolicy::Wave)
     }
 
+    /// Sets the cross-replica load balancer routing each arrival to a
+    /// replica (default: [`RouterKind::RoundRobin`], which reproduces
+    /// trace-level partitioning bit-exactly).
+    pub fn router(mut self, router: RouterKind) -> Self {
+        self.router = router;
+        self
+    }
+
+    /// Routes arrivals to the replica with the fewest in-flight requests
+    /// (join-shortest-queue) — the bursty-traffic tail-latency policy.
+    pub fn join_shortest_queue(self) -> Self {
+        self.router(RouterKind::JoinShortestQueue)
+    }
+
+    /// Simulates replicas on up to `threads` scoped threads (`0` means
+    /// one per available CPU). Reports are byte-identical whatever the
+    /// thread count — parallelism only changes wall-clock time.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Builds the orchestrator.
     pub fn build(self) -> Orchestrator {
-        Orchestrator::with_policy(self.system, self.model, self.techniques, self.policy)
+        Orchestrator {
+            evaluator: Evaluator::new(self.system, self.model, self.techniques)
+                .with_policy(self.policy),
+            router: self.router,
+            threads: self.threads,
+        }
     }
 }
 
@@ -287,6 +349,53 @@ mod tests {
                 .build()
                 .policy()
         );
+    }
+
+    #[test]
+    fn router_and_threads_flow_through_builder() {
+        let o = OrchestratorBuilder::new(llm_model::LLM_7B_32K)
+            .continuous_batching()
+            .join_shortest_queue()
+            .threads(4)
+            .build();
+        assert_eq!(o.router(), RouterKind::JoinShortestQueue);
+        assert_eq!(o.threads(), 4);
+        assert_eq!(
+            OrchestratorBuilder::new(llm_model::LLM_7B_32K)
+                .router(RouterKind::LeastLoaded)
+                .build()
+                .router(),
+            RouterKind::LeastLoaded
+        );
+        assert_eq!(
+            OrchestratorBuilder::new(llm_model::LLM_7B_32K)
+                .build()
+                .router(),
+            RouterKind::RoundRobin
+        );
+    }
+
+    #[test]
+    fn parallel_serving_matches_sequential_exactly() {
+        // 4 replicas, bursty arrivals, JSQ: the report must not depend on
+        // the simulation thread count.
+        let trace = TraceBuilder::new(Dataset::QmSum)
+            .seed(5)
+            .requests(32)
+            .decode_range(8, 48)
+            .bursty(8.0, 2.5)
+            .build();
+        let build = |threads| {
+            OrchestratorBuilder::new(llm_model::LLM_7B_32K)
+                .parallel(2, 1)
+                .continuous_batching()
+                .join_shortest_queue()
+                .threads(threads)
+                .build()
+        };
+        let sequential = build(1).serve(&trace);
+        let parallel = build(4).serve(&trace);
+        assert_eq!(sequential, parallel);
     }
 
     #[test]

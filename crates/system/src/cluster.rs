@@ -1,0 +1,538 @@
+//! Cluster simulation: routed arrivals over parallel replica sims.
+//!
+//! The original engine partitioned a trace round-robin *before*
+//! simulation started, so replicas never interacted and online load
+//! imbalance was invisible. The [`Cluster`] instead consumes the
+//! globally ordered arrival stream and dispatches each request through a
+//! pluggable [`Router`] at its arrival instant, based on the replicas'
+//! live load ([`ReplicaLoad`]):
+//!
+//! * [`RoundRobin`] — ignores load; through the cluster path this is
+//!   bit-exact with the old trace-level partitioning (enforced by the
+//!   wave-oracle tests, which now exercise this path via
+//!   [`crate::Engine`]).
+//! * [`JoinShortestQueue`] — fewest in-flight (queued + running)
+//!   requests, the classic JSQ policy that absorbs bursts.
+//! * [`LeastLoaded`] — fewest reserved KV bytes under the active memory
+//!   policy, which sees *request size*, not just count.
+//!
+//! Replica simulations run on [`std::thread::scope`] threads
+//! ([`Cluster::threads`]). Parallel and sequential runs produce
+//! byte-identical [`ServingReport`]s: routing happens at barrier points
+//! (each replica is advanced to the routing frontier before a decision),
+//! and accounting is replayed from per-replica event logs in
+//! replica-index order, so no float-accumulation order depends on thread
+//! scheduling.
+
+use crate::metrics::{LatencyReport, ReplicaBreakdown, RequestTiming};
+use crate::policy::SchedulingPolicy;
+use crate::replica::{ReplicaSim, SimEvent};
+use crate::serve::{Evaluator, ServingReport};
+use crate::stage::IterationBreakdown;
+use serde::Serialize;
+use workload::{Request, Trace};
+
+pub use crate::replica::ReplicaLoad;
+
+/// A load-balancing policy dispatching each arrival to one replica.
+///
+/// Routers see every arrival in global time order together with a load
+/// snapshot per replica taken at the arrival instant. Implementations
+/// must be deterministic (break ties by `ReplicaLoad::replica`) — the
+/// cluster's parallel/sequential bit-exactness guarantee extends only to
+/// deterministic routers.
+pub trait Router: Send {
+    /// Short display label (for report tables).
+    fn label(&self) -> &'static str;
+
+    /// Picks the replica `req` is dispatched to. Out-of-range indices
+    /// are clamped to the last replica.
+    fn route(&mut self, req: &Request, loads: &[ReplicaLoad]) -> usize;
+
+    /// Whether routing decisions read the load snapshots. Stateless
+    /// routers (round-robin) return `false`; the cluster then skips
+    /// advancing replicas during the routing phase (simulating them
+    /// end-to-end in parallel at the drain) and hands `route` placeholder
+    /// snapshots carrying only the replica indices.
+    fn inspects_load(&self) -> bool {
+        true
+    }
+}
+
+/// Cycles through replicas in dispatch order, ignoring load. Bit-exact
+/// with the pre-cluster trace-level partitioning.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl Router for RoundRobin {
+    fn label(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn route(&mut self, _req: &Request, loads: &[ReplicaLoad]) -> usize {
+        let i = self.next % loads.len().max(1);
+        self.next = self.next.wrapping_add(1);
+        i
+    }
+
+    fn inspects_load(&self) -> bool {
+        false
+    }
+}
+
+/// Joins the replica with the fewest in-flight requests (ties to the
+/// lowest index).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JoinShortestQueue;
+
+impl Router for JoinShortestQueue {
+    fn label(&self) -> &'static str {
+        "jsq"
+    }
+
+    fn route(&mut self, _req: &Request, loads: &[ReplicaLoad]) -> usize {
+        loads
+            .iter()
+            .min_by_key(|l| (l.in_flight, l.replica))
+            .map(|l| l.replica)
+            .unwrap_or(0)
+    }
+}
+
+/// Joins the replica with the fewest reserved KV bytes under the active
+/// memory policy (ties to the lowest index). Unlike JSQ this sees
+/// request *sizes*: one 100K-token context outweighs many short ones.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastLoaded;
+
+impl Router for LeastLoaded {
+    fn label(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn route(&mut self, _req: &Request, loads: &[ReplicaLoad]) -> usize {
+        loads
+            .iter()
+            .min_by_key(|l| (l.reserved_kv, l.replica))
+            .map(|l| l.replica)
+            .unwrap_or(0)
+    }
+}
+
+/// Config-level selector for the built-in routers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize)]
+pub enum RouterKind {
+    /// [`RoundRobin`].
+    #[default]
+    RoundRobin,
+    /// [`JoinShortestQueue`].
+    JoinShortestQueue,
+    /// [`LeastLoaded`].
+    LeastLoaded,
+}
+
+impl RouterKind {
+    /// Every built-in router, for comparison sweeps.
+    pub const ALL: [RouterKind; 3] = [
+        RouterKind::RoundRobin,
+        RouterKind::JoinShortestQueue,
+        RouterKind::LeastLoaded,
+    ];
+
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RouterKind::RoundRobin => "round-robin",
+            RouterKind::JoinShortestQueue => "jsq",
+            RouterKind::LeastLoaded => "least-loaded",
+        }
+    }
+
+    /// Instantiates the router (fresh state per run).
+    pub fn build(&self) -> Box<dyn Router> {
+        match self {
+            RouterKind::RoundRobin => Box::new(RoundRobin::default()),
+            RouterKind::JoinShortestQueue => Box::new(JoinShortestQueue),
+            RouterKind::LeastLoaded => Box::new(LeastLoaded),
+        }
+    }
+}
+
+impl std::fmt::Display for RouterKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Mutable run-wide accumulators, filled by replaying per-replica event
+/// logs in replica-index order. Field-by-field identical to the original
+/// single-threaded loops' accumulation.
+#[derive(Default)]
+struct Accum {
+    report: ServingReport,
+    batch_sum: f64,
+    util_weighted: f64,
+    used_kv: f64,
+    reserved_kv: f64,
+    /// Total decode steps executed (for the continuous policy's
+    /// step-weighted mean batch).
+    steps: u64,
+}
+
+impl Accum {
+    /// Accounts one decode chunk: `batch_len` requests advanced by
+    /// `chunk` tokens each in `secs` seconds.
+    fn chunk(
+        &mut self,
+        eval: &Evaluator,
+        it: &IterationBreakdown,
+        batch_len: usize,
+        chunk: u64,
+        secs: f64,
+    ) {
+        self.report.tokens += batch_len as u64 * chunk;
+        self.report.attn_seconds += it.attn_seconds * chunk as f64;
+        self.report.fc_seconds += it.fc_seconds * chunk as f64;
+        self.util_weighted += it.attn_utilization * secs;
+        eval.energy_model().accumulate(
+            &mut self.report.energy,
+            it,
+            chunk as f64,
+            eval.system().parallel.modules(),
+            eval.system().module.channels,
+        );
+        self.steps += chunk;
+    }
+
+    /// Accounts a finished request's KV footprint under the memory
+    /// policy (for `capacity_utilization`).
+    fn retire(&mut self, eval: &Evaluator, final_len: u64, t_max: u64) {
+        self.used_kv += eval.model().kv_bytes(final_len) as f64;
+        self.reserved_kv += eval.kv_reservation(final_len, t_max) as f64;
+    }
+}
+
+/// A multi-replica serving simulation with routed arrivals.
+#[derive(Debug)]
+pub struct Cluster<'a> {
+    eval: &'a Evaluator,
+    policy: SchedulingPolicy,
+    threads: usize,
+}
+
+impl<'a> Cluster<'a> {
+    /// Creates a cluster over an evaluator with the given scheduling
+    /// policy, simulating replicas on one thread.
+    pub fn new(eval: &'a Evaluator, policy: SchedulingPolicy) -> Self {
+        Cluster {
+            eval,
+            policy,
+            threads: 1,
+        }
+    }
+
+    /// Simulates replicas on up to `threads` scoped threads (`0` means
+    /// one per available CPU). Thread count never changes results — only
+    /// wall-clock time.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        self
+    }
+
+    /// The configured simulation thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Serves `trace`, dispatching each arrival through `router` and
+    /// advancing the replica sims to completion.
+    ///
+    /// The wave policy ignores arrival times, so its requests are routed
+    /// in trace order — with the round-robin router this reproduces the
+    /// historical trace-index partitioning exactly on *any* trace. The
+    /// continuous policy consumes the stream in global arrival order,
+    /// the order an online front-end actually sees.
+    pub fn run(&self, trace: &Trace, router: &mut dyn Router) -> ServingReport {
+        let eval = self.eval;
+        let replicas = eval.system().replicas().max(1) as usize;
+        let t_max = trace.max_final_len();
+        let arrivals = match self.policy {
+            SchedulingPolicy::Wave => trace.requests().to_vec(),
+            SchedulingPolicy::Continuous => trace.arrival_ordered(),
+        };
+        let mut sims: Vec<ReplicaSim<'_>> = (0..replicas)
+            .map(|_| ReplicaSim::new(eval, self.policy, t_max))
+            .collect();
+
+        // Load-aware routing needs each replica's state at the arrival
+        // instant, so the sims are advanced to the routing frontier
+        // before each decision — sequentially: the work between two
+        // consecutive arrivals is far smaller than a thread spawn, so
+        // fanning out here costs more than it saves (measured ~30%
+        // slower). The wave policy ignores arrival times entirely, and
+        // stateless routers never look — both cases skip the
+        // interleaved advancing and simulate replicas end-to-end at the
+        // drain, where the parallel fan-out genuinely pays.
+        let inspects = router.inspects_load();
+        let interleave = inspects && self.policy == SchedulingPolicy::Continuous && replicas > 1;
+        let mut frontier = 0.0f64;
+        // Routers that never look at load get placeholder snapshots
+        // (index and length only) instead of a per-arrival re-read of
+        // every replica's state.
+        let mut loads: Vec<ReplicaLoad> = (0..replicas)
+            .map(|i| ReplicaLoad {
+                replica: i,
+                in_flight: 0,
+                reserved_kv: 0,
+            })
+            .collect();
+        for r in &arrivals {
+            if interleave {
+                let ta = r.arrival_secs();
+                if ta > frontier {
+                    advance_all(&mut sims, ta);
+                    frontier = ta;
+                }
+            }
+            if inspects {
+                loads.clear();
+                loads.extend(sims.iter().enumerate().map(|(i, s)| s.load(i)));
+            }
+            let target = router.route(r, &loads).min(replicas - 1);
+            sims[target].enqueue(*r);
+        }
+        finish_all(&mut sims, self.threads);
+        self.merge(&sims, t_max, arrivals.len())
+    }
+
+    /// Replays the per-replica event logs into one accumulator in
+    /// replica-index order and finalizes the report — the exact float
+    /// operation sequence of the original sequential loops, independent
+    /// of thread scheduling.
+    fn merge(&self, sims: &[ReplicaSim<'_>], t_max: u64, requests: usize) -> ServingReport {
+        let eval = self.eval;
+        let mut acc = Accum::default();
+        let mut timings: Vec<RequestTiming> = Vec::with_capacity(requests);
+        let mut per_replica: Vec<ReplicaBreakdown> = Vec::with_capacity(sims.len());
+        let mut end_max = 0.0f64;
+        let mut busy_total = 0.0f64;
+        for sim in sims {
+            for ev in &sim.events {
+                match *ev {
+                    SimEvent::Admit { batch } => {
+                        acc.report.waves += 1;
+                        acc.batch_sum += batch;
+                    }
+                    SimEvent::Chunk {
+                        ref it,
+                        batch_len,
+                        chunk,
+                        secs,
+                    } => acc.chunk(eval, it, batch_len, chunk, secs),
+                    SimEvent::Retire { final_len } => acc.retire(eval, final_len, t_max),
+                }
+            }
+            timings.extend_from_slice(&sim.timings);
+            end_max = end_max.max(sim.end_time());
+            busy_total += sim.busy_seconds();
+            per_replica.push(sim.breakdown());
+        }
+
+        let mut report = acc.report;
+        report.seconds = end_max;
+        report.busy_seconds = busy_total;
+        report.tokens_per_second = if end_max > 0.0 {
+            report.tokens as f64 / end_max
+        } else {
+            0.0
+        };
+        report.mean_batch = match self.policy {
+            // Per-wave mean admitted batch (the paper's metric).
+            SchedulingPolicy::Wave => {
+                if report.waves > 0 {
+                    acc.batch_sum / f64::from(report.waves)
+                } else {
+                    0.0
+                }
+            }
+            // Step-weighted mean batch: tokens per executed decode step.
+            SchedulingPolicy::Continuous => {
+                if acc.steps > 0 {
+                    report.tokens as f64 / acc.steps as f64
+                } else {
+                    0.0
+                }
+            }
+        };
+        // Utilization over *busy* replica time: idle replicas do not
+        // dilute the average.
+        report.attn_utilization = if busy_total > 0.0 {
+            acc.util_weighted / busy_total
+        } else {
+            0.0
+        };
+        report.capacity_utilization = if acc.reserved_kv > 0.0 {
+            acc.used_kv / acc.reserved_kv
+        } else {
+            0.0
+        };
+        report.latency = LatencyReport::from_timings(&timings);
+        report.per_replica = per_replica;
+        report
+    }
+}
+
+/// Advances every sim to `limit`, sequentially (see [`Cluster::run`]:
+/// the inter-arrival work is too small to amortize thread spawns).
+fn advance_all(sims: &mut [ReplicaSim<'_>], limit: f64) {
+    for sim in sims {
+        sim.advance_to(limit);
+    }
+}
+
+/// Runs every sim to completion, fanning out over scoped threads.
+fn finish_all(sims: &mut [ReplicaSim<'_>], threads: usize) {
+    for_each_sim(sims, threads, |s| s.finish());
+}
+
+/// Applies `f` to each sim, on up to `threads` scoped threads. Each sim
+/// is touched by exactly one thread, so results cannot depend on the
+/// interleaving.
+fn for_each_sim<F>(sims: &mut [ReplicaSim<'_>], threads: usize, f: F)
+where
+    F: Fn(&mut ReplicaSim<'_>) + Sync,
+{
+    let workers = threads.min(sims.len()).max(1);
+    if workers == 1 {
+        for sim in sims {
+            f(sim);
+        }
+        return;
+    }
+    let per = sims.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        for group in sims.chunks_mut(per) {
+            scope.spawn(|| {
+                for sim in group {
+                    f(sim);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{SystemConfig, Techniques};
+    use llm_model::LLM_7B_32K;
+    use pim_compiler::ParallelConfig;
+    use workload::{Dataset, TraceBuilder};
+
+    fn multi_replica_eval() -> Evaluator {
+        let sys = SystemConfig::cent_for(&LLM_7B_32K).with_parallel(ParallelConfig::new(2, 1));
+        Evaluator::new(sys, LLM_7B_32K, Techniques::pimphony())
+    }
+
+    #[test]
+    fn router_kinds_build_matching_labels() {
+        for kind in RouterKind::ALL {
+            assert_eq!(kind.build().label(), kind.label());
+            assert_eq!(kind.to_string(), kind.label());
+        }
+        assert_eq!(RouterKind::default(), RouterKind::RoundRobin);
+        assert!(!RouterKind::RoundRobin.build().inspects_load());
+        assert!(RouterKind::JoinShortestQueue.build().inspects_load());
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let loads: Vec<ReplicaLoad> = (0..3)
+            .map(|i| ReplicaLoad {
+                replica: i,
+                in_flight: 10 * i,
+                reserved_kv: 0,
+            })
+            .collect();
+        let req = Request {
+            id: 0,
+            context_len: 1,
+            decode_len: 1,
+            arrival_us: 0,
+        };
+        let mut rr = RoundRobin::default();
+        let picks: Vec<usize> = (0..5).map(|_| rr.route(&req, &loads)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn jsq_and_least_loaded_pick_minima_with_index_ties() {
+        let loads = [
+            ReplicaLoad {
+                replica: 0,
+                in_flight: 3,
+                reserved_kv: 100,
+            },
+            ReplicaLoad {
+                replica: 1,
+                in_flight: 1,
+                reserved_kv: 900,
+            },
+            ReplicaLoad {
+                replica: 2,
+                in_flight: 1,
+                reserved_kv: 50,
+            },
+        ];
+        let req = Request {
+            id: 0,
+            context_len: 1,
+            decode_len: 1,
+            arrival_us: 0,
+        };
+        assert_eq!(JoinShortestQueue.route(&req, &loads), 1); // tie 1 vs 2 → lowest index
+        assert_eq!(LeastLoaded.route(&req, &loads), 2);
+    }
+
+    #[test]
+    fn cluster_serves_every_request_under_every_router() {
+        let e = multi_replica_eval();
+        assert!(e.system().replicas() >= 2);
+        let trace = TraceBuilder::new(Dataset::QmSum)
+            .seed(11)
+            .requests(24)
+            .decode_range(4, 40)
+            .bursty(6.0, 2.5)
+            .build();
+        for kind in RouterKind::ALL {
+            let r =
+                Cluster::new(&e, SchedulingPolicy::Continuous).run(&trace, kind.build().as_mut());
+            assert_eq!(r.tokens, trace.total_decode_tokens(), "{kind}");
+            assert_eq!(r.latency.completed, trace.len() as u64, "{kind}");
+            assert_eq!(r.per_replica.len(), e.system().replicas() as usize);
+            let routed: u64 = r.per_replica.iter().map(|b| b.routed).sum();
+            let served: u64 = r.per_replica.iter().map(|b| b.served).sum();
+            let tokens: u64 = r.per_replica.iter().map(|b| b.tokens).sum();
+            assert_eq!(routed, trace.len() as u64, "{kind}");
+            assert_eq!(served, trace.len() as u64, "{kind}");
+            assert_eq!(tokens, r.tokens, "{kind}");
+            let busy: f64 = r.per_replica.iter().map(|b| b.busy_seconds).sum();
+            assert!((busy - r.busy_seconds).abs() < 1e-12, "{kind}");
+        }
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        let e = multi_replica_eval();
+        let c = Cluster::new(&e, SchedulingPolicy::Continuous).with_threads(0);
+        assert!(c.threads() >= 1);
+    }
+}

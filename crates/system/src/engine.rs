@@ -1,12 +1,15 @@
-//! Event-driven serving engine.
+//! Event-driven serving engine (single-node facade over the cluster).
 //!
 //! The engine advances each replica's *virtual clock* over three kinds of
 //! events — request admission, chunked decode steps, and request
 //! completion — and delegates the admission decisions to a
-//! [`SchedulingPolicy`]. Replicas share no state (requests are
-//! partitioned round-robin, as in the original wave loop), so they are
-//! simulated independently and the run's wall clock is the slowest
-//! replica's end time.
+//! [`SchedulingPolicy`]. The per-replica state machine lives in
+//! [`crate::replica`]; multi-replica orchestration (routed arrivals,
+//! pluggable load balancing, parallel simulation) lives in
+//! [`crate::cluster`]. `Engine` is the stable single-entry facade: it
+//! runs the cluster with the [`crate::cluster::RoundRobin`] router on one
+//! thread, which reproduces the historical trace-level round-robin
+//! partitioning bit-exactly.
 //!
 //! Decode steps are chunked: the iteration latency is recomputed every
 //! [`Evaluator::stride`] steps (token growth between recomputes is below
@@ -21,75 +24,16 @@
 //! `engine_properties` integration tests): the arithmetic was extracted,
 //! not reimplemented.
 
-use crate::metrics::{LatencyReport, RequestTiming};
-use crate::policy::{self, ContinuousAdmitter, SchedulingPolicy};
+use crate::cluster::{Cluster, RoundRobin};
+use crate::policy::SchedulingPolicy;
 use crate::serve::{Evaluator, ServingReport};
-use crate::stage::{IterationBreakdown, StageModel};
-use std::collections::VecDeque;
-use workload::{Request, Trace};
+use workload::Trace;
 
 /// Runs traces through an [`Evaluator`] under a scheduling policy.
 #[derive(Debug)]
 pub struct Engine<'a> {
     eval: &'a Evaluator,
     policy: SchedulingPolicy,
-}
-
-/// Mutable run-wide accumulators shared by every replica simulation.
-#[derive(Default)]
-struct Accum {
-    report: ServingReport,
-    batch_sum: f64,
-    util_weighted: f64,
-    used_kv: f64,
-    reserved_kv: f64,
-    /// Total decode steps executed (for the continuous policy's
-    /// step-weighted mean batch).
-    steps: u64,
-}
-
-impl Accum {
-    /// Accounts one decode chunk: `batch_len` requests advanced by
-    /// `chunk` tokens each in `secs` seconds. Field-by-field identical to
-    /// the original wave loop's per-chunk accumulation.
-    fn chunk(
-        &mut self,
-        eval: &Evaluator,
-        it: &IterationBreakdown,
-        batch_len: usize,
-        chunk: u64,
-        secs: f64,
-    ) {
-        self.report.tokens += batch_len as u64 * chunk;
-        self.report.attn_seconds += it.attn_seconds * chunk as f64;
-        self.report.fc_seconds += it.fc_seconds * chunk as f64;
-        self.util_weighted += it.attn_utilization * secs;
-        eval.energy_model().accumulate(
-            &mut self.report.energy,
-            it,
-            chunk as f64,
-            eval.system().parallel.modules(),
-            eval.system().module.channels,
-        );
-        self.steps += chunk;
-    }
-
-    /// Accounts a finished request's KV footprint under the memory
-    /// policy (for `capacity_utilization`).
-    fn retire(&mut self, eval: &Evaluator, r: &Request, t_max: u64) {
-        self.used_kv += eval.model().kv_bytes(r.final_len()) as f64;
-        self.reserved_kv += eval.kv_reservation(r.final_len(), t_max) as f64;
-    }
-}
-
-/// One request resident in a replica's running batch.
-#[derive(Debug, Clone, Copy)]
-struct Active {
-    req: Request,
-    /// Tokens generated so far.
-    done: u64,
-    admitted: f64,
-    first_token: Option<f64>,
 }
 
 impl<'a> Engine<'a> {
@@ -106,302 +50,7 @@ impl<'a> Engine<'a> {
     /// Serves `trace`, splitting requests round-robin across replicas and
     /// advancing each replica's virtual time to completion.
     pub fn run(&self, trace: &Trace) -> ServingReport {
-        let replicas = self.eval.system().replicas();
-        let stage = self.eval.stage_model();
-
-        // The serving configuration is compiled for the workload's worst
-        // case (static streams must cover it).
-        let t_max = trace.iter().map(|r| r.final_len()).max().unwrap_or(0);
-        let mut per_replica: Vec<Vec<Request>> = vec![Vec::new(); replicas as usize];
-        for (i, r) in trace.iter().enumerate() {
-            per_replica[i % replicas as usize].push(*r);
-        }
-
-        let mut acc = Accum::default();
-        let mut timings: Vec<RequestTiming> = Vec::with_capacity(trace.len());
-        let mut end_max = 0.0f64;
-        let mut busy_total = 0.0f64;
-        for queue in &per_replica {
-            let (end, busy) = match self.policy {
-                SchedulingPolicy::Wave => {
-                    self.run_wave_replica(&stage, queue, t_max, &mut acc, &mut timings)
-                }
-                SchedulingPolicy::Continuous => {
-                    self.run_continuous_replica(&stage, queue, t_max, &mut acc, &mut timings)
-                }
-            };
-            end_max = end_max.max(end);
-            busy_total += busy;
-        }
-
-        let mut report = acc.report;
-        report.seconds = end_max;
-        report.busy_seconds = busy_total;
-        report.tokens_per_second = if end_max > 0.0 {
-            report.tokens as f64 / end_max
-        } else {
-            0.0
-        };
-        report.mean_batch = match self.policy {
-            // Per-wave mean admitted batch (the paper's metric).
-            SchedulingPolicy::Wave => {
-                if report.waves > 0 {
-                    acc.batch_sum / f64::from(report.waves)
-                } else {
-                    0.0
-                }
-            }
-            // Step-weighted mean batch: tokens per executed decode step.
-            SchedulingPolicy::Continuous => {
-                if acc.steps > 0 {
-                    report.tokens as f64 / acc.steps as f64
-                } else {
-                    0.0
-                }
-            }
-        };
-        // Utilization over *busy* replica time: idle replicas no longer
-        // dilute the average (the original loop divided by
-        // `max_seconds × replicas`, double-counting idle tails).
-        report.attn_utilization = if busy_total > 0.0 {
-            acc.util_weighted / busy_total
-        } else {
-            0.0
-        };
-        report.capacity_utilization = if acc.reserved_kv > 0.0 {
-            acc.used_kv / acc.reserved_kv
-        } else {
-            0.0
-        };
-        report.latency = LatencyReport::from_timings(&timings);
-        report
-    }
-
-    /// The original closed-world wave loop, driven as engine events: each
-    /// wave decodes to completion before the next is admitted. Arrival
-    /// times are ignored (every request is treated as queued at time 0),
-    /// so TTFT under this policy measures closed-world queueing.
-    fn run_wave_replica(
-        &self,
-        stage: &StageModel<'_>,
-        queue: &[Request],
-        t_max: u64,
-        acc: &mut Accum,
-        timings: &mut Vec<RequestTiming>,
-    ) -> (f64, f64) {
-        let eval = self.eval;
-        let stride = eval.stride();
-        let mut idx = 0usize;
-        let mut replica_seconds = 0.0f64;
-        while idx < queue.len() {
-            let admitted = policy::wave_plan(eval, &queue[idx..], t_max);
-            let wave = &queue[idx..idx + admitted];
-            idx += admitted;
-            acc.report.waves += 1;
-            acc.batch_sum += admitted as f64;
-
-            let wave_start = replica_seconds;
-            let mut first_token: Vec<Option<f64>> = vec![None; admitted];
-            let mut finish: Vec<f64> = vec![wave_start; admitted];
-
-            // Decode the wave; all requests share the same decode budget,
-            // growing token counts as they generate.
-            let decode_len = wave.iter().map(|r| r.decode_len).max().unwrap_or(0);
-            let mut step = 0u64;
-            while step < decode_len {
-                let batch: Vec<(u64, u64)> = wave
-                    .iter()
-                    .filter(|r| r.decode_len > step)
-                    .map(|r| (r.id, r.context_len + step))
-                    .collect();
-                if batch.is_empty() {
-                    break;
-                }
-                // Cut the chunk at the earliest completion so batch
-                // composition is constant within it. With a uniform
-                // decode budget this reduces to the original loop's
-                // `stride.min(decode_len - step)` (bit-identical
-                // results); with varied budgets it fixes that loop's
-                // over-count of `batch × chunk` tokens for requests
-                // finishing mid-chunk.
-                let min_remaining = wave
-                    .iter()
-                    .filter(|r| r.decode_len > step)
-                    .map(|r| r.decode_len - step)
-                    .min()
-                    .expect("nonempty batch");
-                let chunk = stride.min(decode_len - step).min(min_remaining);
-                let it = stage.iteration(&batch);
-                let secs = it.seconds * chunk as f64;
-                let chunk_start = replica_seconds;
-                replica_seconds += secs;
-                acc.chunk(eval, &it, batch.len(), chunk, secs);
-                for (i, r) in wave.iter().enumerate() {
-                    if r.decode_len > step {
-                        if first_token[i].is_none() {
-                            first_token[i] = Some(chunk_start + it.seconds);
-                        }
-                        if r.decode_len <= step + chunk {
-                            finish[i] = chunk_start + it.seconds * (r.decode_len - step) as f64;
-                        }
-                    }
-                }
-                step += chunk;
-            }
-
-            for (i, r) in wave.iter().enumerate() {
-                acc.retire(eval, r, t_max);
-                timings.push(RequestTiming {
-                    id: r.id,
-                    // Closed world: the policy treats every request as
-                    // queued at time 0, so its latencies are measured
-                    // from the epoch — a real (later) arrival time would
-                    // make first_token precede arrival and turn TTFT
-                    // negative.
-                    arrival: 0.0,
-                    admitted: wave_start,
-                    first_token: first_token[i].unwrap_or(wave_start),
-                    finished: finish[i],
-                    decode_len: r.decode_len,
-                });
-            }
-        }
-        (replica_seconds, replica_seconds)
-    }
-
-    /// Continuous batching: pending requests join the running batch the
-    /// moment their arrival has passed and the memory policy has room;
-    /// completions free reservations immediately. The clock jumps over
-    /// idle gaps (counted in `seconds` but not `busy_seconds`).
-    fn run_continuous_replica(
-        &self,
-        stage: &StageModel<'_>,
-        queue: &[Request],
-        t_max: u64,
-        acc: &mut Accum,
-        timings: &mut Vec<RequestTiming>,
-    ) -> (f64, f64) {
-        let eval = self.eval;
-        let stride = eval.stride();
-        let mut pending: VecDeque<Request> = {
-            let mut q = queue.to_vec();
-            q.sort_by_key(|r| (r.arrival_us, r.id));
-            q.into()
-        };
-        let mut admitter = ContinuousAdmitter::new(eval, t_max);
-        let mut running: Vec<Active> = Vec::new();
-        let mut t = 0.0f64;
-        let mut busy = 0.0f64;
-
-        loop {
-            // Idle: jump the clock to the next arrival.
-            if running.is_empty() {
-                match pending.front() {
-                    None => break,
-                    Some(r) if r.arrival_secs() > t => t = r.arrival_secs(),
-                    Some(_) => {}
-                }
-            }
-
-            // Admission event: FCFS sweep of everything that has arrived
-            // and fits. No reordering — head-of-line blocking under
-            // worst-case reservations is part of what's being measured.
-            let mut admitted_now = 0usize;
-            while let Some(&r) = pending.front() {
-                if r.arrival_secs() > t || !admitter.fits(eval, &r, running.len(), t_max) {
-                    break;
-                }
-                pending.pop_front();
-                admitter.reserve(eval, &r, t_max);
-                if r.decode_len == 0 {
-                    // Nothing to generate: completes at admission.
-                    admitter.release(eval, &r, t_max);
-                    acc.retire(eval, &r, t_max);
-                    timings.push(RequestTiming {
-                        id: r.id,
-                        arrival: r.arrival_secs(),
-                        admitted: t,
-                        first_token: t,
-                        finished: t,
-                        decode_len: 0,
-                    });
-                    continue;
-                }
-                running.push(Active {
-                    req: r,
-                    done: 0,
-                    admitted: t,
-                    first_token: None,
-                });
-                admitted_now += 1;
-            }
-            // Continuous mean_batch is step-weighted (tokens / steps),
-            // so admission events only bump the event counter.
-            if admitted_now > 0 {
-                acc.report.waves += 1;
-            }
-            if running.is_empty() {
-                continue; // only zero-decode requests were admitted
-            }
-
-            // Step event: decode one chunk with a fixed batch.
-            let batch: Vec<(u64, u64)> = running
-                .iter()
-                .map(|a| (a.req.id, a.req.context_len + a.done))
-                .collect();
-            let it = stage.iteration(&batch);
-            let per_step = it.seconds;
-            let min_remaining = running
-                .iter()
-                .map(|a| a.req.decode_len - a.done)
-                .min()
-                .expect("nonempty running batch");
-            let mut chunk = stride.min(min_remaining);
-            // Cut the chunk at the next arrival that could actually join,
-            // so admission is not delayed by up to a whole stride.
-            if per_step > 0.0 {
-                if let Some(front) = pending.front() {
-                    let arr = front.arrival_secs();
-                    if arr > t && admitter.fits(eval, front, running.len(), t_max) {
-                        let steps_until = ((arr - t) / per_step).ceil().max(1.0);
-                        if (steps_until as u64) < chunk {
-                            chunk = steps_until as u64;
-                        }
-                    }
-                }
-            }
-            let secs = per_step * chunk as f64;
-            acc.chunk(eval, &it, batch.len(), chunk, secs);
-            for a in &mut running {
-                if a.first_token.is_none() {
-                    a.first_token = Some(t + per_step);
-                }
-                a.done += chunk;
-            }
-            t += secs;
-            busy += secs;
-
-            // Completion events: retire finished requests, freeing memory.
-            let mut i = 0usize;
-            while i < running.len() {
-                if running[i].done >= running[i].req.decode_len {
-                    let a = running.swap_remove(i);
-                    admitter.release(eval, &a.req, t_max);
-                    acc.retire(eval, &a.req, t_max);
-                    timings.push(RequestTiming {
-                        id: a.req.id,
-                        arrival: a.req.arrival_secs(),
-                        admitted: a.admitted,
-                        first_token: a.first_token.unwrap_or(a.admitted),
-                        finished: t,
-                        decode_len: a.req.decode_len,
-                    });
-                } else {
-                    i += 1;
-                }
-            }
-        }
-        (t, busy)
+        Cluster::new(self.eval, self.policy).run(trace, &mut RoundRobin::default())
     }
 }
 
@@ -535,5 +184,20 @@ mod tests {
         assert_eq!(r.latency.completed, trace.len() as u64);
         assert!(r.latency.ttft.max <= r.seconds + 1e-9);
         assert!(r.latency.e2e.max <= r.seconds + 1e-9);
+    }
+
+    #[test]
+    fn engine_fills_per_replica_breakdown() {
+        let trace = TraceBuilder::new(Dataset::QmSum)
+            .seed(9)
+            .requests(10)
+            .decode_len(8)
+            .build();
+        let e = eval(Techniques::pimphony());
+        let r = Engine::new(&e, SchedulingPolicy::Wave).run(&trace);
+        assert_eq!(r.per_replica.len(), e.system().replicas() as usize);
+        let served: u64 = r.per_replica.iter().map(|b| b.served).sum();
+        assert_eq!(served, trace.len() as u64);
+        assert!(r.per_replica.iter().all(|b| b.peak_reserved_kv > 0));
     }
 }

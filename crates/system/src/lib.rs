@@ -11,13 +11,20 @@
 //! * [`stage`] — attention/FC stage composition under TP and PP.
 //! * [`serve`] — the [`Evaluator`]: memory policy, admission primitives,
 //!   and the [`ServingReport`].
-//! * [`engine`] — event-driven serving core advancing per-replica
+//! * [`engine`] — event-driven serving facade advancing per-replica
 //!   virtual time over admission/step/completion events.
+//! * [`replica`] — the standalone per-replica state machine
+//!   (`ReplicaSim`) behind both the engine and the cluster.
+//! * [`cluster`] — multi-replica serving: globally ordered arrivals
+//!   dispatched through a pluggable [`cluster::Router`] (round-robin /
+//!   join-shortest-queue / least-loaded) with replica sims running on
+//!   scoped threads and a deterministic merge.
 //! * [`policy`] — pluggable batch scheduling: closed-world
 //!   [`SchedulingPolicy::Wave`] (paper-figure fidelity, Figs. 13–15 and
 //!   17) and online [`SchedulingPolicy::Continuous`] batching over
 //!   arrival times.
-//! * [`metrics`] — per-request TTFT/TPOT/E2E latency percentiles.
+//! * [`metrics`] — per-request TTFT/TPOT/E2E latency percentiles,
+//!   per-replica breakdowns, Jain fairness.
 //! * [`energy`] — the Fig. 16 energy decomposition.
 //! * [`gpu`] — the A100 flash-decoding + paged-attention baseline of
 //!   Fig. 20.
@@ -66,6 +73,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod config;
 pub mod energy;
 pub mod engine;
@@ -73,15 +81,18 @@ pub mod gpu;
 pub mod kernel;
 pub mod metrics;
 pub mod policy;
+pub mod replica;
 pub mod serve;
 pub mod stage;
 
+pub use cluster::{Cluster, JoinShortestQueue, LeastLoaded, RoundRobin, Router, RouterKind};
 pub use config::{ModuleConfig, SystemConfig, SystemKind, Techniques};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use engine::Engine;
 pub use gpu::GpuSystem;
 pub use kernel::{AttentionKind, KernelModel, KernelStats};
-pub use metrics::{LatencyReport, LatencySummary, RequestTiming};
+pub use metrics::{jain_fairness, LatencyReport, LatencySummary, ReplicaBreakdown, RequestTiming};
 pub use policy::SchedulingPolicy;
+pub use replica::ReplicaLoad;
 pub use serve::{Evaluator, ServingReport};
 pub use stage::{AttentionStage, IterationBreakdown, StageModel};

@@ -79,8 +79,16 @@ impl LatencySummary {
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latency samples"));
         let pick = |q: f64| {
-            // Nearest-rank percentile: monotone in q by construction.
-            let rank = (q * sorted.len() as f64).ceil() as usize;
+            // Nearest-rank percentile (smallest rank k with k/n >= q):
+            // monotone in q by construction. The epsilon pins the exact
+            // integer boundaries (`0.95 * 20` must stay rank 19, not
+            // jump to 20): 0.95 is not representable in binary, so the
+            // product can only be trusted to land within rounding noise
+            // of the boundary, and a bare `ceil` would amplify any
+            // upward noise into a whole rank. Safe because the exact
+            // products of the fixed quantiles are multiples of 1/100,
+            // which is many orders above the epsilon.
+            let rank = (q * sorted.len() as f64 - 1e-9).ceil() as usize;
             sorted[rank.clamp(1, sorted.len()) - 1]
         };
         LatencySummary {
@@ -90,6 +98,42 @@ impl LatencySummary {
             p99: pick(0.99),
             max: *sorted.last().expect("nonempty"),
         }
+    }
+}
+
+/// Per-replica serving totals, populated by the cluster layer so
+/// load-balancer skew is observable in the [`ServingReport`]
+/// (`crate::ServingReport::per_replica`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct ReplicaBreakdown {
+    /// Requests the router dispatched to this replica.
+    pub routed: u64,
+    /// Requests that completed on this replica.
+    pub served: u64,
+    /// Decode tokens this replica produced.
+    pub tokens: u64,
+    /// Seconds this replica spent decoding.
+    pub busy_seconds: f64,
+    /// This replica's virtual end time.
+    pub seconds: f64,
+    /// Peak KV bytes reserved by the running batch under the active
+    /// memory policy (whole-wave reservation under the wave policy).
+    pub peak_reserved_kv: u64,
+}
+
+/// Jain's fairness index over a load vector: `(Σx)² / (n·Σx²)`, 1.0 for
+/// a perfectly even split, approaching `1/n` when one entry carries
+/// everything. Empty and all-zero inputs are defined as perfectly fair.
+pub fn jain_fairness(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        1.0
+    } else {
+        sum * sum / (xs.len() as f64 * sum_sq)
     }
 }
 
@@ -149,8 +193,58 @@ mod tests {
     #[test]
     fn empty_and_singleton_summaries() {
         assert_eq!(LatencySummary::from_samples(&[]), LatencySummary::default());
+        // 1 sample: every rank clamps to the sole observation and the
+        // percentiles stay (trivially) monotone.
         let s = LatencySummary::from_samples(&[2.5]);
         assert_eq!((s.p50, s.p95, s.p99, s.max), (2.5, 2.5, 2.5, 2.5));
+        assert_eq!(s.mean, 2.5);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn two_sample_nearest_rank() {
+        // n = 2: p50 is rank ceil(0.5·2) = 1 (the smaller sample), while
+        // p95/p99 are rank 2 — clamp's upper boundary. Monotone, and p50
+        // must NOT be pulled up to the max.
+        let s = LatencySummary::from_samples(&[4.0, 1.0]);
+        assert_eq!(s.p50, 1.0);
+        assert_eq!(s.p95, 4.0);
+        assert_eq!(s.p99, 4.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 2.5);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn integer_rank_boundaries_do_not_round_up() {
+        // 0.95·20 = 19 exactly in ℝ but only within rounding noise of it
+        // in f64; the nearest-rank pick must return the 19th sample, not
+        // the 20th, regardless of which side the product lands on.
+        let samples: Vec<f64> = (1..=20).map(f64::from).collect();
+        let s = LatencySummary::from_samples(&samples);
+        assert_eq!(s.p95, 19.0);
+        assert_eq!(s.p50, 10.0); // 0.50·20 = rank 10, not 11
+        assert_eq!(s.p99, 20.0); // ceil(19.8) = 20
+        assert_eq!(s.max, 20.0);
+    }
+
+    #[test]
+    fn rank_clamps_at_lower_boundary() {
+        // Tiny q·n products still clamp to rank 1 (first sample), never
+        // rank 0 / underflow.
+        let s = LatencySummary::from_samples(&[7.0, 9.0]);
+        assert_eq!(s.p50, 7.0);
+    }
+
+    #[test]
+    fn jain_fairness_bounds() {
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+        assert_eq!(jain_fairness(&[3.0, 3.0, 3.0]), 1.0);
+        let skewed = jain_fairness(&[1.0, 0.0, 0.0, 0.0]);
+        assert!((skewed - 0.25).abs() < 1e-12, "{skewed}");
+        let mild = jain_fairness(&[2.0, 1.0]);
+        assert!(mild > 0.25 && mild < 1.0, "{mild}");
     }
 
     #[test]

@@ -129,6 +129,11 @@ impl ContinuousAdmitter {
             .used
             .saturating_sub(eval.kv_reservation(r.final_len(), t_max));
     }
+
+    /// Reservation bytes currently held by the running batch.
+    pub(crate) fn used(&self) -> u64 {
+        self.used
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,448 @@
+//! Standalone per-replica serving state machine.
+//!
+//! [`ReplicaSim`] is the per-replica core extracted from the original
+//! `Engine::run` loops: it owns one replica's pending queue, running
+//! batch, memory admitter and virtual clock, and advances them over
+//! admission / chunked-decode / completion events. The cluster layer
+//! ([`crate::cluster`]) drives many `ReplicaSim`s — routing each arrival
+//! to one of them, advancing them up to the routing frontier, and
+//! draining them to completion (on scoped threads when asked).
+//!
+//! # Determinism and bit-exactness
+//!
+//! Two properties the cluster depends on are enforced here:
+//!
+//! * **Frontier-safe chunking.** A decode chunk may be cut short by the
+//!   next *admissible* pending arrival, and arrivals only become visible
+//!   once the router dispatches them. [`ReplicaSim::advance_to`]
+//!   therefore never executes a chunk that would end past the supplied
+//!   limit (the cluster's routing frontier): any arrival that could cut
+//!   a chunk ending at or before the frontier has already been routed,
+//!   so every executed chunk is identical to the one a sequential run
+//!   with full queue knowledge would execute.
+//! * **Replayable accounting.** Floating-point accumulation is not
+//!   associative, so replicas do not sum into a shared accumulator
+//!   directly (the merge order would then depend on thread scheduling).
+//!   Instead each replica records a [`SimEvent`] log; the cluster
+//!   replays all logs into one accumulator in replica-index order,
+//!   reproducing the exact operation sequence of the original
+//!   single-threaded loops.
+
+use crate::metrics::{ReplicaBreakdown, RequestTiming};
+use crate::policy::{self, ContinuousAdmitter, SchedulingPolicy};
+use crate::serve::Evaluator;
+use crate::stage::{IterationBreakdown, StageModel};
+use std::collections::VecDeque;
+use workload::Request;
+
+/// One accounting event recorded by a replica simulation. Replayed in
+/// replica-index order into the run-wide accumulator, reproducing the
+/// exact float-operation sequence of the original sequential loops
+/// regardless of how many threads simulated the replicas.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum SimEvent {
+    /// An admission event (`waves += 1`); the wave policy also adds the
+    /// admitted count to the mean-batch numerator.
+    Admit {
+        /// Admitted-batch contribution to the per-wave mean (0 under the
+        /// continuous policy, whose mean batch is step-weighted).
+        batch: f64,
+    },
+    /// One executed decode chunk.
+    Chunk {
+        /// The iteration breakdown priced for the chunk's fixed batch.
+        it: IterationBreakdown,
+        /// Requests advanced by the chunk.
+        batch_len: usize,
+        /// Decode steps in the chunk.
+        chunk: u64,
+        /// Wall-clock seconds of the chunk.
+        secs: f64,
+    },
+    /// A finished request's KV footprint (for capacity utilization).
+    Retire {
+        /// The request's context + decode length at completion.
+        final_len: u64,
+    },
+}
+
+/// Instantaneous load of one replica, as seen by a [`crate::cluster::Router`]
+/// at a routing decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaLoad {
+    /// Replica index within the cluster.
+    pub replica: usize,
+    /// Requests routed to the replica and not yet finished (queued +
+    /// running).
+    pub in_flight: usize,
+    /// KV bytes the replica is committed to under the active memory
+    /// policy: reservations held by the running batch plus the
+    /// reservations its queued requests will take on admission.
+    pub reserved_kv: u64,
+}
+
+/// One request resident in a replica's running batch.
+#[derive(Debug, Clone, Copy)]
+struct Active {
+    req: Request,
+    /// Tokens generated so far.
+    done: u64,
+    admitted: f64,
+    first_token: Option<f64>,
+}
+
+/// Per-replica serving state machine (see the module docs).
+pub(crate) struct ReplicaSim<'a> {
+    eval: &'a Evaluator,
+    stage: StageModel<'a>,
+    policy: SchedulingPolicy,
+    t_max: u64,
+    /// Routed, not-yet-admitted requests in arrival order.
+    pending: VecDeque<Request>,
+    /// Sum of the pending requests' would-be reservations.
+    pending_reserved: u64,
+    admitter: ContinuousAdmitter,
+    running: Vec<Active>,
+    /// Virtual clock.
+    t: f64,
+    /// Seconds spent decoding (excludes idle gaps).
+    busy: f64,
+    routed: u64,
+    served: u64,
+    tokens: u64,
+    peak_reserved: u64,
+    pub(crate) events: Vec<SimEvent>,
+    pub(crate) timings: Vec<RequestTiming>,
+}
+
+impl<'a> ReplicaSim<'a> {
+    /// Creates an idle replica for a run compiled for worst case `t_max`.
+    pub(crate) fn new(eval: &'a Evaluator, policy: SchedulingPolicy, t_max: u64) -> Self {
+        ReplicaSim {
+            eval,
+            stage: eval.stage_model(),
+            policy,
+            t_max,
+            pending: VecDeque::new(),
+            pending_reserved: 0,
+            admitter: ContinuousAdmitter::new(eval, t_max),
+            running: Vec::new(),
+            t: 0.0,
+            busy: 0.0,
+            routed: 0,
+            served: 0,
+            tokens: 0,
+            peak_reserved: 0,
+            events: Vec::new(),
+            timings: Vec::new(),
+        }
+    }
+
+    /// Hands a routed request to this replica. Requests must be enqueued
+    /// in nondecreasing arrival order and never earlier than the
+    /// replica's clock (the cluster routes arrivals in global order and
+    /// only advances replicas up to the routing frontier).
+    pub(crate) fn enqueue(&mut self, r: Request) {
+        self.pending_reserved = self
+            .pending_reserved
+            .saturating_add(self.eval.kv_reservation(r.final_len(), self.t_max));
+        self.pending.push_back(r);
+        self.routed += 1;
+    }
+
+    /// The load snapshot routers decide on.
+    pub(crate) fn load(&self, replica: usize) -> ReplicaLoad {
+        ReplicaLoad {
+            replica,
+            in_flight: self.pending.len() + self.running.len(),
+            reserved_kv: self.admitter.used().saturating_add(self.pending_reserved),
+        }
+    }
+
+    /// Processes every event up to `limit`, deferring any decode chunk
+    /// that would end past it. A no-op under the wave policy, which
+    /// ignores arrival times (all its work happens in [`Self::finish`]).
+    pub(crate) fn advance_to(&mut self, limit: f64) {
+        if self.policy == SchedulingPolicy::Continuous {
+            self.advance_continuous(limit);
+        }
+    }
+
+    /// Runs the replica to completion (no more arrivals will be routed).
+    pub(crate) fn finish(&mut self) {
+        match self.policy {
+            SchedulingPolicy::Wave => self.run_wave(),
+            SchedulingPolicy::Continuous => self.advance_continuous(f64::INFINITY),
+        }
+    }
+
+    /// This replica's virtual end time.
+    pub(crate) fn end_time(&self) -> f64 {
+        self.t
+    }
+
+    /// Seconds spent decoding.
+    pub(crate) fn busy_seconds(&self) -> f64 {
+        self.busy
+    }
+
+    /// The per-replica totals exposed in the serving report.
+    pub(crate) fn breakdown(&self) -> ReplicaBreakdown {
+        ReplicaBreakdown {
+            routed: self.routed,
+            served: self.served,
+            tokens: self.tokens,
+            busy_seconds: self.busy,
+            seconds: self.t,
+            peak_reserved_kv: self.peak_reserved,
+        }
+    }
+
+    /// The original closed-world wave loop over this replica's routed
+    /// queue: each wave decodes to completion before the next is
+    /// admitted. Arrival times are ignored (every request is treated as
+    /// queued at time 0), so TTFT under this policy measures closed-world
+    /// queueing. Extracted verbatim from `Engine::run_wave_replica`.
+    fn run_wave(&mut self) {
+        let eval = self.eval;
+        let stride = eval.stride();
+        let queue: Vec<Request> = self.pending.drain(..).collect();
+        self.pending_reserved = 0;
+        let mut idx = 0usize;
+        while idx < queue.len() {
+            let admitted = policy::wave_plan(eval, &queue[idx..], self.t_max);
+            let wave = &queue[idx..idx + admitted];
+            idx += admitted;
+            self.events.push(SimEvent::Admit {
+                batch: admitted as f64,
+            });
+            let wave_reserved: u64 = wave
+                .iter()
+                .map(|r| eval.kv_reservation(r.final_len(), self.t_max))
+                .sum();
+            self.peak_reserved = self.peak_reserved.max(wave_reserved);
+
+            let wave_start = self.t;
+            let mut first_token: Vec<Option<f64>> = vec![None; admitted];
+            let mut finish: Vec<f64> = vec![wave_start; admitted];
+
+            // Decode the wave; all requests share the same decode budget,
+            // growing token counts as they generate.
+            let decode_len = wave.iter().map(|r| r.decode_len).max().unwrap_or(0);
+            let mut step = 0u64;
+            while step < decode_len {
+                let batch: Vec<(u64, u64)> = wave
+                    .iter()
+                    .filter(|r| r.decode_len > step)
+                    .map(|r| (r.id, r.context_len + step))
+                    .collect();
+                if batch.is_empty() {
+                    break;
+                }
+                // Cut the chunk at the earliest completion so batch
+                // composition is constant within it.
+                let min_remaining = wave
+                    .iter()
+                    .filter(|r| r.decode_len > step)
+                    .map(|r| r.decode_len - step)
+                    .min()
+                    .expect("nonempty batch");
+                let chunk = stride.min(decode_len - step).min(min_remaining);
+                let it = self.stage.iteration(&batch);
+                let secs = it.seconds * chunk as f64;
+                let chunk_start = self.t;
+                self.t += secs;
+                self.busy += secs;
+                self.tokens += batch.len() as u64 * chunk;
+                self.events.push(SimEvent::Chunk {
+                    it,
+                    batch_len: batch.len(),
+                    chunk,
+                    secs,
+                });
+                for (i, r) in wave.iter().enumerate() {
+                    if r.decode_len > step {
+                        if first_token[i].is_none() {
+                            first_token[i] = Some(chunk_start + it.seconds);
+                        }
+                        if r.decode_len <= step + chunk {
+                            finish[i] = chunk_start + it.seconds * (r.decode_len - step) as f64;
+                        }
+                    }
+                }
+                step += chunk;
+            }
+
+            for (i, r) in wave.iter().enumerate() {
+                self.events.push(SimEvent::Retire {
+                    final_len: r.final_len(),
+                });
+                self.served += 1;
+                self.timings.push(RequestTiming {
+                    id: r.id,
+                    // Closed world: the policy treats every request as
+                    // queued at time 0, so its latencies are measured
+                    // from the epoch — a real (later) arrival time would
+                    // make first_token precede arrival and turn TTFT
+                    // negative.
+                    arrival: 0.0,
+                    admitted: wave_start,
+                    first_token: first_token[i].unwrap_or(wave_start),
+                    finished: finish[i],
+                    decode_len: r.decode_len,
+                });
+            }
+        }
+    }
+
+    /// Continuous batching up to `limit`: pending requests join the
+    /// running batch the moment their arrival has passed and the memory
+    /// policy has room; completions free reservations immediately. The
+    /// clock jumps over idle gaps (counted in `seconds` but not
+    /// `busy_seconds`). Extracted from `Engine::run_continuous_replica`,
+    /// with the chunk decision recomputed at execution time so deferral
+    /// at the routing frontier is transparent.
+    fn advance_continuous(&mut self, limit: f64) {
+        let eval = self.eval;
+        let stride = eval.stride();
+
+        loop {
+            // Idle: jump the clock to the next arrival.
+            if self.running.is_empty() {
+                match self.pending.front() {
+                    None => return,
+                    Some(r) if r.arrival_secs() > limit => return,
+                    Some(r) if r.arrival_secs() > self.t => self.t = r.arrival_secs(),
+                    Some(_) => {}
+                }
+            }
+
+            // Admission event: FCFS sweep of everything that has arrived
+            // and fits. No reordering — head-of-line blocking under
+            // worst-case reservations is part of what's being measured.
+            let mut admitted_now = 0usize;
+            while let Some(&r) = self.pending.front() {
+                if r.arrival_secs() > self.t
+                    || !self.admitter.fits(eval, &r, self.running.len(), self.t_max)
+                {
+                    break;
+                }
+                self.pending.pop_front();
+                self.pending_reserved = self
+                    .pending_reserved
+                    .saturating_sub(eval.kv_reservation(r.final_len(), self.t_max));
+                self.admitter.reserve(eval, &r, self.t_max);
+                self.peak_reserved = self.peak_reserved.max(self.admitter.used());
+                if r.decode_len == 0 {
+                    // Nothing to generate: completes at admission.
+                    self.admitter.release(eval, &r, self.t_max);
+                    self.events.push(SimEvent::Retire {
+                        final_len: r.final_len(),
+                    });
+                    self.served += 1;
+                    self.timings.push(RequestTiming {
+                        id: r.id,
+                        arrival: r.arrival_secs(),
+                        admitted: self.t,
+                        first_token: self.t,
+                        finished: self.t,
+                        decode_len: 0,
+                    });
+                    continue;
+                }
+                self.running.push(Active {
+                    req: r,
+                    done: 0,
+                    admitted: self.t,
+                    first_token: None,
+                });
+                admitted_now += 1;
+            }
+            // Continuous mean_batch is step-weighted (tokens / steps),
+            // so admission events only bump the event counter.
+            if admitted_now > 0 {
+                self.events.push(SimEvent::Admit { batch: 0.0 });
+            }
+            if self.running.is_empty() {
+                continue; // only zero-decode requests were admitted
+            }
+
+            // Step event: decode one chunk with a fixed batch.
+            let batch: Vec<(u64, u64)> = self
+                .running
+                .iter()
+                .map(|a| (a.req.id, a.req.context_len + a.done))
+                .collect();
+            let it = self.stage.iteration(&batch);
+            let per_step = it.seconds;
+            let min_remaining = self
+                .running
+                .iter()
+                .map(|a| a.req.decode_len - a.done)
+                .min()
+                .expect("nonempty running batch");
+            let mut chunk = stride.min(min_remaining);
+            // Cut the chunk at the next arrival that could actually join,
+            // so admission is not delayed by up to a whole stride.
+            if per_step > 0.0 {
+                if let Some(front) = self.pending.front() {
+                    let arr = front.arrival_secs();
+                    if arr > self.t
+                        && self
+                            .admitter
+                            .fits(eval, front, self.running.len(), self.t_max)
+                    {
+                        let steps_until = ((arr - self.t) / per_step).ceil().max(1.0);
+                        if (steps_until as u64) < chunk {
+                            chunk = steps_until as u64;
+                        }
+                    }
+                }
+            }
+            let secs = per_step * chunk as f64;
+            // Defer chunks ending past the routing frontier: an arrival
+            // not yet routed to this replica could still cut them.
+            if self.t + secs > limit {
+                return;
+            }
+            self.events.push(SimEvent::Chunk {
+                it,
+                batch_len: batch.len(),
+                chunk,
+                secs,
+            });
+            self.tokens += batch.len() as u64 * chunk;
+            for a in &mut self.running {
+                if a.first_token.is_none() {
+                    a.first_token = Some(self.t + per_step);
+                }
+                a.done += chunk;
+            }
+            self.t += secs;
+            self.busy += secs;
+
+            // Completion events: retire finished requests, freeing memory.
+            let mut i = 0usize;
+            while i < self.running.len() {
+                if self.running[i].done >= self.running[i].req.decode_len {
+                    let a = self.running.swap_remove(i);
+                    self.admitter.release(eval, &a.req, self.t_max);
+                    self.events.push(SimEvent::Retire {
+                        final_len: a.req.final_len(),
+                    });
+                    self.served += 1;
+                    self.timings.push(RequestTiming {
+                        id: a.req.id,
+                        arrival: a.req.arrival_secs(),
+                        admitted: a.admitted,
+                        first_token: a.first_token.unwrap_or(a.admitted),
+                        finished: self.t,
+                        decode_len: a.req.decode_len,
+                    });
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+}

@@ -12,7 +12,7 @@ use crate::config::{SystemConfig, Techniques};
 use crate::energy::{EnergyBreakdown, EnergyModel};
 use crate::engine::Engine;
 use crate::kernel::KernelModel;
-use crate::metrics::LatencyReport;
+use crate::metrics::{self, LatencyReport, ReplicaBreakdown};
 use crate::policy::{self, SchedulingPolicy};
 use crate::stage::{IterationBreakdown, StageModel};
 use llm_model::ModelConfig;
@@ -50,6 +50,20 @@ pub struct ServingReport {
     pub fc_seconds: f64,
     /// Per-request latency statistics (TTFT/TPOT/E2E percentiles).
     pub latency: LatencyReport,
+    /// Per-replica totals (busy time, served requests, peak reserved
+    /// KV), indexed by replica — makes load-balancer skew observable.
+    /// Empty for reports produced by the pre-cluster reference loop.
+    pub per_replica: Vec<ReplicaBreakdown>,
+}
+
+impl ServingReport {
+    /// Jain's fairness index over per-replica busy time: 1.0 when every
+    /// replica worked equally, approaching `1/replicas` when one carried
+    /// the whole load. 1.0 when per-replica data is absent.
+    pub fn replica_fairness(&self) -> f64 {
+        let busy: Vec<f64> = self.per_replica.iter().map(|b| b.busy_seconds).collect();
+        metrics::jain_fairness(&busy)
+    }
 }
 
 /// Evaluates one (system, model, techniques) configuration on traces.

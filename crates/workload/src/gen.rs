@@ -116,6 +116,25 @@ impl Trace {
         self.requests.iter().map(|r| r.decode_len).sum()
     }
 
+    /// Worst-case final length across the trace (0 if empty) — the
+    /// `T_max` the serving configuration is compiled for.
+    pub fn max_final_len(&self) -> u64 {
+        self.requests
+            .iter()
+            .map(|r| r.final_len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The requests in global arrival order (`(arrival_us, id)`,
+    /// stable), the stream a cluster front-end consumes. Builder traces
+    /// already arrive in this order, so for them this is the identity.
+    pub fn arrival_ordered(&self) -> Vec<Request> {
+        let mut ordered = self.requests.clone();
+        ordered.sort_by_key(|r| (r.arrival_us, r.id));
+        ordered
+    }
+
     /// Last arrival time in seconds (0 for batch traces and empty traces).
     pub fn last_arrival_secs(&self) -> f64 {
         self.requests
@@ -473,6 +492,35 @@ mod tests {
         assert!(t.is_empty());
         assert_eq!(t.last_arrival_secs(), 0.0);
         assert_eq!(t.offered_rate(), None);
+        assert_eq!(t.max_final_len(), 0);
+        assert!(t.arrival_ordered().is_empty());
+    }
+
+    #[test]
+    fn arrival_order_sorts_by_time_then_id() {
+        let mk = |id, arrival_us| Request {
+            id,
+            context_len: 10,
+            decode_len: 4,
+            arrival_us,
+        };
+        // Hand-built trace with out-of-order arrivals and a tie.
+        let t: Trace = [mk(0, 500), mk(1, 100), mk(2, 100), mk(3, 0)]
+            .into_iter()
+            .collect();
+        let ids: Vec<u64> = t.arrival_ordered().iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![3, 1, 2, 0]);
+        // Builder traces are already in arrival order.
+        let built = TraceBuilder::new(Dataset::QmSum)
+            .seed(6)
+            .requests(32)
+            .poisson(4.0)
+            .build();
+        assert_eq!(built.arrival_ordered(), built.requests());
+        assert_eq!(
+            built.max_final_len(),
+            built.iter().map(|r| r.final_len()).max().unwrap()
+        );
     }
 
     #[test]
