@@ -4,6 +4,13 @@
 //! percentiles — the online-serving view the paper's closed-world
 //! figures (13–15) do not show.
 //!
+//! TTFT is measured **end-to-end**: arrival → first emitted token,
+//! including queueing delay and chunked prompt processing
+//! (`system::policy::PrefillConfig`). The table decomposes it into its
+//! queueing and prefill shares. Pass `--decode-only` for the historical
+//! decode-only convention (prefill excluded — systematically optimistic,
+//! kept for comparison).
+//!
 //! Requests are served by a 4-replica cluster (TP=2 over 8 modules) and
 //! each load point is run under both round-robin and join-shortest-queue
 //! routing (`system::cluster`), so the curve also shows where load
@@ -11,15 +18,17 @@
 //! near the knee.
 //!
 //! The rate axis is normalized per rung: each configuration's
-//! closed-world wave throughput sets its saturation request rate
-//! (tokens/s ÷ mean decode length), and the sweep offers fixed fractions
-//! of that capacity. Run with:
+//! closed-world wave throughput — prefill included, so the anchor uses
+//! the same cost model as the sweep — sets its saturation request rate,
+//! and the sweep offers fixed fractions of that capacity. Run with:
 //! `cargo run --release -p bench --bin latency_curve` (`-- --tiny` for
 //! the CI smoke configuration).
 
 use llm_model::LLM_7B_32K;
 use pim_compiler::ParallelConfig;
-use system::{Cluster, Evaluator, RouterKind, SchedulingPolicy, SystemConfig, Techniques};
+use system::{
+    Cluster, Evaluator, PrefillConfig, RouterKind, SchedulingPolicy, SystemConfig, Techniques,
+};
 use workload::{Dataset, TraceBuilder};
 
 /// Offered load as a fraction of the rung's closed-world capacity.
@@ -30,14 +39,15 @@ const TINY_REQUESTS: usize = 16;
 const DECODE_LO: u64 = 16;
 const DECODE_HI: u64 = 96;
 const SEED: u64 = 2026;
+const PREFILL_CHUNK: u64 = PrefillConfig::DEFAULT_CHUNK;
 const ROUTERS: [RouterKind; 2] = [RouterKind::RoundRobin, RouterKind::JoinShortestQueue];
 
 fn main() {
     let tiny = std::env::args().any(|a| a == "--tiny");
+    let decode_only = std::env::args().any(|a| a == "--decode-only");
     let model = LLM_7B_32K;
     let sys = SystemConfig::cent_for(&model).with_parallel(ParallelConfig::new(2, 1));
     let dataset = Dataset::QmSum;
-    let mean_decode = (DECODE_LO + DECODE_HI) as f64 / 2.0;
     let requests = if tiny { TINY_REQUESTS } else { REQUESTS };
     let fractions: &[f64] = if tiny {
         &TINY_LOAD_FRACTIONS
@@ -51,37 +61,53 @@ fn main() {
     };
 
     bench::header(&format!(
-        "Throughput–latency sweep: {} × {} replicas on {dataset}, {requests} Poisson requests, decode U[{DECODE_LO},{DECODE_HI}]",
+        "Throughput–latency sweep: {} × {} replicas on {dataset}, {requests} Poisson requests, decode U[{DECODE_LO},{DECODE_HI}], {}",
         model.name,
         sys.replicas(),
+        if decode_only {
+            "decode-only TTFT (historical)".to_string()
+        } else {
+            format!("end-to-end TTFT (chunked prefill, {PREFILL_CHUNK} tok/chunk)")
+        },
     ));
 
     for tech in ladder {
-        // Closed-world capacity anchors this rung's rate axis.
-        let eval = Evaluator::new(sys, model, tech);
-        let closed = eval.run_trace(
-            &TraceBuilder::new(dataset)
-                .seed(SEED)
-                .requests(requests)
-                .decode_range(DECODE_LO, DECODE_HI)
-                .build(),
-        );
-        let capacity_rps = closed.tokens_per_second / mean_decode;
+        // Closed-world capacity anchors this rung's rate axis: requests
+        // per second the cluster can serve (prefill included unless
+        // --decode-only).
+        let eval = if decode_only {
+            Evaluator::new(sys, model, tech)
+        } else {
+            Evaluator::new(sys, model, tech).with_chunked_prefill(PREFILL_CHUNK)
+        };
+        let closed_trace = TraceBuilder::new(dataset)
+            .seed(SEED)
+            .requests(requests)
+            .decode_range(DECODE_LO, DECODE_HI)
+            .build();
+        let (closed, capacity_rps) = bench::closed_world_capacity(&eval, &closed_trace);
 
         println!(
-            "\n{} — closed-world {:.1} tok/s (≈{:.2} req/s capacity)",
+            "\n{} — closed-world {:.1} tok/s (≈{:.2} req/s {} capacity)",
             tech.label(),
             closed.tokens_per_second,
-            capacity_rps
+            capacity_rps,
+            if decode_only {
+                "decode-only"
+            } else {
+                "end-to-end"
+            },
         );
         println!(
-            "{:>6} {:>9} {:>13} {:>11} {:>9} {:>24} {:>11} {:>9}",
+            "{:>6} {:>9} {:>13} {:>11} {:>9} {:>24} {:>10} {:>10} {:>11} {:>9}",
             "load",
             "req/s",
             "router",
             "tok/s",
             "batch",
             "TTFT p50/p95/p99 (s)",
+            "queue p50",
+            "pref p50",
             "TPOT p50",
             "E2E p95"
         );
@@ -101,7 +127,7 @@ fn main() {
                     .run(&trace, router.as_mut());
                 let l = &r.latency;
                 println!(
-                    "{:>5.2}x {:>9.2} {:>13} {:>11.1} {:>9.1} {:>8.3}/{:>6.3}/{:>6.3} {:>11.4} {:>9.3}",
+                    "{:>5.2}x {:>9.3} {:>13} {:>11.1} {:>9.1} {:>8.3}/{:>6.3}/{:>6.3} {:>10.3} {:>10.3} {:>11.4} {:>9.3}",
                     frac,
                     rate,
                     kind.label(),
@@ -110,6 +136,8 @@ fn main() {
                     l.ttft.p50,
                     l.ttft.p95,
                     l.ttft.p99,
+                    l.queueing.p50,
+                    l.prefill.p50,
                     l.tpot.p50,
                     l.e2e.p95,
                 );
@@ -118,11 +146,15 @@ fn main() {
     }
 
     println!(
-        "\nReading the curve: below 1.0x load the server keeps up (TTFT ~ one \
-         iteration) and the router barely matters; past the knee the queue \
-         grows, tail TTFT diverges while tok/s plateaus at the rung's \
-         capacity, and join-shortest-queue pulls the TTFT tail in versus \
-         blind round-robin. DPA's lazy allocation admits more concurrent \
-         requests, pushing the knee right."
+        "\nReading the curve: below 1.0x load the server keeps up (TTFT ~ prompt \
+         processing + one iteration) and the router barely matters; past the \
+         knee the queue grows, tail TTFT diverges while tok/s plateaus at the \
+         rung's capacity, and join-shortest-queue pulls the TTFT tail in \
+         versus blind round-robin. The queue/pref columns split TTFT between \
+         scheduler-owned queueing delay and prefill-stage prompt processing \
+         — on PIM-only hardware the prefill share is large (GEMV-bound FC, \
+         O(P²) causal attention), which is exactly why decode-only TTFT was \
+         systematically optimistic. DPA's lazy allocation admits more \
+         concurrent requests, pushing the knee right."
     );
 }

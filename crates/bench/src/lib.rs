@@ -13,6 +13,19 @@ pub fn header(title: &str) {
     println!("\n=== {title} ===");
 }
 
+/// End-to-end serving capacity of a cluster: the closed-world (wave)
+/// run of `trace` through `eval` — prefill included whenever the
+/// evaluator has it enabled, so online sweeps anchored on this rate use
+/// the same cost model they measure. Returns the closed-world report
+/// together with the capacity in requests/second. Shared by the serving
+/// binaries (`latency_curve`, `router_compare`, `prefill_sweep`) so
+/// their load axes stay comparable.
+pub fn closed_world_capacity(eval: &Evaluator, trace: &Trace) -> (ServingReport, f64) {
+    let closed = eval.run_trace(trace);
+    let rps = trace.len() as f64 / closed.seconds.max(f64::MIN_POSITIVE);
+    (closed, rps)
+}
+
 /// The standard evaluation trace for a dataset (small but representative;
 /// seeds are fixed for reproducibility).
 pub fn trace_for(dataset: Dataset, requests: usize, decode_len: u64) -> Trace {

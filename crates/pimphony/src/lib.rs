@@ -31,7 +31,8 @@
 //! Multi-replica systems serve through the cluster layer
 //! ([`system::cluster`]): arrivals are dispatched in global time order
 //! by a pluggable load balancer (`.router(RouterKind::…)` — round-robin,
-//! join-shortest-queue, or least-loaded by reserved KV bytes), replica
+//! join-shortest-queue, least-loaded by reserved KV bytes, or
+//! least-prefill by pending prompt tokens), replica
 //! simulations can run in parallel (`.threads(n)`; results are
 //! byte-identical whatever the thread count), and reports carry a
 //! per-replica breakdown ([`ServingReport::per_replica`]).
@@ -90,7 +91,8 @@ pub use workload;
 use llm_model::ModelConfig;
 use pim_compiler::ParallelConfig;
 use system::{
-    Cluster, Evaluator, RouterKind, SchedulingPolicy, ServingReport, SystemConfig, Techniques,
+    Cluster, Evaluator, PrefillConfig, RouterKind, SchedulingPolicy, ServingReport, SystemConfig,
+    Techniques,
 };
 use workload::Trace;
 
@@ -168,6 +170,7 @@ pub struct OrchestratorBuilder {
     system: SystemConfig,
     techniques: Techniques,
     policy: SchedulingPolicy,
+    prefill: PrefillConfig,
     router: RouterKind,
     threads: usize,
 }
@@ -180,6 +183,7 @@ impl OrchestratorBuilder {
             system: SystemConfig::cent_for(&model),
             techniques: Techniques::pimphony(),
             policy: SchedulingPolicy::Wave,
+            prefill: PrefillConfig::disabled(),
             router: RouterKind::RoundRobin,
             threads: 1,
         }
@@ -240,6 +244,22 @@ impl OrchestratorBuilder {
         self.policy(SchedulingPolicy::Wave)
     }
 
+    /// Sets an explicit prefill configuration (default: disabled, the
+    /// historical decode-only simulation).
+    pub fn prefill(mut self, prefill: PrefillConfig) -> Self {
+        self.prefill = prefill;
+        self
+    }
+
+    /// Models prompt processing end-to-end: prompts are prefilled
+    /// `chunk_tokens` at a time before decoding (interleaved with
+    /// running decode steps under continuous batching), and TTFT covers
+    /// arrival → first token including queueing and prefill delay
+    /// (decomposed in `ServingReport::latency`).
+    pub fn chunked_prefill(self, chunk_tokens: u64) -> Self {
+        self.prefill(PrefillConfig::chunked(chunk_tokens))
+    }
+
     /// Sets the cross-replica load balancer routing each arrival to a
     /// replica (default: [`RouterKind::RoundRobin`], which reproduces
     /// trace-level partitioning bit-exactly).
@@ -266,7 +286,8 @@ impl OrchestratorBuilder {
     pub fn build(self) -> Orchestrator {
         Orchestrator {
             evaluator: Evaluator::new(self.system, self.model, self.techniques)
-                .with_policy(self.policy),
+                .with_policy(self.policy)
+                .with_prefill(self.prefill),
             router: self.router,
             threads: self.threads,
         }
@@ -396,6 +417,35 @@ mod tests {
         let sequential = build(1).serve(&trace);
         let parallel = build(4).serve(&trace);
         assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn chunked_prefill_flows_through_builder_and_dominates_ttft() {
+        let trace = TraceBuilder::new(Dataset::QmSum)
+            .seed(4)
+            .requests(8)
+            .decode_range(8, 32)
+            .poisson(3.0)
+            .build();
+        let build = |prefill: bool| {
+            let b = OrchestratorBuilder::new(llm_model::LLM_7B_32K)
+                .pim_only()
+                .full_pimphony()
+                .continuous_batching();
+            if prefill { b.chunked_prefill(512) } else { b }.build()
+        };
+        let decode_only = build(false);
+        let end_to_end = build(true);
+        assert!(!decode_only.evaluator().prefill_config().enabled);
+        assert!(end_to_end.evaluator().prefill_config().enabled);
+        assert_eq!(end_to_end.evaluator().prefill_config().chunk_tokens, 512);
+        let rd = decode_only.serve(&trace);
+        let re = end_to_end.serve(&trace);
+        assert_eq!(rd.tokens, re.tokens, "same decode work");
+        assert_eq!(rd.prefill_tokens, 0);
+        assert!(re.prefill_tokens > 0);
+        assert!(re.latency.ttft.p50 > rd.latency.ttft.p50);
+        assert!(re.latency.prefill.p50 > 0.0);
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!   requests, the classic JSQ policy that absorbs bursts.
 //! * [`LeastLoaded`] — fewest reserved KV bytes under the active memory
 //!   policy, which sees *request size*, not just count.
+//! * [`LeastPrefill`] — least outstanding prompt-processing backlog
+//!   (pending prefill tokens), the TTFT-oriented signal when prefill is
+//!   modeled.
 //!
 //! Replica simulations run on [`std::thread::scope`] threads
 //! ([`Cluster::threads`]). Parallel and sequential runs produce
@@ -121,6 +124,31 @@ impl Router for LeastLoaded {
     }
 }
 
+/// Joins the replica with the least outstanding prompt-processing
+/// backlog ([`ReplicaLoad::pending_prefill`] — queued prompts plus the
+/// unprocessed remainder of running prefills), breaking ties by
+/// reserved KV bytes then index. Long prompts serialize through a
+/// replica's FCFS prefill stage, so this backlog predicts TTFT more
+/// directly than request counts when prefill is modeled; without
+/// prefill every backlog is 0 and the router degenerates to
+/// [`LeastLoaded`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastPrefill;
+
+impl Router for LeastPrefill {
+    fn label(&self) -> &'static str {
+        "least-prefill"
+    }
+
+    fn route(&mut self, _req: &Request, loads: &[ReplicaLoad]) -> usize {
+        loads
+            .iter()
+            .min_by_key(|l| (l.pending_prefill, l.reserved_kv, l.replica))
+            .map(|l| l.replica)
+            .unwrap_or(0)
+    }
+}
+
 /// Config-level selector for the built-in routers.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize)]
 pub enum RouterKind {
@@ -131,14 +159,17 @@ pub enum RouterKind {
     JoinShortestQueue,
     /// [`LeastLoaded`].
     LeastLoaded,
+    /// [`LeastPrefill`].
+    LeastPrefill,
 }
 
 impl RouterKind {
     /// Every built-in router, for comparison sweeps.
-    pub const ALL: [RouterKind; 3] = [
+    pub const ALL: [RouterKind; 4] = [
         RouterKind::RoundRobin,
         RouterKind::JoinShortestQueue,
         RouterKind::LeastLoaded,
+        RouterKind::LeastPrefill,
     ];
 
     /// Short display label.
@@ -147,6 +178,7 @@ impl RouterKind {
             RouterKind::RoundRobin => "round-robin",
             RouterKind::JoinShortestQueue => "jsq",
             RouterKind::LeastLoaded => "least-loaded",
+            RouterKind::LeastPrefill => "least-prefill",
         }
     }
 
@@ -156,6 +188,7 @@ impl RouterKind {
             RouterKind::RoundRobin => Box::new(RoundRobin::default()),
             RouterKind::JoinShortestQueue => Box::new(JoinShortestQueue),
             RouterKind::LeastLoaded => Box::new(LeastLoaded),
+            RouterKind::LeastPrefill => Box::new(LeastPrefill),
         }
     }
 }
@@ -204,6 +237,23 @@ impl Accum {
             eval.system().module.channels,
         );
         self.steps += chunk;
+    }
+
+    /// Accounts one executed prefill chunk (`pre` holds the chunk's
+    /// totals): prompt tokens, prefill wall-clock, utilization weight,
+    /// and energy. Prefill executes no decode steps, so `mean_batch`
+    /// and the decode-phase attn/fc second split are untouched.
+    fn prefill(&mut self, eval: &Evaluator, pre: &IterationBreakdown, chunk: u64) {
+        self.report.prefill_tokens += chunk;
+        self.report.prefill_seconds += pre.seconds;
+        self.util_weighted += pre.attn_utilization * pre.seconds;
+        eval.energy_model().accumulate(
+            &mut self.report.energy,
+            pre,
+            1.0,
+            eval.system().parallel.modules(),
+            eval.system().module.channels,
+        );
     }
 
     /// Accounts a finished request's KV footprint under the memory
@@ -292,6 +342,7 @@ impl<'a> Cluster<'a> {
                 replica: i,
                 in_flight: 0,
                 reserved_kv: 0,
+                pending_prefill: 0,
             })
             .collect();
         for r in &arrivals {
@@ -337,6 +388,7 @@ impl<'a> Cluster<'a> {
                         chunk,
                         secs,
                     } => acc.chunk(eval, it, batch_len, chunk, secs),
+                    SimEvent::Prefill { ref pre, chunk } => acc.prefill(eval, pre, chunk),
                     SimEvent::Retire { final_len } => acc.retire(eval, final_len, t_max),
                 }
             }
@@ -460,6 +512,7 @@ mod tests {
                 replica: i,
                 in_flight: 10 * i,
                 reserved_kv: 0,
+                pending_prefill: 0,
             })
             .collect();
         let req = Request {
@@ -480,16 +533,19 @@ mod tests {
                 replica: 0,
                 in_flight: 3,
                 reserved_kv: 100,
+                pending_prefill: 40_000,
             },
             ReplicaLoad {
                 replica: 1,
                 in_flight: 1,
                 reserved_kv: 900,
+                pending_prefill: 2_000,
             },
             ReplicaLoad {
                 replica: 2,
                 in_flight: 1,
                 reserved_kv: 50,
+                pending_prefill: 9_000,
             },
         ];
         let req = Request {
@@ -500,6 +556,18 @@ mod tests {
         };
         assert_eq!(JoinShortestQueue.route(&req, &loads), 1); // tie 1 vs 2 → lowest index
         assert_eq!(LeastLoaded.route(&req, &loads), 2);
+        // Least-prefill reads the prompt backlog, not KV or counts.
+        assert_eq!(LeastPrefill.route(&req, &loads), 1);
+        // With no backlog anywhere (prefill disabled) it degenerates to
+        // the reserved-KV order.
+        let mut flat = loads;
+        for l in &mut flat {
+            l.pending_prefill = 0;
+        }
+        assert_eq!(
+            LeastPrefill.route(&req, &flat),
+            LeastLoaded.route(&req, &flat)
+        );
     }
 
     #[test]

@@ -207,6 +207,40 @@ impl KernelModel {
         KernelStats::axpy(&a.intercept, &a.slope, tokens as f64)
     }
 
+    /// Total statistics of one attention kernel summed over a causal
+    /// prefill chunk on one channel: query positions
+    /// `done+1 ..= done+chunk`, where position `i` attends to its
+    /// `i`-token prefix. The affine per-position model makes the prefix
+    /// sum closed-form — `Σᵢ (a + b·i) = chunk·a + b·(chunk·done +
+    /// chunk·(chunk+1)/2)` — so a whole prompt chunk prices in O(1)
+    /// regardless of its length.
+    #[allow(clippy::too_many_arguments)]
+    pub fn attention_prefill(
+        &self,
+        kind: AttentionKind,
+        scheduler: SchedulerKind,
+        pimphony_buffers: bool,
+        group: u32,
+        row_reuse: bool,
+        done: u64,
+        chunk: u64,
+    ) -> KernelStats {
+        if chunk == 0 {
+            return KernelStats::default();
+        }
+        let key = AttnKey {
+            kind,
+            scheduler,
+            group,
+            row_reuse,
+            pimphony_buffers,
+        };
+        let a = self.affine(key);
+        let c = chunk as f64;
+        let token_sum = c * done as f64 + c * (c + 1.0) / 2.0;
+        KernelStats::axpy(&a.intercept.scaled(c), &a.slope, token_sum)
+    }
+
     /// Statistics of one dense GEMV on one channel (exact, memoized).
     pub fn gemv(
         &self,
@@ -307,6 +341,98 @@ mod tests {
         let b = m.gemv(SchedulerKind::Static, false, 256, 4096);
         assert_eq!(a, b);
         assert!(a.cycles > 0.0);
+    }
+
+    #[test]
+    fn prefill_closed_form_matches_per_position_sum() {
+        let m = model();
+        let (done, chunk) = (1000u64, 7u64);
+        let closed = m.attention_prefill(
+            AttentionKind::Qkt,
+            SchedulerKind::Dcs,
+            true,
+            1,
+            false,
+            done,
+            chunk,
+        );
+        let mut summed = KernelStats::default();
+        for i in 1..=chunk {
+            summed.accumulate(&m.attention(
+                AttentionKind::Qkt,
+                SchedulerKind::Dcs,
+                true,
+                1,
+                false,
+                done + i,
+            ));
+        }
+        assert!(
+            (closed.cycles - summed.cycles).abs() < 1e-6 * summed.cycles,
+            "{} vs {}",
+            closed.cycles,
+            summed.cycles
+        );
+        assert!((closed.macs - summed.macs).abs() < 1e-6 * summed.macs);
+    }
+
+    #[test]
+    fn prefill_single_position_equals_decode_attention() {
+        let m = model();
+        let one = m.attention_prefill(
+            AttentionKind::Sv,
+            SchedulerKind::Static,
+            false,
+            1,
+            false,
+            4095,
+            1,
+        );
+        let decode = m.attention(
+            AttentionKind::Sv,
+            SchedulerKind::Static,
+            false,
+            1,
+            false,
+            4096,
+        );
+        assert!((one.cycles - decode.cycles).abs() < 1e-9 * decode.cycles);
+    }
+
+    #[test]
+    fn prefill_zero_chunk_is_free_and_grows_with_chunk() {
+        let m = model();
+        let z = m.attention_prefill(
+            AttentionKind::Qkt,
+            SchedulerKind::Dcs,
+            true,
+            1,
+            false,
+            512,
+            0,
+        );
+        assert_eq!(z.cycles, 0.0);
+        let small = m.attention_prefill(
+            AttentionKind::Qkt,
+            SchedulerKind::Dcs,
+            true,
+            1,
+            false,
+            0,
+            1024,
+        );
+        let big = m.attention_prefill(
+            AttentionKind::Qkt,
+            SchedulerKind::Dcs,
+            true,
+            1,
+            false,
+            0,
+            8192,
+        );
+        // Causal prefill is superlinear in the prompt: 8x the tokens is
+        // far more than 8x the work.
+        assert!(big.cycles > 16.0 * small.cycles);
     }
 
     #[test]

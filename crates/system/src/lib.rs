@@ -22,9 +22,12 @@
 //! * [`policy`] — pluggable batch scheduling: closed-world
 //!   [`SchedulingPolicy::Wave`] (paper-figure fidelity, Figs. 13–15 and
 //!   17) and online [`SchedulingPolicy::Continuous`] batching over
-//!   arrival times.
-//! * [`metrics`] — per-request TTFT/TPOT/E2E latency percentiles,
-//!   per-replica breakdowns, Jain fairness.
+//!   arrival times; [`PrefillConfig`] turns on end-to-end prompt
+//!   processing (wave: whole-batch prefill before decode; continuous:
+//!   chunked prefill interleaved with running decode steps).
+//! * [`metrics`] — per-request TTFT/TPOT/E2E latency percentiles with a
+//!   queueing-vs-prefill TTFT decomposition, per-replica breakdowns,
+//!   Jain fairness.
 //! * [`energy`] — the Fig. 16 energy decomposition.
 //! * [`gpu`] — the A100 flash-decoding + paged-attention baseline of
 //!   Fig. 20.
@@ -85,14 +88,16 @@ pub mod replica;
 pub mod serve;
 pub mod stage;
 
-pub use cluster::{Cluster, JoinShortestQueue, LeastLoaded, RoundRobin, Router, RouterKind};
+pub use cluster::{
+    Cluster, JoinShortestQueue, LeastLoaded, LeastPrefill, RoundRobin, Router, RouterKind,
+};
 pub use config::{ModuleConfig, SystemConfig, SystemKind, Techniques};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use engine::Engine;
 pub use gpu::GpuSystem;
 pub use kernel::{AttentionKind, KernelModel, KernelStats};
 pub use metrics::{jain_fairness, LatencyReport, LatencySummary, ReplicaBreakdown, RequestTiming};
-pub use policy::SchedulingPolicy;
+pub use policy::{PrefillConfig, SchedulingPolicy};
 pub use replica::ReplicaLoad;
 pub use serve::{Evaluator, ServingReport};
 pub use stage::{AttentionStage, IterationBreakdown, StageModel};

@@ -6,11 +6,21 @@
 //! is judged on *latency percentiles* instead, so the engine records one
 //! [`RequestTiming`] per finished request and summarizes them here.
 //!
-//! Prefill is not modeled by this simulator (the paper's evaluation is
-//! decode-phase); TTFT therefore measures arrival → first *generated*
-//! token, which includes queueing delay and the first decode iteration
-//! but no prompt-processing time. Comparisons between policies remain
-//! apples-to-apples because every policy shares that convention.
+//! With prefill enabled ([`crate::policy::PrefillConfig`]) TTFT covers
+//! arrival → first emitted token *end-to-end*: queueing delay, prompt
+//! processing, and the first decode iteration. Each timing carries the
+//! stage boundaries ([`RequestTiming::prefill_end`]) so reports can
+//! decompose TTFT into queueing vs prefill delay
+//! ([`LatencyReport::queueing`] / [`LatencyReport::prefill`]). When
+//! prefill is disabled (the historical decode-only mode) `prefill_end`
+//! coincides with `admitted` and TTFT measures arrival → first decode
+//! step; comparisons between policies remain apples-to-apples because
+//! every policy shares whichever convention is configured.
+//!
+//! Requests that never emit a token (a zero decode budget) produce **no**
+//! timing sample: a fabricated first-token instant would silently clamp
+//! TTFT to the admission time. [`LatencyReport::completed`] therefore
+//! counts requests that emitted at least one token.
 
 use serde::Serialize;
 
@@ -24,6 +34,9 @@ pub struct RequestTiming {
     pub arrival: f64,
     /// When the scheduling policy admitted the request into a batch.
     pub admitted: f64,
+    /// When the request's prompt finished processing (equals `admitted`
+    /// when prefill is not modeled).
+    pub prefill_end: f64,
     /// When the first generated token completed.
     pub first_token: f64,
     /// When the last generated token completed.
@@ -33,19 +46,32 @@ pub struct RequestTiming {
 }
 
 impl RequestTiming {
-    /// Time to first token: arrival → first generated token.
+    /// Time to first token: arrival → first generated token (includes
+    /// queueing, prompt processing when modeled, and the first decode
+    /// iteration).
     pub fn ttft(&self) -> f64 {
         self.first_token - self.arrival
     }
 
+    /// Queueing delay: arrival → admission into a batch.
+    pub fn queueing_delay(&self) -> f64 {
+        self.admitted - self.arrival
+    }
+
+    /// Prompt-processing delay: admission → prompt resident in the KV
+    /// cache (0 when prefill is not modeled).
+    pub fn prefill_delay(&self) -> f64 {
+        self.prefill_end - self.admitted
+    }
+
     /// Time per output token over the steady decode phase (first → last
     /// token). Single-token requests have no inter-token gap; their TPOT
-    /// is the first (only) token's service time.
+    /// is the first (only) token's post-prefill service time.
     pub fn tpot(&self) -> f64 {
         if self.decode_len > 1 {
             (self.finished - self.first_token) / (self.decode_len - 1) as f64
         } else {
-            self.first_token - self.admitted
+            self.first_token - self.prefill_end
         }
     }
 
@@ -140,14 +166,22 @@ pub fn jain_fairness(xs: &[f64]) -> f64 {
 /// Latency statistics over every request that completed in a run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct LatencyReport {
-    /// Requests that finished decoding.
+    /// Requests that finished with at least one emitted token.
     pub completed: u64,
-    /// Time-to-first-token distribution.
+    /// Time-to-first-token distribution (arrival → first token; includes
+    /// prompt processing when prefill is modeled).
     pub ttft: LatencySummary,
     /// Time-per-output-token distribution.
     pub tpot: LatencySummary,
     /// End-to-end latency distribution.
     pub e2e: LatencySummary,
+    /// Queueing-delay distribution (arrival → admission) — the TTFT
+    /// share the *scheduler* is responsible for.
+    pub queueing: LatencySummary,
+    /// Prompt-processing delay distribution (admission → prompt
+    /// resident; all-zero when prefill is not modeled) — the TTFT share
+    /// the *prefill stage* is responsible for.
+    pub prefill: LatencySummary,
 }
 
 impl LatencyReport {
@@ -160,6 +194,8 @@ impl LatencyReport {
             ttft: LatencySummary::from_samples(&collect(RequestTiming::ttft)),
             tpot: LatencySummary::from_samples(&collect(RequestTiming::tpot)),
             e2e: LatencySummary::from_samples(&collect(RequestTiming::e2e)),
+            queueing: LatencySummary::from_samples(&collect(RequestTiming::queueing_delay)),
+            prefill: LatencySummary::from_samples(&collect(RequestTiming::prefill_delay)),
         }
     }
 }
@@ -173,6 +209,7 @@ mod tests {
             id: 0,
             arrival,
             admitted,
+            prefill_end: admitted,
             first_token: first,
             finished,
             decode_len: d,
@@ -256,6 +293,52 @@ mod tests {
         // Single-token request: TPOT is the sole token's service time.
         let one = timing(0.0, 0.5, 1.5, 1.5, 1);
         assert_eq!(one.tpot(), 1.0);
+    }
+
+    #[test]
+    fn ttft_decomposes_into_queueing_prefill_and_first_step() {
+        let t = RequestTiming {
+            id: 1,
+            arrival: 1.0,
+            admitted: 2.5,
+            prefill_end: 4.0,
+            first_token: 4.2,
+            finished: 9.2,
+            decode_len: 6,
+        };
+        assert!((t.queueing_delay() - 1.5).abs() < 1e-12);
+        assert!((t.prefill_delay() - 1.5).abs() < 1e-12);
+        // TTFT = queueing + prefill + first decode step, exactly.
+        let first_step = t.first_token - t.prefill_end;
+        assert!((t.ttft() - (t.queueing_delay() + t.prefill_delay() + first_step)).abs() < 1e-12);
+        // Single-token TPOT measures from the end of prefill, not from
+        // admission — prompt processing is not token service time.
+        let one = RequestTiming {
+            decode_len: 1,
+            finished: 4.2,
+            ..t
+        };
+        assert!((one.tpot() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_summarizes_queueing_and_prefill() {
+        let mk = |arrival: f64, admitted: f64, prefill_end: f64| RequestTiming {
+            id: 0,
+            arrival,
+            admitted,
+            prefill_end,
+            first_token: prefill_end + 0.1,
+            finished: prefill_end + 1.1,
+            decode_len: 4,
+        };
+        let r = LatencyReport::from_timings(&[mk(0.0, 0.5, 1.5), mk(1.0, 1.2, 3.2)]);
+        assert!((r.queueing.max - 0.5).abs() < 1e-12);
+        assert!((r.prefill.max - 2.0).abs() < 1e-12);
+        assert!((r.queueing.mean - 0.35).abs() < 1e-12);
+        // Decode-only timings leave the prefill summary at zero.
+        let d = LatencyReport::from_timings(&[timing(0.0, 0.5, 1.0, 2.0, 4)]);
+        assert_eq!(d.prefill, LatencySummary::from_samples(&[0.0]));
     }
 
     #[test]

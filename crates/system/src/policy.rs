@@ -46,6 +46,59 @@ impl std::fmt::Display for SchedulingPolicy {
     }
 }
 
+/// Prompt-processing (prefill) configuration for the serving engine.
+///
+/// Disabled by default: the simulator then reproduces the historical
+/// decode-only behavior bit-exactly, and TTFT measures admission → first
+/// decode step. When enabled, every request must process its
+/// `context_len` prompt tokens before decoding, in chunks of
+/// `chunk_tokens`, and TTFT covers arrival → first emitted token
+/// end-to-end:
+///
+/// * [`SchedulingPolicy::Wave`] admits a wave, prefills the *whole
+///   batch* (FCFS, chunked), then decodes it in lockstep — first tokens
+///   only after whole-batch prefill.
+/// * [`SchedulingPolicy::Continuous`] starts a request's chunked prefill
+///   at admission and interleaves prompt chunks with decode steps of the
+///   running batch, so running decodes are not starved behind long
+///   prompts (at a bounded per-chunk TPOT cost).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct PrefillConfig {
+    /// Whether prompt processing is simulated at all.
+    pub enabled: bool,
+    /// Prompt tokens per prefill chunk (≥ 1; the interleaving
+    /// granularity under the continuous policy).
+    pub chunk_tokens: u64,
+}
+
+impl PrefillConfig {
+    /// The default interleaving granularity in prompt tokens per chunk.
+    pub const DEFAULT_CHUNK: u64 = 512;
+
+    /// Prefill disabled — decode-only simulation (the historical
+    /// default).
+    pub fn disabled() -> Self {
+        PrefillConfig {
+            enabled: false,
+            chunk_tokens: Self::DEFAULT_CHUNK,
+        }
+    }
+
+    /// Chunked prefill with `chunk_tokens` prompt tokens per chunk.
+    pub fn chunked(chunk_tokens: u64) -> Self {
+        PrefillConfig {
+            enabled: true,
+            chunk_tokens: chunk_tokens.max(1),
+        }
+    }
+}
+
+impl Default for PrefillConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
 /// Greedy admission of a wave from `pending` under the memory policy.
 /// Returns how many of the leading requests are admitted (at least one —
 /// a single request that cannot fit is admitted alone and truncated to
@@ -156,6 +209,19 @@ mod tests {
         assert_eq!(SchedulingPolicy::default(), SchedulingPolicy::Wave);
         assert_eq!(SchedulingPolicy::Wave.label(), "wave");
         assert_eq!(SchedulingPolicy::Continuous.to_string(), "continuous");
+    }
+
+    #[test]
+    fn prefill_config_defaults_and_clamps() {
+        assert_eq!(PrefillConfig::default(), PrefillConfig::disabled());
+        assert!(!PrefillConfig::default().enabled);
+        let c = PrefillConfig::chunked(0);
+        assert!(c.enabled);
+        assert_eq!(c.chunk_tokens, 1, "chunk clamps to >= 1");
+        assert_eq!(
+            PrefillConfig::chunked(PrefillConfig::DEFAULT_CHUNK).chunk_tokens,
+            512
+        );
     }
 
     #[test]

@@ -29,11 +29,36 @@
 //!   single-threaded loops.
 
 use crate::metrics::{ReplicaBreakdown, RequestTiming};
-use crate::policy::{self, ContinuousAdmitter, SchedulingPolicy};
+use crate::policy::{self, ContinuousAdmitter, PrefillConfig, SchedulingPolicy};
 use crate::serve::Evaluator;
 use crate::stage::{IterationBreakdown, StageModel};
 use std::collections::VecDeque;
 use workload::Request;
+
+/// The priced-but-not-yet-executed step of a continuous replica, cached
+/// across routing-frontier visits. Load-aware routers advance every
+/// replica to each arrival's frontier; a step ending past the frontier
+/// is deferred and revisited, so without this cache the pending step's
+/// iteration (and prefill chunk) would be re-priced at every frontier
+/// visit — measured at 2–3× the total simulation cost under
+/// `LeastLoaded`/JSQ routing. The cache is keyed by
+/// [`ReplicaSim::batch_version`], which bumps on any admission, executed
+/// step, or completion, so a hit is always priced for the current batch
+/// membership and token counts.
+#[derive(Debug, Clone, Copy)]
+enum PlannedStep {
+    /// A pure decode chunk: the iteration priced at the midpoint of the
+    /// stride-bounded tentative chunk (`c0` steps).
+    Decode { it: IterationBreakdown, c0: u64 },
+    /// A mixed prefill step: one prompt chunk plus (if anyone is
+    /// decoding) one decode iteration.
+    Mixed {
+        pre: IterationBreakdown,
+        pchunk: u64,
+        it: Option<IterationBreakdown>,
+        batch_len: usize,
+    },
+}
 
 /// One accounting event recorded by a replica simulation. Replayed in
 /// replica-index order into the run-wide accumulator, reproducing the
@@ -50,7 +75,9 @@ pub(crate) enum SimEvent {
     },
     /// One executed decode chunk.
     Chunk {
-        /// The iteration breakdown priced for the chunk's fixed batch.
+        /// The iteration breakdown priced for the chunk's fixed batch
+        /// (at the chunk's midpoint step — per-step exact under the
+        /// affine kernel model).
         it: IterationBreakdown,
         /// Requests advanced by the chunk.
         batch_len: usize,
@@ -58,6 +85,13 @@ pub(crate) enum SimEvent {
         chunk: u64,
         /// Wall-clock seconds of the chunk.
         secs: f64,
+    },
+    /// One executed prefill chunk (`pre` holds the chunk's totals).
+    Prefill {
+        /// The prefill breakdown for the whole chunk.
+        pre: IterationBreakdown,
+        /// Prompt tokens processed.
+        chunk: u64,
     },
     /// A finished request's KV footprint (for capacity utilization).
     Retire {
@@ -79,6 +113,12 @@ pub struct ReplicaLoad {
     /// policy: reservations held by the running batch plus the
     /// reservations its queued requests will take on admission.
     pub reserved_kv: u64,
+    /// Prompt tokens routed to the replica and not yet prefilled —
+    /// queued prompts plus the unprocessed remainder of running
+    /// prefills (always 0 when prefill is not modeled). Lets routers
+    /// weigh prompt-processing backlog, which in-flight counts and KV
+    /// reservations miss.
+    pub pending_prefill: u64,
 }
 
 /// One request resident in a replica's running batch.
@@ -87,8 +127,21 @@ struct Active {
     req: Request,
     /// Tokens generated so far.
     done: u64,
+    /// Prompt tokens processed so far (initialized to `context_len`
+    /// when prefill is not modeled, so the request decodes immediately).
+    prefilled: u64,
     admitted: f64,
+    /// When the prompt finished processing (None while prefilling, or
+    /// forever when prefill is not modeled).
+    prefill_end: Option<f64>,
     first_token: Option<f64>,
+}
+
+impl Active {
+    /// Whether the prompt is resident and decoding may proceed.
+    fn prompt_ready(&self) -> bool {
+        self.prefilled >= self.req.context_len
+    }
 }
 
 /// Per-replica serving state machine (see the module docs).
@@ -96,16 +149,24 @@ pub(crate) struct ReplicaSim<'a> {
     eval: &'a Evaluator,
     stage: StageModel<'a>,
     policy: SchedulingPolicy,
+    prefill: PrefillConfig,
     t_max: u64,
     /// Routed, not-yet-admitted requests in arrival order.
     pending: VecDeque<Request>,
     /// Sum of the pending requests' would-be reservations.
     pending_reserved: u64,
+    /// Prompt tokens routed but not yet prefilled (0 with prefill off).
+    prefill_backlog: u64,
     admitter: ContinuousAdmitter,
     running: Vec<Active>,
+    /// Bumped on every admission, executed step, and completion; keys
+    /// `cached_step` (see [`PlannedStep`]).
+    batch_version: u64,
+    /// Deferred-step pricing cache, valid while `batch_version` matches.
+    cached_step: Option<(u64, PlannedStep)>,
     /// Virtual clock.
     t: f64,
-    /// Seconds spent decoding (excludes idle gaps).
+    /// Seconds spent decoding or prefilling (excludes idle gaps).
     busy: f64,
     routed: u64,
     served: u64,
@@ -122,11 +183,15 @@ impl<'a> ReplicaSim<'a> {
             eval,
             stage: eval.stage_model(),
             policy,
+            prefill: eval.prefill_config(),
             t_max,
             pending: VecDeque::new(),
             pending_reserved: 0,
+            prefill_backlog: 0,
             admitter: ContinuousAdmitter::new(eval, t_max),
             running: Vec::new(),
+            batch_version: 0,
+            cached_step: None,
             t: 0.0,
             busy: 0.0,
             routed: 0,
@@ -146,6 +211,9 @@ impl<'a> ReplicaSim<'a> {
         self.pending_reserved = self
             .pending_reserved
             .saturating_add(self.eval.kv_reservation(r.final_len(), self.t_max));
+        if self.prefill.enabled {
+            self.prefill_backlog = self.prefill_backlog.saturating_add(r.context_len);
+        }
         self.pending.push_back(r);
         self.routed += 1;
     }
@@ -156,6 +224,7 @@ impl<'a> ReplicaSim<'a> {
             replica,
             in_flight: self.pending.len() + self.running.len(),
             reserved_kv: self.admitter.used().saturating_add(self.pending_reserved),
+            pending_prefill: self.prefill_backlog,
         }
     }
 
@@ -181,7 +250,7 @@ impl<'a> ReplicaSim<'a> {
         self.t
     }
 
-    /// Seconds spent decoding.
+    /// Seconds spent decoding or prefilling (excludes idle gaps).
     pub(crate) fn busy_seconds(&self) -> f64 {
         self.busy
     }
@@ -223,31 +292,57 @@ impl<'a> ReplicaSim<'a> {
             self.peak_reserved = self.peak_reserved.max(wave_reserved);
 
             let wave_start = self.t;
+            // Whole-batch prefill: the wave decodes in lockstep, so no
+            // request sees its first token until every admitted prompt
+            // is resident (FCFS, chunked for pricing fidelity with the
+            // continuous path). No-op when prefill is not modeled.
+            let mut prefill_end: Vec<f64> = vec![wave_start; admitted];
+            if self.prefill.enabled {
+                for (i, r) in wave.iter().enumerate() {
+                    let mut done = 0u64;
+                    while done < r.context_len {
+                        let c = self.prefill.chunk_tokens.min(r.context_len - done);
+                        let pre = self.stage.prefill_chunk(r.id, done, c);
+                        self.events.push(SimEvent::Prefill { pre, chunk: c });
+                        self.t += pre.seconds;
+                        self.busy += pre.seconds;
+                        self.prefill_backlog = self.prefill_backlog.saturating_sub(c);
+                        done += c;
+                    }
+                    prefill_end[i] = self.t;
+                }
+            }
+
+            let decode_start = self.t;
             let mut first_token: Vec<Option<f64>> = vec![None; admitted];
-            let mut finish: Vec<f64> = vec![wave_start; admitted];
+            let mut finish: Vec<f64> = vec![decode_start; admitted];
 
             // Decode the wave; all requests share the same decode budget,
             // growing token counts as they generate.
             let decode_len = wave.iter().map(|r| r.decode_len).max().unwrap_or(0);
             let mut step = 0u64;
             while step < decode_len {
-                let batch: Vec<(u64, u64)> = wave
-                    .iter()
-                    .filter(|r| r.decode_len > step)
-                    .map(|r| (r.id, r.context_len + step))
-                    .collect();
-                if batch.is_empty() {
-                    break;
-                }
                 // Cut the chunk at the earliest completion so batch
                 // composition is constant within it.
-                let min_remaining = wave
+                let Some(min_remaining) = wave
                     .iter()
                     .filter(|r| r.decode_len > step)
                     .map(|r| r.decode_len - step)
                     .min()
-                    .expect("nonempty batch");
+                else {
+                    break;
+                };
                 let chunk = stride.min(decode_len - step).min(min_remaining);
+                // Exact per-step pricing: the affine kernel model makes
+                // Σₛ it(T+s) equal chunk·it(T + (chunk-1)/2), so the
+                // chunk is priced at its midpoint step — the same rule
+                // as the continuous policy, eliminating the historical
+                // stride-granularity cost skew between them.
+                let batch: Vec<(u64, u64)> = wave
+                    .iter()
+                    .filter(|r| r.decode_len > step)
+                    .map(|r| (r.id, r.context_len + step + (chunk - 1) / 2))
+                    .collect();
                 let it = self.stage.iteration(&batch);
                 let secs = it.seconds * chunk as f64;
                 let chunk_start = self.t;
@@ -278,6 +373,14 @@ impl<'a> ReplicaSim<'a> {
                     final_len: r.final_len(),
                 });
                 self.served += 1;
+                // A request that never emitted a token (zero decode
+                // budget) produces no timing sample: the historical
+                // `unwrap_or(wave_start)` fallback silently clamped its
+                // TTFT to the wave start, polluting the percentiles
+                // with a token that never existed.
+                let Some(first) = first_token[i] else {
+                    continue;
+                };
                 self.timings.push(RequestTiming {
                     id: r.id,
                     // Closed world: the policy treats every request as
@@ -287,7 +390,8 @@ impl<'a> ReplicaSim<'a> {
                     // negative.
                     arrival: 0.0,
                     admitted: wave_start,
-                    first_token: first_token[i].unwrap_or(wave_start),
+                    prefill_end: prefill_end[i],
+                    first_token: first,
                     finished: finish[i],
                     decode_len: r.decode_len,
                 });
@@ -297,14 +401,16 @@ impl<'a> ReplicaSim<'a> {
 
     /// Continuous batching up to `limit`: pending requests join the
     /// running batch the moment their arrival has passed and the memory
-    /// policy has room; completions free reservations immediately. The
-    /// clock jumps over idle gaps (counted in `seconds` but not
-    /// `busy_seconds`). Extracted from `Engine::run_continuous_replica`,
-    /// with the chunk decision recomputed at execution time so deferral
-    /// at the routing frontier is transparent.
+    /// policy has room; completions free reservations immediately. With
+    /// prefill enabled, admitted requests first process their prompt in
+    /// chunks interleaved with decode steps of the running batch
+    /// ([`Self::mixed_step`]), so decodes are not starved behind long
+    /// prompts. The clock jumps over idle gaps (counted in `seconds` but
+    /// not `busy_seconds`). The step decision is recomputed at execution
+    /// time so deferral at the routing frontier is transparent; its
+    /// *pricing* is cached across frontier visits (see [`PlannedStep`]).
     fn advance_continuous(&mut self, limit: f64) {
         let eval = self.eval;
-        let stride = eval.stride();
 
         loop {
             // Idle: jump the clock to the next arrival.
@@ -333,27 +439,24 @@ impl<'a> ReplicaSim<'a> {
                     .saturating_sub(eval.kv_reservation(r.final_len(), self.t_max));
                 self.admitter.reserve(eval, &r, self.t_max);
                 self.peak_reserved = self.peak_reserved.max(self.admitter.used());
-                if r.decode_len == 0 {
-                    // Nothing to generate: completes at admission.
+                let must_prefill = self.prefill.enabled && r.context_len > 0;
+                if r.decode_len == 0 && !must_prefill {
+                    // Nothing to generate or prefill: completes at
+                    // admission — with no emitted token, so no timing
+                    // sample (see the metrics module docs).
                     self.admitter.release(eval, &r, self.t_max);
                     self.events.push(SimEvent::Retire {
                         final_len: r.final_len(),
                     });
                     self.served += 1;
-                    self.timings.push(RequestTiming {
-                        id: r.id,
-                        arrival: r.arrival_secs(),
-                        admitted: self.t,
-                        first_token: self.t,
-                        finished: self.t,
-                        decode_len: 0,
-                    });
                     continue;
                 }
                 self.running.push(Active {
                     req: r,
                     done: 0,
+                    prefilled: if must_prefill { 0 } else { r.context_len },
                     admitted: self.t,
+                    prefill_end: if must_prefill { None } else { Some(self.t) },
                     first_token: None,
                 });
                 admitted_now += 1;
@@ -362,87 +465,240 @@ impl<'a> ReplicaSim<'a> {
             // so admission events only bump the event counter.
             if admitted_now > 0 {
                 self.events.push(SimEvent::Admit { batch: 0.0 });
+                self.batch_version += 1;
             }
             if self.running.is_empty() {
-                continue; // only zero-decode requests were admitted
+                continue; // only zero-work requests were admitted
             }
 
-            // Step event: decode one chunk with a fixed batch.
-            let batch: Vec<(u64, u64)> = self
-                .running
-                .iter()
-                .map(|a| (a.req.id, a.req.context_len + a.done))
-                .collect();
-            let it = self.stage.iteration(&batch);
-            let per_step = it.seconds;
-            let min_remaining = self
-                .running
-                .iter()
-                .map(|a| a.req.decode_len - a.done)
-                .min()
-                .expect("nonempty running batch");
-            let mut chunk = stride.min(min_remaining);
-            // Cut the chunk at the next arrival that could actually join,
-            // so admission is not delayed by up to a whole stride.
-            if per_step > 0.0 {
-                if let Some(front) = self.pending.front() {
-                    let arr = front.arrival_secs();
-                    if arr > self.t
-                        && self
-                            .admitter
-                            .fits(eval, front, self.running.len(), self.t_max)
-                    {
-                        let steps_until = ((arr - self.t) / per_step).ceil().max(1.0);
-                        if (steps_until as u64) < chunk {
-                            chunk = steps_until as u64;
-                        }
-                    }
-                }
-            }
-            let secs = per_step * chunk as f64;
-            // Defer chunks ending past the routing frontier: an arrival
-            // not yet routed to this replica could still cut them.
-            if self.t + secs > limit {
+            // Step event: a mixed prefill step while any prompt is
+            // unprocessed, else a pure decode chunk. Either returns
+            // false when the step would end past the routing frontier —
+            // an arrival not yet routed could still change the batch.
+            let executed = if self.running.iter().any(|a| !a.prompt_ready()) {
+                self.mixed_step(limit)
+            } else {
+                self.decode_chunk(limit)
+            };
+            if !executed {
                 return;
             }
-            self.events.push(SimEvent::Chunk {
-                it,
-                batch_len: batch.len(),
-                chunk,
-                secs,
-            });
-            self.tokens += batch.len() as u64 * chunk;
-            for a in &mut self.running {
-                if a.first_token.is_none() {
-                    a.first_token = Some(self.t + per_step);
-                }
-                a.done += chunk;
-            }
-            self.t += secs;
-            self.busy += secs;
 
             // Completion events: retire finished requests, freeing memory.
+            let mut retired = false;
             let mut i = 0usize;
             while i < self.running.len() {
-                if self.running[i].done >= self.running[i].req.decode_len {
+                let done = {
+                    let a = &self.running[i];
+                    a.prompt_ready() && a.done >= a.req.decode_len
+                };
+                if done {
                     let a = self.running.swap_remove(i);
+                    retired = true;
                     self.admitter.release(eval, &a.req, self.t_max);
                     self.events.push(SimEvent::Retire {
                         final_len: a.req.final_len(),
                     });
                     self.served += 1;
-                    self.timings.push(RequestTiming {
-                        id: a.req.id,
-                        arrival: a.req.arrival_secs(),
-                        admitted: a.admitted,
-                        first_token: a.first_token.unwrap_or(a.admitted),
-                        finished: self.t,
-                        decode_len: a.req.decode_len,
-                    });
+                    // Zero-emission requests (decode budget 0, prefill
+                    // only) contribute no timing sample.
+                    if let Some(first) = a.first_token {
+                        self.timings.push(RequestTiming {
+                            id: a.req.id,
+                            arrival: a.req.arrival_secs(),
+                            admitted: a.admitted,
+                            prefill_end: a.prefill_end.unwrap_or(a.admitted),
+                            first_token: first,
+                            finished: self.t,
+                            decode_len: a.req.decode_len,
+                        });
+                    }
                 } else {
                     i += 1;
                 }
             }
+            if retired {
+                self.batch_version += 1;
+            }
         }
+    }
+
+    /// Executes one mixed prefill step: the FCFS-oldest prefilling
+    /// request advances one prompt chunk while the decoding batch (if
+    /// any) advances one token. The prompt chunk runs first within the
+    /// step, so a prompt completed mid-step starts decoding at the
+    /// *next* step. Returns false if the step would end past `limit`
+    /// (deferred; pricing stays cached for the revisit).
+    fn mixed_step(&mut self, limit: f64) -> bool {
+        let pi = self
+            .running
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| !a.prompt_ready())
+            .min_by_key(|(_, a)| (a.req.arrival_us, a.req.id))
+            .map(|(i, _)| i)
+            .expect("a prefilling request exists");
+        let (pre, pchunk, it, batch_len) = match self.cached_step {
+            Some((
+                v,
+                PlannedStep::Mixed {
+                    pre,
+                    pchunk,
+                    it,
+                    batch_len,
+                },
+            )) if v == self.batch_version => (pre, pchunk, it, batch_len),
+            _ => {
+                let a = &self.running[pi];
+                let pchunk = self
+                    .prefill
+                    .chunk_tokens
+                    .min(a.req.context_len - a.prefilled);
+                let pre = self.stage.prefill_chunk(a.req.id, a.prefilled, pchunk);
+                let batch: Vec<(u64, u64)> = self
+                    .running
+                    .iter()
+                    .filter(|a| a.prompt_ready() && a.done < a.req.decode_len)
+                    .map(|a| (a.req.id, a.req.context_len + a.done))
+                    .collect();
+                let it = if batch.is_empty() {
+                    None
+                } else {
+                    Some(self.stage.iteration(&batch))
+                };
+                let batch_len = batch.len();
+                self.cached_step = Some((
+                    self.batch_version,
+                    PlannedStep::Mixed {
+                        pre,
+                        pchunk,
+                        it,
+                        batch_len,
+                    },
+                ));
+                (pre, pchunk, it, batch_len)
+            }
+        };
+        let secs = pre.seconds + it.map_or(0.0, |it| it.seconds);
+        if self.t + secs > limit {
+            return false;
+        }
+        let step_start = self.t;
+        self.events.push(SimEvent::Prefill { pre, chunk: pchunk });
+        self.prefill_backlog = self.prefill_backlog.saturating_sub(pchunk);
+        if let Some(it) = it {
+            self.events.push(SimEvent::Chunk {
+                it,
+                batch_len,
+                chunk: 1,
+                secs: it.seconds,
+            });
+            self.tokens += batch_len as u64;
+            for a in &mut self.running {
+                if a.prompt_ready() && a.done < a.req.decode_len {
+                    if a.first_token.is_none() {
+                        a.first_token = Some(step_start + secs);
+                    }
+                    a.done += 1;
+                }
+            }
+        }
+        let a = &mut self.running[pi];
+        a.prefilled += pchunk;
+        if a.prompt_ready() {
+            a.prefill_end = Some(step_start + pre.seconds);
+        }
+        self.t += secs;
+        self.busy += secs;
+        self.batch_version += 1;
+        true
+    }
+
+    /// Executes one pure decode chunk with a constant batch, cut at the
+    /// earliest completion and at the next admissible arrival, and
+    /// priced at its midpoint step — per-step exact under the affine
+    /// kernel model, the same rule as the wave policy. Returns false if
+    /// the chunk would end past `limit` (deferred; the stride-bounded
+    /// pricing stays cached for the revisit).
+    fn decode_chunk(&mut self, limit: f64) -> bool {
+        let eval = self.eval;
+        let stride = eval.stride();
+        let min_remaining = self
+            .running
+            .iter()
+            .map(|a| a.req.decode_len - a.done)
+            .min()
+            .expect("nonempty running batch");
+        let c0 = stride.min(min_remaining);
+        let it0 = match self.cached_step {
+            Some((v, PlannedStep::Decode { it, c0: c })) if v == self.batch_version && c == c0 => {
+                it
+            }
+            _ => {
+                let batch: Vec<(u64, u64)> = self
+                    .running
+                    .iter()
+                    .map(|a| (a.req.id, a.req.context_len + a.done + (c0 - 1) / 2))
+                    .collect();
+                let it = self.stage.iteration(&batch);
+                self.cached_step = Some((self.batch_version, PlannedStep::Decode { it, c0 }));
+                it
+            }
+        };
+        let per_step = it0.seconds;
+        let mut chunk = c0;
+        // Cut the chunk at the next arrival that could actually join,
+        // so admission is not delayed by up to a whole stride.
+        if per_step > 0.0 {
+            if let Some(front) = self.pending.front() {
+                let arr = front.arrival_secs();
+                if arr > self.t
+                    && self
+                        .admitter
+                        .fits(eval, front, self.running.len(), self.t_max)
+                {
+                    let steps_until = ((arr - self.t) / per_step).ceil().max(1.0);
+                    if (steps_until as u64) < chunk {
+                        chunk = steps_until as u64;
+                    }
+                }
+            }
+        }
+        let it = if chunk == c0 {
+            it0
+        } else {
+            // An arrival cut shortened the chunk: re-price at the
+            // shorter chunk's own midpoint.
+            let batch: Vec<(u64, u64)> = self
+                .running
+                .iter()
+                .map(|a| (a.req.id, a.req.context_len + a.done + (chunk - 1) / 2))
+                .collect();
+            self.stage.iteration(&batch)
+        };
+        let secs = it.seconds * chunk as f64;
+        // Defer chunks ending past the routing frontier: an arrival
+        // not yet routed to this replica could still cut them.
+        if self.t + secs > limit {
+            return false;
+        }
+        let batch_len = self.running.len();
+        self.events.push(SimEvent::Chunk {
+            it,
+            batch_len,
+            chunk,
+            secs,
+        });
+        self.tokens += batch_len as u64 * chunk;
+        for a in &mut self.running {
+            if a.first_token.is_none() {
+                a.first_token = Some(self.t + it.seconds);
+            }
+            a.done += chunk;
+        }
+        self.t += secs;
+        self.busy += secs;
+        self.batch_version += 1;
+        true
     }
 }

@@ -13,7 +13,7 @@ use crate::energy::{EnergyBreakdown, EnergyModel};
 use crate::engine::Engine;
 use crate::kernel::KernelModel;
 use crate::metrics::{self, LatencyReport, ReplicaBreakdown};
-use crate::policy::{self, SchedulingPolicy};
+use crate::policy::{self, PrefillConfig, SchedulingPolicy};
 use crate::stage::{IterationBreakdown, StageModel};
 use llm_model::ModelConfig;
 use pim_mem::DEFAULT_CHUNK_BYTES;
@@ -32,6 +32,12 @@ pub struct ServingReport {
     pub busy_seconds: f64,
     /// Total decode tokens produced.
     pub tokens: u64,
+    /// Prompt tokens processed by the prefill stage (0 when prefill is
+    /// not modeled).
+    pub prefill_tokens: u64,
+    /// Seconds replicas spent in prompt processing, summed over
+    /// replicas (a share of `busy_seconds`).
+    pub prefill_seconds: f64,
     /// Mean batch size: per admitted wave under the wave policy,
     /// per executed decode step under the continuous policy.
     pub mean_batch: f64,
@@ -73,10 +79,12 @@ pub struct Evaluator {
     model: ModelConfig,
     techniques: Techniques,
     policy: SchedulingPolicy,
+    prefill: PrefillConfig,
     kernels: KernelModel,
     energy: EnergyModel,
-    /// Recompute the iteration time every `stride` decode steps (token
-    /// growth between recomputes is below 1% for long contexts).
+    /// Recompute the iteration time every `stride` decode steps (the
+    /// chunk is priced at its midpoint step, making the chunked sum
+    /// per-step exact under the affine kernel model).
     stride: u64,
 }
 
@@ -89,6 +97,7 @@ impl Evaluator {
             model,
             techniques,
             policy: SchedulingPolicy::Wave,
+            prefill: PrefillConfig::disabled(),
             kernels: KernelModel::new(pim_sim::Timing::aimx(), model.head_dim),
             energy: EnergyModel::aimx(),
             stride: 64,
@@ -98,6 +107,35 @@ impl Evaluator {
     /// Returns this evaluator with a different scheduling policy.
     pub fn with_policy(mut self, policy: SchedulingPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Returns this evaluator with an explicit prefill configuration.
+    pub fn with_prefill(mut self, prefill: PrefillConfig) -> Self {
+        self.prefill = prefill;
+        self
+    }
+
+    /// Returns this evaluator with chunked prefill enabled: prompts are
+    /// processed `chunk_tokens` at a time before decoding, and TTFT
+    /// covers arrival → first token end-to-end.
+    pub fn with_chunked_prefill(self, chunk_tokens: u64) -> Self {
+        self.with_prefill(PrefillConfig::chunked(chunk_tokens))
+    }
+
+    /// The active prefill configuration.
+    pub fn prefill_config(&self) -> PrefillConfig {
+        self.prefill
+    }
+
+    /// Returns this evaluator with a different chunk-pricing stride
+    /// (decode steps between iteration-cost recomputes; ≥ 1). Since
+    /// chunks are priced at their midpoint step, throughput is
+    /// stride-invariant up to the kernel model's affine approximation —
+    /// `stride = 1` is exact per-step pricing, larger strides are the
+    /// fast path (enforced by `tests/engine_properties.rs`).
+    pub fn with_stride(mut self, stride: u64) -> Self {
+        self.stride = stride.max(1);
         self
     }
 
@@ -136,6 +174,32 @@ impl Evaluator {
     /// One decode iteration for an explicit batch (ids and token counts).
     pub fn iteration(&self, batch: &[(u64, u64)]) -> IterationBreakdown {
         self.stage_model().iteration(batch)
+    }
+
+    /// One prefill step for a single request with `done` prompt tokens
+    /// already resident, processing its next `chunk` tokens. The
+    /// breakdown holds the chunk's *totals* (not per-step values).
+    pub fn prefill_chunk(&self, done: u64, chunk: u64) -> IterationBreakdown {
+        self.stage_model().prefill_chunk(0, done, chunk)
+    }
+
+    /// Seconds to process a whole `prompt` in isolation under the
+    /// configured prefill chunking — the minimum prompt-processing
+    /// latency any request with that prompt can experience. 0 when
+    /// prefill is disabled.
+    pub fn prefill_time(&self, prompt: u64) -> f64 {
+        if !self.prefill.enabled {
+            return 0.0;
+        }
+        let stage = self.stage_model();
+        let mut secs = 0.0;
+        let mut done = 0u64;
+        while done < prompt {
+            let c = self.prefill.chunk_tokens.min(prompt - done);
+            secs += stage.prefill_chunk(0, done, c).seconds;
+            done += c;
+        }
+        secs
     }
 
     /// KV bytes available to one replica (capacity minus weights).
@@ -207,12 +271,14 @@ impl Evaluator {
         Engine::new(self, self.policy).run(trace)
     }
 
-    /// The original monolithic wave loop, kept verbatim as the fidelity
-    /// oracle for the engine's wave policy (hidden from docs; used by the
-    /// `engine_properties` tests). Note it reports the pre-fix
-    /// utilization formula (divided by `max_seconds × replicas`) and
-    /// leaves the newer `busy_seconds`/`latency` fields at their
-    /// defaults.
+    /// The original monolithic wave loop, kept as the fidelity oracle
+    /// for the engine's wave policy (hidden from docs; used by the
+    /// `engine_properties` tests). The only arithmetic change since
+    /// extraction is the exact per-step chunk pricing (midpoint-step
+    /// token counts), applied identically here and in the engine so the
+    /// two stay bit-exact. It reports the pre-fix utilization formula
+    /// (divided by `max_seconds × replicas`) and leaves the newer
+    /// `busy_seconds`/`latency`/prefill fields at their defaults.
     #[doc(hidden)]
     pub fn run_trace_wave_reference(&self, trace: &Trace) -> ServingReport {
         let replicas = self.system.replicas();
@@ -256,10 +322,15 @@ impl Evaluator {
                 let mut step = 0u64;
                 while step < decode_len {
                     let chunk = self.stride.min(decode_len - step);
+                    // Exact per-step pricing: the affine kernel model
+                    // makes Σₛ it(T+s) equal chunk·it(T + (chunk-1)/2),
+                    // so the chunk is priced at its midpoint step (the
+                    // same rule the engine's policies use — chunk
+                    // granularity no longer skews costs).
                     let batch: Vec<(u64, u64)> = wave
                         .iter()
                         .filter(|r| r.decode_len > step)
-                        .map(|r| (r.id, r.context_len + step))
+                        .map(|r| (r.id, r.context_len + step + (chunk - 1) / 2))
                         .collect();
                     if batch.is_empty() {
                         break;

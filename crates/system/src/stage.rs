@@ -185,6 +185,156 @@ impl<'a> StageModel<'a> {
         }
     }
 
+    /// Attention stage of one *prefill* step on one module: `chunk`
+    /// prompt tokens of a single request whose first `done` prompt
+    /// tokens are already KV-resident. Causal attention makes the total
+    /// work a prefix sum, priced in closed form by
+    /// [`KernelModel::attention_prefill`]; the per-channel share follows
+    /// the same KV partitioning as decode (HFP: channel-resident pairs,
+    /// TCP: token slices across all channels), distributing the causal
+    /// total proportionally to each channel's resident-key share.
+    pub fn prefill_attention_layer(&self, req_id: u64, done: u64, chunk: u64) -> AttentionStage {
+        if chunk == 0 {
+            return AttentionStage::default();
+        }
+        let total_keys = done + chunk;
+        let channels = self.system.module.channels;
+        let partition = ModulePartition::assign(
+            self.partitioning(),
+            channels,
+            self.kv_instances_per_module(),
+            &[(req_id, total_keys)],
+        );
+        let sched = self.scheduler();
+        let buffers = self.techniques.dcs;
+        let group = self.effective_group();
+        let row_reuse = self.row_reuse();
+        let epu = pim_sim::epu::Epu::default();
+        // Every query position reduces across channels under TCP.
+        let reduction = if self.techniques.tcp {
+            epu.reduce_cycles(channels, self.model.head_dim) as f64 * chunk as f64
+        } else {
+            0.0
+        };
+        let qkt = self.kernels.attention_prefill(
+            AttentionKind::Qkt,
+            sched,
+            buffers,
+            group,
+            row_reuse,
+            done,
+            chunk,
+        );
+        let sv = self.kernels.attention_prefill(
+            AttentionKind::Sv,
+            sched,
+            buffers,
+            group,
+            row_reuse,
+            done,
+            chunk,
+        );
+
+        let mut makespan: f64 = 0.0;
+        let mut totals = KernelStats::default();
+        let mut busy_sum = 0.0;
+        for ch in partition.channels() {
+            let mut cycles = 0.0;
+            for slice in &ch.slices {
+                let share = slice.tokens() as f64 / total_keys as f64;
+                cycles += (qkt.cycles + sv.cycles) * share + reduction;
+                totals.accumulate(&qkt.scaled(share));
+                totals.accumulate(&sv.scaled(share));
+                busy_sum += (qkt.mac_busy + sv.mac_busy) * share;
+            }
+            makespan = makespan.max(cycles);
+        }
+        // Softmax per query position over its causal prefix — affine in
+        // the prefix length, so the chunk prices at its midpoint
+        // position (same EPU distribution as decode).
+        let mid_keys = done + chunk.div_ceil(2);
+        let softmax = chunk as f64
+            * epu.softmax_cycles(mid_keys) as f64
+            * f64::from(self.kv_instances_per_module())
+            / f64::from(channels);
+        makespan += softmax;
+        let utilization = if makespan > 0.0 {
+            (busy_sum / (f64::from(channels) * makespan)).min(1.0)
+        } else {
+            0.0
+        };
+        AttentionStage {
+            cycles: makespan,
+            utilization,
+            totals,
+            active_channels: partition.active_channels(),
+        }
+    }
+
+    /// One prefill step processing `chunk` prompt tokens of one request
+    /// (`done` prompt tokens already resident) through every layer. FC
+    /// runs the chunk as a token batch — streamed GEMV passes on PIM, a
+    /// genuine weight-amortizing GEMM on the xPU — TP syncs the chunk's
+    /// activations, and PP micro-batches the chunk's tokens through the
+    /// stages in causal order (micro `j` prefills after micro `j-1`'s
+    /// tokens are resident). Unlike [`Self::iteration`], which prices
+    /// one decode step, the returned breakdown holds the chunk's
+    /// *totals*.
+    ///
+    /// Chunking granularity: the causal attention/FC work is
+    /// chunk-invariant (the prefix sum does not care where it is cut),
+    /// so at `pp = 1` a prompt costs the same however it is chunked. At
+    /// `pp ≥ 2` each chunk is a separate pipeline pass — the scheduler
+    /// interleaves decode iterations between chunks, so the pipeline
+    /// genuinely drains — and a chunk smaller than the pipeline depth
+    /// pays its own fill/drain bubbles; fine-grained chunked prefill is
+    /// therefore *not* free under pipeline parallelism.
+    pub fn prefill_chunk(&self, req_id: u64, done: u64, chunk: u64) -> IterationBreakdown {
+        if chunk == 0 {
+            return IterationBreakdown::default();
+        }
+        let pp = self.system.parallel.pp as usize;
+        let layers_per_stage = (self.model.layers as usize).div_ceil(pp);
+        let m = chunk.min(pp as u64).max(1) as usize;
+        let clock = self.system.module.clock_hz;
+
+        let mut out = IterationBreakdown::default();
+        let mut stage_secs_sum = 0.0;
+        let mut util_weighted = 0.0;
+        let mut offset = done;
+        let base = chunk / m as u64;
+        let rem = (chunk % m as u64) as usize;
+        for j in 0..m {
+            let c_j = base + u64::from(j < rem);
+            let attn = self.prefill_attention_layer(req_id, offset, c_j);
+            let (fc_secs, fc_flops, fc_stats) = self.fc_layer(c_j as usize);
+            let sync = self.sync_layer(c_j as usize);
+            let attn_secs = attn.cycles / clock;
+            let layer_secs = attn_secs + fc_secs + sync;
+            let stage = layers_per_stage as f64 * layer_secs;
+            stage_secs_sum += stage;
+            out.attn_seconds += layers_per_stage as f64 * attn_secs;
+            out.fc_seconds += layers_per_stage as f64 * fc_secs;
+            out.sync_seconds += layers_per_stage as f64 * sync;
+            out.attn_totals
+                .accumulate(&attn.totals.scaled(layers_per_stage as f64 * pp as f64));
+            out.fc_flops += fc_flops * layers_per_stage as f64 * pp as f64;
+            out.fc_totals
+                .accumulate(&fc_stats.scaled(layers_per_stage as f64 * pp as f64));
+            util_weighted += attn.utilization * stage;
+            offset += c_j;
+        }
+        let mean_stage = stage_secs_sum / m as f64;
+        out.bubble_seconds = (pp.saturating_sub(m)) as f64 * mean_stage;
+        out.seconds = stage_secs_sum + out.bubble_seconds;
+        out.attn_utilization = if stage_secs_sum > 0.0 {
+            (util_weighted / stage_secs_sum) * (stage_secs_sum / out.seconds)
+        } else {
+            0.0
+        };
+        out
+    }
+
     /// FC-op dimensions of one decoder layer: Q/K/V/O projections + gated
     /// FFN.
     fn fc_ops(&self) -> [(u32, u32); 7] {
@@ -390,6 +540,99 @@ mod tests {
         let dcs = StageModel::new(sys, LLM_7B_128K_GQA, Techniques::tcp_dcs(), &k);
         assert!(!no_dcs.row_reuse());
         assert!(dcs.row_reuse());
+    }
+
+    #[test]
+    fn prefill_chunk_monotone_in_chunk_and_position() {
+        let k = kernels();
+        let sys = SystemConfig::cent_for(&LLM_7B_32K);
+        let m = StageModel::new(sys, LLM_7B_32K, Techniques::pimphony(), &k);
+        assert_eq!(m.prefill_chunk(0, 0, 0).seconds, 0.0);
+        let small = m.prefill_chunk(0, 0, 256);
+        let large = m.prefill_chunk(0, 0, 1024);
+        assert!(large.seconds > small.seconds);
+        // Later chunks attend to longer prefixes, so the same chunk
+        // size costs more deeper into the prompt.
+        let early = m.prefill_chunk(0, 0, 512);
+        let late = m.prefill_chunk(0, 8192, 512);
+        assert!(late.seconds > early.seconds);
+        assert!(late.attn_seconds > early.attn_seconds);
+    }
+
+    #[test]
+    fn chunked_prefill_sums_to_whole_prompt_without_pp() {
+        // At pp = 1 (no pipeline fill/drain) splitting a prompt into
+        // chunks must cost (almost) the same as one whole-prompt pass:
+        // causal totals are chunk-invariant; only softmax midpoint
+        // rounding may differ.
+        let k = kernels();
+        let sys = SystemConfig::cent_for(&LLM_7B_32K);
+        assert_eq!(sys.parallel.pp, 1);
+        let m = StageModel::new(sys, LLM_7B_32K, Techniques::pimphony(), &k);
+        let prompt = 4096u64;
+        let whole = m.prefill_chunk(0, 0, prompt);
+        let mut split = 0.0;
+        let mut done = 0u64;
+        while done < prompt {
+            let c = 512.min(prompt - done);
+            split += m.prefill_chunk(0, done, c).seconds;
+            done += c;
+        }
+        let err = (whole.seconds - split).abs() / whole.seconds;
+        assert!(err < 0.02, "whole {} vs split {split}", whole.seconds);
+    }
+
+    #[test]
+    fn chunked_prefill_pays_pipeline_fill_under_pp() {
+        // At pp >= 2 every chunk is its own pipeline pass (decode
+        // iterations interleave between chunks, draining the pipeline),
+        // so chunks below the pipeline depth pay fill/drain bubbles and
+        // fine chunking costs strictly more than one whole-prompt pass
+        // — bounded by the fully-serialized pp× worst case.
+        let k = kernels();
+        let sys = SystemConfig::cent_for(&LLM_7B_32K).with_parallel(ParallelConfig::new(1, 4));
+        let m = StageModel::new(sys, LLM_7B_32K, Techniques::pimphony(), &k);
+        let prompt = 2048u64;
+        let whole = m.prefill_chunk(0, 0, prompt);
+        assert_eq!(whole.bubble_seconds, 0.0, "chunk >= pp streams bubble-free");
+        let mut split = 0.0;
+        let mut done = 0u64;
+        while done < prompt {
+            split += m.prefill_chunk(0, done, 1).seconds;
+            done += 1;
+        }
+        assert!(split > whole.seconds, "{split} vs {}", whole.seconds);
+        assert!(
+            split <= 4.0 * whole.seconds * 1.02,
+            "{split} vs {}",
+            whole.seconds
+        );
+    }
+
+    #[test]
+    fn xpu_prefill_fc_is_faster_than_pim_fc() {
+        // Prefill FC is a GEMM: the xPU amortizes weight streaming over
+        // the chunk's tokens, while PIM pays per-token GEMV passes.
+        let k = kernels();
+        let cent = SystemConfig::cent_for(&LLM_7B_32K);
+        let neu = SystemConfig::neupims_for(&LLM_7B_32K);
+        let mc = StageModel::new(cent, LLM_7B_32K, Techniques::pimphony(), &k);
+        let mn = StageModel::new(neu, LLM_7B_32K, Techniques::pimphony(), &k);
+        let pc = mc.prefill_chunk(0, 0, 512);
+        let pn = mn.prefill_chunk(0, 0, 512);
+        assert!(pc.fc_seconds > 4.0 * pn.fc_seconds, "{pc:?} vs {pn:?}");
+    }
+
+    #[test]
+    fn tcp_spreads_prefill_attention_over_channels() {
+        let k = kernels();
+        let sys = SystemConfig::cent_for(&LLM_7B_32K);
+        let base = StageModel::new(sys, LLM_7B_32K, Techniques::baseline(), &k);
+        let tcp = StageModel::new(sys, LLM_7B_32K, Techniques::tcp_only(), &k);
+        let b = base.prefill_attention_layer(0, 0, 2048);
+        let t = tcp.prefill_attention_layer(0, 0, 2048);
+        assert!(t.cycles < b.cycles);
+        assert_eq!(t.active_channels, 32);
     }
 
     #[test]

@@ -24,7 +24,9 @@ use serde::{Deserialize, Serialize};
 pub struct Request {
     /// Stable identifier within its trace.
     pub id: u64,
-    /// Prompt (context) length in tokens.
+    /// Prompt (context) length in tokens — the tokens the prefill stage
+    /// must process before the first token can be generated (see
+    /// [`Request::prompt_len`]).
     pub context_len: u64,
     /// Tokens to generate in the decode phase.
     pub decode_len: u64,
@@ -37,6 +39,14 @@ impl Request {
     /// Context plus generated tokens at decode completion.
     pub fn final_len(&self) -> u64 {
         self.context_len + self.decode_len
+    }
+
+    /// The prompt length the prefill stage processes, in tokens.
+    /// Synonym for `context_len`, named for the serving-side semantics:
+    /// a prefill-enabled simulation must compute attention and FC over
+    /// exactly these tokens before the request's first decode step.
+    pub fn prompt_len(&self) -> u64 {
+        self.context_len
     }
 
     /// Arrival time in seconds since the trace epoch.
@@ -114,6 +124,12 @@ impl Trace {
     /// Total decode tokens across the trace.
     pub fn total_decode_tokens(&self) -> u64 {
         self.requests.iter().map(|r| r.decode_len).sum()
+    }
+
+    /// Total prompt tokens across the trace — the work a
+    /// prefill-enabled simulation must process exactly once.
+    pub fn total_prompt_tokens(&self) -> u64 {
+        self.requests.iter().map(|r| r.prompt_len()).sum()
     }
 
     /// Worst-case final length across the trace (0 if empty) — the
@@ -481,6 +497,20 @@ mod tests {
         assert!(t.iter().all(|r| r.decode_len == 77));
         assert_eq!(t.total_decode_tokens(), 231);
         assert!(t.iter().all(|r| r.final_len() == r.context_len + 77));
+    }
+
+    #[test]
+    fn prompt_tokens_total_the_contexts() {
+        let t = TraceBuilder::new(Dataset::QmSum)
+            .seed(2)
+            .requests(5)
+            .build();
+        assert!(t.iter().all(|r| r.prompt_len() == r.context_len));
+        assert_eq!(
+            t.total_prompt_tokens(),
+            t.iter().map(|r| r.context_len).sum::<u64>()
+        );
+        assert_eq!(Trace::new().total_prompt_tokens(), 0);
     }
 
     #[test]
