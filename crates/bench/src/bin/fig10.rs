@@ -4,6 +4,7 @@
 use pim_compiler::lower::{dpa_footprint, static_footprint, AttentionLowering};
 
 fn main() {
+    let mut sink = bench::MetricSink::new("fig10");
     bench::header("Fig. 10(c): per-kernel instruction bytes vs context length");
     let shape = AttentionLowering::aimx_default();
     let dpa = dpa_footprint(&shape);
@@ -21,9 +22,17 @@ fn main() {
             dpa.bytes,
             s.bytes as f64 / dpa.bytes as f64
         );
+        sink.metric(format!("ctx{}K/static_bytes", t / 1024), s.bytes as f64);
+        sink.metric(
+            format!("ctx{}K/ratio", t / 1024),
+            s.bytes as f64 / dpa.bytes as f64,
+        );
     }
     println!(
         "(DPA encoding is context-independent: {} instructions)",
         dpa.instructions
     );
+    sink.metric("dpa_bytes", dpa.bytes as f64);
+    sink.metric("dpa_instructions", dpa.instructions as f64);
+    sink.finish();
 }

@@ -7,6 +7,7 @@ use system::{Evaluator, SystemConfig, Techniques};
 use workload::Dataset;
 
 fn main() {
+    let mut sink = bench::MetricSink::new("fig15");
     bench::header("Fig. 15: tensor vs pipeline parallelization (CENT, 8 modules)");
     let cases = [
         (LLM_7B_32K, Dataset::QmSum, "LLM-7B-32K / QMSum"),
@@ -29,9 +30,12 @@ fn main() {
             print!("{:<16}", t.label());
             for p in ParallelConfig::factorizations(base_sys.modules) {
                 let e = Evaluator::new(base_sys.with_parallel(p), model, t);
-                print!(" {:>12.1}/s", e.run_trace(&trace).tokens_per_second);
+                let tput = e.run_trace(&trace).tokens_per_second;
+                print!(" {:>12.1}/s", tput);
+                sink.metric(format!("{title}/{}/{p}/tokens_per_second", t.label()), tput);
             }
             println!();
         }
     }
+    sink.finish();
 }

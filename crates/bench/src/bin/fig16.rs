@@ -19,6 +19,7 @@ fn print_energy(label: &str, r: &ServingReport) {
 }
 
 fn main() {
+    let mut sink = bench::MetricSink::new("fig16");
     bench::header("Fig. 16: energy breakdown, CENT vs CENT+PIMphony");
     for (model, datasets) in bench::eval_models() {
         let trace = bench::trace_for(datasets[0], 16, 24);
@@ -34,6 +35,15 @@ fn main() {
             100.0 * base.energy.background_fraction(),
             100.0 * full.energy.background_fraction()
         );
+        sink.metric(
+            format!("{}/attn_energy_reduction_x", model.name),
+            base.energy.attention / full.energy.attention.max(1e-18),
+        );
+        sink.metric(
+            format!("{}/background_share_full", model.name),
+            full.energy.background_fraction(),
+        );
     }
     println!("\n(paper: background 71.5% -> 13.0%; up to 3.46x attention energy reduction)");
+    sink.finish();
 }

@@ -56,6 +56,7 @@ fn system(kind: SystemKind, modules: u32) -> SystemConfig {
 
 fn main() {
     let _model = LLM_7B_128K_GQA;
+    let mut sink = bench::MetricSink::new("fig17");
     bench::header("Fig. 17(a): throughput vs capacity at 64K context");
     for (kind, mods) in [
         (SystemKind::PimOnly, vec![8u32, 16, 32, 64]),
@@ -77,6 +78,10 @@ fn main() {
                 sys.total_capacity() >> 30,
                 b.tokens_per_second,
                 p.tokens_per_second
+            );
+            sink.metric(
+                format!("a/{}/m{m}/phony_tokens_per_second", kind.name()),
+                p.tokens_per_second,
             );
         }
     }
@@ -105,6 +110,10 @@ fn main() {
                 p.tokens_per_second,
                 p.tokens_per_second / b.tokens_per_second.max(1e-12)
             );
+            sink.metric(
+                format!("b/{}/ctx{}K/speedup_x", kind.name(), ctx / 1024),
+                p.tokens_per_second / b.tokens_per_second.max(1e-12),
+            );
         }
     }
 
@@ -121,6 +130,11 @@ fn main() {
             100.0 * r.attn_seconds / tot,
             100.0 * r.fc_seconds / tot
         );
+        sink.metric(
+            format!("c/ctx{}K/attn_share", ctx / 1024),
+            r.attn_seconds / tot,
+        );
     }
     println!("\n(paper: 46.6x on CENT and 5.0x on NeuPIMs at 1M context)");
+    sink.finish();
 }

@@ -21,6 +21,7 @@ fn attn_util(spec: AttentionSpec, kind: SchedulerKind, geom: Geometry, timing: &
 }
 
 fn main() {
+    let mut sink = bench::MetricSink::new("fig18");
     bench::header("Fig. 18: compute utilization, ping-pong vs DCS (attention)");
     let timing = Timing::aimx();
     let geom = Geometry::pimphony();
@@ -49,6 +50,10 @@ fn main() {
             dcs * 100.0,
             dcs / pp
         );
+        sink.metric(format!("{label}/pingpong_util"), pp);
+        sink.metric(format!("{label}/dcs_util"), dcs);
+        sink.metric(format!("{label}/gain_x"), dcs / pp);
     }
     println!("(paper: DCS achieves up to 1.4x higher compute-unit utilization)");
+    sink.finish();
 }

@@ -8,6 +8,7 @@ use workload::Dataset;
 const MODULES: u64 = 8;
 
 fn main() {
+    let mut sink = bench::MetricSink::new("fig19");
     bench::header("Fig. 19: capacity utilization with and without DPA");
     println!(
         "{:<14} {:<18} {:>9} {:>9}",
@@ -50,6 +51,8 @@ fn main() {
             s * 100.0,
             p * 100.0
         );
+        sink.metric(format!("{}/static_util", d.name()), s);
+        sink.metric(format!("{}/dpa_util", d.name()), p);
     }
     println!(
         "{:<14} {:<18} {:>8.1}% {:>8.1}%",
@@ -59,4 +62,7 @@ fn main() {
         100.0 * dpa_sum / 4.0
     );
     println!("(paper: static 31.0-40.5%, average 36.2%; DPA average 75.6%)");
+    sink.metric("average/static_util", static_sum / 4.0);
+    sink.metric("average/dpa_util", dpa_sum / 4.0);
+    sink.finish();
 }

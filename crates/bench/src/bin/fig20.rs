@@ -6,6 +6,7 @@ use system::{GpuSystem, SystemConfig};
 use workload::Dataset;
 
 fn main() {
+    let mut sink = bench::MetricSink::new("fig20");
     bench::header("Fig. 20: GPU vs PIMphony throughput (memory-matched)");
     let cases = [
         (LLM_7B_32K, Dataset::QmSum),
@@ -33,6 +34,16 @@ fn main() {
             p.tokens_per_second,
             p.tokens_per_second / g.max(1e-12)
         );
+        sink.metric(format!("{}/gpu_tokens_per_second", model.name), g);
+        sink.metric(
+            format!("{}/phony_tokens_per_second", model.name),
+            p.tokens_per_second,
+        );
+        sink.metric(
+            format!("{}/speedup_x", model.name),
+            p.tokens_per_second / g.max(1e-12),
+        );
     }
     println!("(paper: PIMphony leads, larger on non-GQA; 72B narrows the FC gap)");
+    sink.finish();
 }

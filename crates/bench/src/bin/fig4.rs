@@ -26,6 +26,7 @@ fn varied_batch(ctx: u64, n: u64) -> Vec<(u64, u64)> {
 }
 
 fn main() {
+    let mut sink = bench::MetricSink::new("fig4");
     bench::header("Fig. 4: PIM utilization vs context (LLM-7B w/ GQA on CENT)");
     let model = LLM_7B_128K_GQA;
     let sys = SystemConfig::cent_for(&model);
@@ -50,10 +51,14 @@ fn main() {
                 it.attn_utilization * 100.0,
                 batch
             );
+            sink.metric(
+                format!("ctx{}K/{}/mac_util", ctx / 1024, t.label()),
+                it.attn_utilization,
+            );
         }
     }
-    println!(
-        "\nbaseline utilization drop 4K -> 32K: {:.0}% (paper: 48%)",
-        100.0 * (1.0 - base_util[1] / base_util[0].max(1e-12))
-    );
+    let drop = 100.0 * (1.0 - base_util[1] / base_util[0].max(1e-12));
+    println!("\nbaseline utilization drop 4K -> 32K: {drop:.0}% (paper: 48%)");
+    sink.metric("baseline_util_drop_pct", drop);
+    sink.finish();
 }

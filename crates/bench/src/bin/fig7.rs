@@ -55,4 +55,12 @@ fn main() {
         dc.cycles,
         100.0 * (1.0 - dc.cycles as f64 / st.cycles as f64)
     );
+    let mut sink = bench::MetricSink::new("fig7");
+    sink.metric("static_cycles", st.cycles as f64);
+    sink.metric("dcs_cycles", dc.cycles as f64);
+    sink.metric(
+        "latency_reduction_pct",
+        100.0 * (1.0 - dc.cycles as f64 / st.cycles as f64),
+    );
+    sink.finish();
 }

@@ -5,6 +5,7 @@ use pim_sim::kernels::{GemvKernel, GemvSpec};
 use pim_sim::{schedule, Geometry, SchedulerKind, Timing};
 
 fn main() {
+    let mut sink = bench::MetricSink::new("fig8");
     bench::header("Fig. 8: GEMV (d x d) latency breakdown, static scheduling");
     println!(
         "{:>6} {:>9} {:>7} {:>8} {:>8} {:>8} {:>6} {:>9} {:>9}",
@@ -29,6 +30,9 @@ fn main() {
             100.0 * b.pipeline as f64 / tot,
             100.0 * r.mac_utilization(),
         );
+        sink.metric(format!("d{d}/cycles"), r.cycles as f64);
+        sink.metric(format!("d{d}/mac_util"), r.mac_utilization());
     }
     println!("(paper: MAC utilization drops to 14.7% at d=128)");
+    sink.finish();
 }

@@ -6,6 +6,7 @@ use pim_sim::kernels::{AttentionSpec, QktKernel, SvKernel};
 use pim_sim::{schedule, Geometry, SchedulerKind, Timing};
 
 fn main() {
+    let mut sink = bench::MetricSink::new("fig9");
     bench::header("Fig. 9: LLM-72B attention breakdown (row-reuse mapping, g=8)");
     let timing = Timing::aimx();
     let spec = AttentionSpec {
@@ -43,6 +44,12 @@ fn main() {
                 100.0 * b.act_pre as f64 / tot,
                 100.0 * (b.pipeline + b.refresh) as f64 / tot,
             );
+            sink.metric(format!("{name}/{label}/cycles"), r.cycles as f64);
+            sink.metric(
+                format!("{name}/{label}/mac_pct"),
+                100.0 * b.mac as f64 / tot,
+            );
         }
     }
+    sink.finish();
 }

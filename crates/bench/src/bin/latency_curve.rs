@@ -45,6 +45,8 @@ const ROUTERS: [RouterKind; 2] = [RouterKind::RoundRobin, RouterKind::JoinShorte
 fn main() {
     let tiny = std::env::args().any(|a| a == "--tiny");
     let decode_only = std::env::args().any(|a| a == "--decode-only");
+    let json_path = bench::json_arg();
+    let mut rows = Vec::new();
     let model = LLM_7B_32K;
     let sys = SystemConfig::cent_for(&model).with_parallel(ParallelConfig::new(2, 1));
     let dataset = Dataset::QmSum;
@@ -141,6 +143,16 @@ fn main() {
                     l.tpot.p50,
                     l.e2e.p95,
                 );
+                // Row names must distinguish metric semantics: the
+                // snapshot pins end-to-end rows, so a --decode-only run
+                // gets its own prefix instead of silently comparing
+                // decode-only TTFT against e2e baselines in the gate.
+                let mode = if decode_only { "decode-only/" } else { "" };
+                rows.push(bench::serving_row(
+                    &format!("{mode}{}/{frac:.2}x/{}", tech.label(), kind.label()),
+                    rate,
+                    &r,
+                ));
             }
         }
     }
@@ -157,4 +169,8 @@ fn main() {
          systematically optimistic. DPA's lazy allocation admits more \
          concurrent requests, pushing the knee right."
     );
+
+    if let Some(path) = json_path {
+        bench::write_bench_json(&path, "latency_curve", rows);
+    }
 }

@@ -72,6 +72,8 @@ fn capacity_rps(eval: &Evaluator, stats: DatasetStats, requests: usize) -> f64 {
 
 fn main() {
     let tiny = std::env::args().any(|a| a == "--tiny");
+    let json_path = bench::json_arg();
+    let mut rows = Vec::new();
     let model = LLM_7B_32K;
     let sys = SystemConfig::cent_for(&model).with_parallel(ParallelConfig::new(2, 1));
     let requests = if tiny { 12 } else { 64 };
@@ -131,6 +133,16 @@ fn main() {
             e2e.latency.ttft.p50 > decode.latency.ttft.p50,
             "end-to-end TTFT must dominate decode-only TTFT"
         );
+        rows.push(bench::serving_row(
+            &format!("mean{:.0}/decode-only", stats.mean),
+            rate,
+            &decode,
+        ));
+        rows.push(bench::serving_row(
+            &format!("mean{:.0}/e2e", stats.mean),
+            rate,
+            &e2e,
+        ));
     }
 
     println!("\n[2] Prefill chunk sizes (QMSum distribution)");
@@ -157,6 +169,7 @@ fn main() {
             r.latency.tpot.p50,
             r.latency.tpot.p99,
         );
+        rows.push(bench::serving_row(&format!("chunk{chunk}"), rate, &r));
     }
 
     println!(
@@ -173,4 +186,8 @@ fn main() {
          tokens out during a neighbour's prefill, while large chunks mean \
          few long stalls."
     );
+
+    if let Some(path) = json_path {
+        bench::write_bench_json(&path, "prefill_sweep", rows);
+    }
 }

@@ -167,6 +167,7 @@ fn wall_clock_smoke(reports: &[(RouterKind, ServingReport, f64)]) {
 
 fn main() {
     let tiny = std::env::args().any(|a| a == "--tiny");
+    let json_path = bench::json_arg();
     let model = LLM_7B_32K;
     // TP=2 over 8 modules → 4 replicas behind one cluster front-end.
     let sys = SystemConfig::cent_for(&model).with_parallel(ParallelConfig::new(2, 1));
@@ -218,4 +219,21 @@ fn main() {
          (queue vs pref columns); on PIM-only hardware that share dominates, \
          which is why section [1]'s TTFT was systematically optimistic."
     );
+
+    if let Some(path) = json_path {
+        let mut rows = Vec::new();
+        for (section, section_rate, reports) in [
+            ("decode-only", rate, &decode_reports),
+            ("prefill", rate_pf, &prefill_reports),
+        ] {
+            for (kind, r, _) in reports {
+                rows.push(bench::serving_row(
+                    &format!("{section}/{}", kind.label()),
+                    section_rate,
+                    r,
+                ));
+            }
+        }
+        bench::write_bench_json(&path, "router_compare", rows);
+    }
 }

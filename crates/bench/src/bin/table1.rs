@@ -3,6 +3,7 @@
 use llm_model::ModelConfig;
 
 fn main() {
+    let mut sink = bench::MetricSink::new("table1");
     bench::header("Table I: LLM specification and context window");
     println!(
         "{:<18} {:>4} {:>4} {:>5} {:>7} {:>7} {:>5} {:>9} {:>9}",
@@ -25,5 +26,11 @@ fn main() {
             m.context_window / 1024,
             m.param_count() as f64 / 1e9,
         );
+        sink.metric(format!("{}/params_b", m.name), m.param_count() as f64 / 1e9);
+        sink.metric(
+            format!("{}/context_window", m.name),
+            m.context_window as f64,
+        );
     }
+    sink.finish();
 }

@@ -3,6 +3,7 @@
 use workload::{Dataset, TraceBuilder};
 
 fn main() {
+    let mut sink = bench::MetricSink::new("table2");
     bench::header("Table II: context-length statistics (spec vs 4000 samples)");
     println!(
         "{:<14} {:<10} {:>9} {:>9} {:>8} {:>8} | {:>9} {:>9} {:>8} {:>8}",
@@ -25,5 +26,8 @@ fn main() {
             max,
             min
         );
+        sink.metric(format!("{}/sampled_mean", s.name), t.mean_context());
+        sink.metric(format!("{}/sampled_std", s.name), t.std_context());
     }
+    sink.finish();
 }

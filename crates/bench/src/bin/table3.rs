@@ -3,6 +3,7 @@
 use pim_isa::{ChannelMask, PimInstruction};
 
 fn main() {
+    let mut sink = bench::MetricSink::new("table3");
     bench::header("Table III: PIM instructions for LLM inference");
     println!("{:<8} {:<42} arguments", "inst", "description");
     println!(
@@ -19,14 +20,18 @@ fn main() {
     );
     bench::header("Example encodings");
     let m = ChannelMask::first(16);
-    for inst in [
+    let examples = [
         PimInstruction::wr_inp(m, 8, 0x100, 0),
         PimInstruction::mac(m, 8, 0, 3, 0, 1),
         PimInstruction::rd_out(m, 1, 0x200, 1),
-    ] {
+    ];
+    for inst in &examples {
         println!("  {inst}");
     }
+    sink.metric("example_encodings", examples.len() as f64);
+    sink.metric("example_channel_mask_width", m.count() as f64);
     bench::header("DPA extension (paper Fig. 10b)");
     println!("  Dyn-Loop  loop with runtime bound from T_cur   Loop-Bound Body-Len");
     println!("  Dyn-Modi  per-iteration operand adjustment     Target Field Stride [Mod]");
+    sink.finish();
 }

@@ -3,6 +3,7 @@
 use system::ModuleConfig;
 
 fn main() {
+    let mut sink = bench::MetricSink::new("table4");
     bench::header("Table IV: PIMphony module configurations");
     let rows = [
         ("NeuPIMs (xPU+PIM)", ModuleConfig::neupims()),
@@ -21,5 +22,12 @@ fn main() {
             (m.internal_bw / 1e12) as u64,
             (m.xpu_flops / 1e12) as u64
         );
+        sink.metric(format!("{name}/channels"), m.channels as f64);
+        sink.metric(
+            format!("{name}/capacity_gb"),
+            (m.capacity_bytes >> 30) as f64,
+        );
+        sink.metric(format!("{name}/internal_tb_s"), m.internal_bw / 1e12);
     }
+    sink.finish();
 }

@@ -3,6 +3,10 @@
 //! and figure of the PIMphony paper. See `EXPERIMENTS.md` for the index
 //! and paper-vs-measured record.
 
+pub mod json;
+pub mod regression;
+
+use json::Json;
 use llm_model::ModelConfig;
 use pim_compiler::ParallelConfig;
 use system::{Evaluator, ServingReport, SystemConfig, Techniques};
@@ -11,6 +15,133 @@ use workload::{Dataset, Trace, TraceBuilder};
 /// Prints a section header.
 pub fn header(title: &str) {
     println!("\n=== {title} ===");
+}
+
+/// The path following a `--json` flag in the process arguments, if any
+/// (the shared machine-readable output switch of the serving bench
+/// binaries).
+pub fn json_arg() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            return Some(args.next().expect("--json requires a path"));
+        }
+    }
+    None
+}
+
+/// One machine-readable result row for a serving run: the identifying
+/// name, the offered rate, and the metrics the regression gate and the
+/// perf trajectory track (throughput, latency percentiles,
+/// prefill/eviction counters). Extend with `push_row_field` for
+/// bench-specific columns.
+pub fn serving_row(name: &str, rate: f64, r: &ServingReport) -> Json {
+    let l = &r.latency;
+    Json::obj([
+        ("name", Json::str(name)),
+        ("rate_rps", Json::num(rate)),
+        ("tokens_per_second", Json::num(r.tokens_per_second)),
+        ("tokens", Json::num(r.tokens as f64)),
+        ("completed", Json::num(l.completed as f64)),
+        ("ttft_p50", Json::num(l.ttft.p50)),
+        ("ttft_p95", Json::num(l.ttft.p95)),
+        ("ttft_p99", Json::num(l.ttft.p99)),
+        ("tpot_p50", Json::num(l.tpot.p50)),
+        ("tpot_p99", Json::num(l.tpot.p99)),
+        ("e2e_p50", Json::num(l.e2e.p50)),
+        ("e2e_p95", Json::num(l.e2e.p95)),
+        ("e2e_p99", Json::num(l.e2e.p99)),
+        ("queueing_p50", Json::num(l.queueing.p50)),
+        ("prefill_p50", Json::num(l.prefill.p50)),
+        ("prefill_tokens", Json::num(r.prefill_tokens as f64)),
+        ("evictions", Json::num(r.evictions as f64)),
+        (
+            "wasted_prefill_tokens",
+            Json::num(r.wasted_prefill_tokens as f64),
+        ),
+        (
+            "wasted_decode_tokens",
+            Json::num(r.wasted_decode_tokens as f64),
+        ),
+        ("restart_seconds", Json::num(r.restart_seconds)),
+    ])
+}
+
+/// Appends a bench-specific field to a row built by [`serving_row`].
+pub fn push_row_field(row: &mut Json, key: &str, value: Json) {
+    if let Json::Obj(pairs) = row {
+        pairs.push((key.to_string(), value));
+    }
+}
+
+/// Row collector giving any bench binary a `--json <path>` mode.
+///
+/// Figure/table binaries record each printed number as a named scalar
+/// (`metric`) and serving binaries record full [`serving_row`]s (`row`);
+/// on [`MetricSink::finish`] the rows are written as the standard
+/// `{"bench": ..., "rows": [...]}` document if `--json` was passed, and
+/// discarded otherwise — so instrumenting a binary costs nothing when
+/// the flag is absent. Scalar rows carry only `name`/`value` keys; the
+/// regression gate ignores them unless they are added to the snapshot.
+pub struct MetricSink {
+    bench: &'static str,
+    path: Option<String>,
+    rows: Vec<Json>,
+}
+
+impl MetricSink {
+    /// Creates a sink for `bench`, reading `--json` from the process
+    /// arguments.
+    pub fn new(bench: &'static str) -> Self {
+        MetricSink {
+            bench,
+            path: json_arg(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Records one named scalar result.
+    pub fn metric(&mut self, name: impl Into<String>, value: f64) {
+        self.rows.push(Json::Obj(vec![
+            ("name".to_string(), Json::Str(name.into())),
+            ("value".to_string(), Json::num(value)),
+        ]));
+    }
+
+    /// Records a full serving-report row (see [`serving_row`]).
+    pub fn row(&mut self, row: Json) {
+        self.rows.push(row);
+    }
+
+    /// Records every rung of a technique ladder as serving rows named
+    /// `{title}/{rung}`.
+    pub fn ladder(&mut self, title: &str, rows: &[(&'static str, ServingReport)]) {
+        for (label, report) in rows {
+            self.rows
+                .push(serving_row(&format!("{title}/{label}"), 0.0, report));
+        }
+    }
+
+    /// Writes the collected rows if `--json` was requested.
+    pub fn finish(self) {
+        if let Some(path) = self.path {
+            write_bench_json(&path, self.bench, self.rows);
+        }
+    }
+}
+
+/// Writes one bench's rows as a `{"bench": ..., "rows": [...]}` JSON
+/// document (creating parent directories as needed) and reports the
+/// path on stdout.
+pub fn write_bench_json(path: &str, bench: &str, rows: Vec<Json>) {
+    let doc = Json::obj([("bench", Json::str(bench)), ("rows", Json::Arr(rows))]);
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create --json parent directory");
+        }
+    }
+    std::fs::write(path, doc.to_pretty()).expect("write --json output");
+    println!("\nwrote {bench} results to {path}");
 }
 
 /// End-to-end serving capacity of a cluster: the closed-world (wave)

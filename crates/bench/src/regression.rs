@@ -1,0 +1,212 @@
+//! Bench-trajectory regression gate: compares freshly produced
+//! `--json` bench files against the checked-in `BENCH_serving.json`
+//! snapshot and reports violations.
+//!
+//! The simulator is deterministic, so on unchanged code the fresh
+//! numbers reproduce the snapshot exactly and the gate is trivially
+//! green; the tolerances exist to ride out cross-platform libm
+//! differences in the trace generator's transcendentals while still
+//! catching real scheduling or pricing regressions. The logic lives in
+//! the library (unit-tested) and the `check_regression` binary is a
+//! thin CLI over it, so the gate also runs offline.
+
+use crate::json::Json;
+
+/// Relative throughput drop that fails the gate (5%).
+pub const MAX_THROUGHPUT_DROP: f64 = 0.05;
+/// Relative p99-TTFT rise that fails the gate (5%).
+pub const MAX_TTFT_RISE: f64 = 0.05;
+
+/// Merges per-bin bench documents into one snapshot document
+/// (`{"benches": [...]}`), the on-disk format of `BENCH_serving.json`.
+pub fn merge_snapshot(benches: Vec<Json>) -> Json {
+    Json::obj([("benches", Json::Arr(benches))])
+}
+
+/// One row comparison: the metrics the gate guards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowDelta {
+    /// `bench/name` identifier of the row.
+    pub key: String,
+    /// Snapshot vs fresh throughput (tokens/second).
+    pub tokens_per_second: (f64, f64),
+    /// Snapshot vs fresh p99 TTFT seconds.
+    pub ttft_p99: (f64, f64),
+}
+
+impl RowDelta {
+    /// The violation this row trips, if any.
+    pub fn violation(&self) -> Option<String> {
+        let (tput_snap, tput_fresh) = self.tokens_per_second;
+        if tput_snap > 0.0 && tput_fresh < tput_snap * (1.0 - MAX_THROUGHPUT_DROP) {
+            return Some(format!(
+                "{}: throughput dropped {:.1}% ({tput_snap:.3} -> {tput_fresh:.3} tok/s)",
+                self.key,
+                (1.0 - tput_fresh / tput_snap) * 100.0
+            ));
+        }
+        let (ttft_snap, ttft_fresh) = self.ttft_p99;
+        if ttft_snap > 0.0 && ttft_fresh > ttft_snap * (1.0 + MAX_TTFT_RISE) {
+            return Some(format!(
+                "{}: p99 TTFT rose {:.1}% ({ttft_snap:.4}s -> {ttft_fresh:.4}s)",
+                self.key,
+                (ttft_fresh / ttft_snap - 1.0) * 100.0
+            ));
+        }
+        None
+    }
+}
+
+fn rows_of(bench: &Json) -> Vec<(String, &Json)> {
+    let name = bench.get("bench").and_then(Json::as_str).unwrap_or("?");
+    bench
+        .get("rows")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .map(|row| {
+            let row_name = row.get("name").and_then(Json::as_str).unwrap_or("?");
+            (format!("{name}/{row_name}"), row)
+        })
+        .collect()
+}
+
+fn metric(row: &Json, key: &str) -> f64 {
+    row.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+/// Compares fresh bench documents against a snapshot document. Returns
+/// the per-row deltas and the list of violations (empty = gate green).
+/// A fresh row missing from the snapshot — or vice versa — is a
+/// violation too: a silently renamed or dropped row would otherwise
+/// disable its gate.
+pub fn compare(snapshot: &Json, fresh: &[Json]) -> (Vec<RowDelta>, Vec<String>) {
+    let snap_rows: Vec<(String, &Json)> = snapshot
+        .get("benches")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .flat_map(rows_of)
+        .collect();
+    let fresh_rows: Vec<(String, &Json)> = fresh.iter().flat_map(rows_of).collect();
+
+    let mut deltas = Vec::new();
+    let mut violations = Vec::new();
+    for (key, fresh_row) in &fresh_rows {
+        let Some((_, snap_row)) = snap_rows.iter().find(|(k, _)| k == key) else {
+            violations.push(format!(
+                "{key}: not in snapshot — regenerate BENCH_serving.json \
+                 (check_regression --write-snapshot)"
+            ));
+            continue;
+        };
+        let delta = RowDelta {
+            key: key.clone(),
+            tokens_per_second: (
+                metric(snap_row, "tokens_per_second"),
+                metric(fresh_row, "tokens_per_second"),
+            ),
+            ttft_p99: (metric(snap_row, "ttft_p99"), metric(fresh_row, "ttft_p99")),
+        };
+        if let Some(v) = delta.violation() {
+            violations.push(v);
+        }
+        deltas.push(delta);
+    }
+    for (key, _) in &snap_rows {
+        // Only flag a dropped row when its bench was re-run at all —
+        // comparing a single fresh bin against the full snapshot is a
+        // supported offline workflow.
+        let bench = key.split('/').next().unwrap_or("");
+        let bench_present = fresh_rows
+            .iter()
+            .any(|(k, _)| k.split('/').next().unwrap_or("") == bench);
+        if bench_present && !fresh_rows.iter().any(|(k, _)| k == key) {
+            violations.push(format!("{key}: in snapshot but missing from fresh run"));
+        }
+    }
+    (deltas, violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_doc(bench: &str, rows: &[(&str, f64, f64)]) -> Json {
+        Json::obj([
+            ("bench", Json::str(bench)),
+            (
+                "rows",
+                Json::Arr(
+                    rows.iter()
+                        .map(|(name, tput, ttft)| {
+                            Json::obj([
+                                ("name", Json::str(*name)),
+                                ("tokens_per_second", Json::num(*tput)),
+                                ("ttft_p99", Json::num(*ttft)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let doc = bench_doc("lc", &[("a", 100.0, 0.5), ("b", 50.0, 1.0)]);
+        let snap = merge_snapshot(vec![doc.clone()]);
+        let (deltas, violations) = compare(&snap, &[doc]);
+        assert_eq!(deltas.len(), 2);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn small_drift_within_tolerance_passes() {
+        let snap = merge_snapshot(vec![bench_doc("lc", &[("a", 100.0, 0.5)])]);
+        let fresh = bench_doc("lc", &[("a", 96.0, 0.52)]);
+        let (_, violations) = compare(&snap, &[fresh]);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn throughput_drop_fails() {
+        let snap = merge_snapshot(vec![bench_doc("lc", &[("a", 100.0, 0.5)])]);
+        let fresh = bench_doc("lc", &[("a", 94.0, 0.5)]);
+        let (_, violations) = compare(&snap, &[fresh]);
+        assert_eq!(violations.len(), 1);
+        assert!(
+            violations[0].contains("throughput dropped"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn ttft_rise_fails() {
+        let snap = merge_snapshot(vec![bench_doc("lc", &[("a", 100.0, 0.5)])]);
+        let fresh = bench_doc("lc", &[("a", 100.0, 0.53)]);
+        let (_, violations) = compare(&snap, &[fresh]);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("p99 TTFT rose"), "{violations:?}");
+    }
+
+    #[test]
+    fn renamed_and_dropped_rows_are_flagged() {
+        let snap = merge_snapshot(vec![bench_doc("lc", &[("a", 100.0, 0.5)])]);
+        let fresh = bench_doc("lc", &[("renamed", 100.0, 0.5)]);
+        let (_, violations) = compare(&snap, &[fresh]);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        // A bench absent from the fresh set entirely is fine (offline
+        // single-bin comparisons are supported).
+        let (_, quiet) = compare(&snap, &[bench_doc("other", &[])]);
+        assert!(quiet.iter().all(|v| !v.contains("missing from fresh")));
+    }
+
+    #[test]
+    fn improvement_passes() {
+        let snap = merge_snapshot(vec![bench_doc("lc", &[("a", 100.0, 0.5)])]);
+        let fresh = bench_doc("lc", &[("a", 150.0, 0.1)]);
+        let (_, violations) = compare(&snap, &[fresh]);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+}

@@ -161,9 +161,13 @@ impl CommandStream {
     /// Appends a command.
     ///
     /// # Panics
-    /// Panics (debug builds) if `cmd.id` does not exceed the previous id.
+    /// Panics if `cmd.id` does not exceed the previous id. The check is
+    /// a single compare and runs in release builds too — the
+    /// `should_panic` test covering it must pass under `cargo test
+    /// --release` (a `debug_assert!` here made the invariant silently
+    /// unenforced in exactly the builds that serve real workloads).
     pub fn push(&mut self, cmd: PimCommand) {
-        debug_assert!(
+        assert!(
             self.commands.last().map_or(true, |prev| prev.id < cmd.id),
             "command ids must be strictly increasing"
         );

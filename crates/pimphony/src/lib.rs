@@ -37,6 +37,15 @@
 //! byte-identical whatever the thread count), and reports carry a
 //! per-replica breakdown ([`ServingReport::per_replica`]).
 //!
+//! Under KV memory pressure, continuous batching admits in priority
+//! order (`workload::Request::priority`) and can preempt:
+//! `.evict_restart()` / `.evict_pause()` let a blocked higher-priority
+//! arrival evict lower-priority running requests (restart drops their
+//! tokens; pause keeps them and re-prefills prompt+tokens as an
+//! extended prompt), with eviction counts, wasted re-prefill work and
+//! per-priority latency breakdowns in the report;
+//! `.kv_capacity_factor(f)` dials the pressure.
+//!
 //! # Quickstart (paper-figure throughput)
 //!
 //! ```no_run
@@ -91,8 +100,8 @@ pub use workload;
 use llm_model::ModelConfig;
 use pim_compiler::ParallelConfig;
 use system::{
-    Cluster, Evaluator, PrefillConfig, RouterKind, SchedulingPolicy, ServingReport, SystemConfig,
-    Techniques,
+    Cluster, Evaluator, PreemptionPolicy, PrefillConfig, RouterKind, SchedulingPolicy,
+    ServingReport, SystemConfig, Techniques,
 };
 use workload::Trace;
 
@@ -152,6 +161,11 @@ impl Orchestrator {
         self.evaluator.scheduling_policy()
     }
 
+    /// The active preemption policy.
+    pub fn preemption(&self) -> PreemptionPolicy {
+        self.evaluator.preemption_policy()
+    }
+
     /// The active cross-replica load balancer.
     pub fn router(&self) -> RouterKind {
         self.router
@@ -170,7 +184,9 @@ pub struct OrchestratorBuilder {
     system: SystemConfig,
     techniques: Techniques,
     policy: SchedulingPolicy,
+    preemption: PreemptionPolicy,
     prefill: PrefillConfig,
+    kv_capacity_factor: f64,
     router: RouterKind,
     threads: usize,
 }
@@ -183,7 +199,9 @@ impl OrchestratorBuilder {
             system: SystemConfig::cent_for(&model),
             techniques: Techniques::pimphony(),
             policy: SchedulingPolicy::Wave,
+            preemption: PreemptionPolicy::None,
             prefill: PrefillConfig::disabled(),
+            kv_capacity_factor: 1.0,
             router: RouterKind::RoundRobin,
             threads: 1,
         }
@@ -260,6 +278,40 @@ impl OrchestratorBuilder {
         self.prefill(PrefillConfig::chunked(chunk_tokens))
     }
 
+    /// Sets the preemption policy: what continuous batching may do when
+    /// an arrived request cannot be admitted for lack of KV memory
+    /// (default: [`PreemptionPolicy::None`], admitted requests always
+    /// run to completion). Eviction requires priority diversity in the
+    /// trace — victims must have strictly lower priority than the
+    /// blocked candidate.
+    pub fn preemption(mut self, preemption: PreemptionPolicy) -> Self {
+        self.preemption = preemption;
+        self
+    }
+
+    /// Under memory pressure, evict lower-priority running requests and
+    /// restart them from scratch later (their KV *and* generated tokens
+    /// are dropped).
+    pub fn evict_restart(self) -> Self {
+        self.preemption(PreemptionPolicy::EvictRestart)
+    }
+
+    /// Under memory pressure, evict lower-priority running requests but
+    /// keep their generated tokens; on resume the prompt plus kept
+    /// tokens are re-prefilled as an extended prompt and decoding
+    /// continues where it stopped.
+    pub fn evict_pause(self) -> Self {
+        self.preemption(PreemptionPolicy::EvictPause)
+    }
+
+    /// Scales the replica KV pool (default 1.0 = hardware capacity).
+    /// Fractions below one model memory pressure — the regime where
+    /// preemption policies matter — without re-sizing the system.
+    pub fn kv_capacity_factor(mut self, factor: f64) -> Self {
+        self.kv_capacity_factor = factor;
+        self
+    }
+
     /// Sets the cross-replica load balancer routing each arrival to a
     /// replica (default: [`RouterKind::RoundRobin`], which reproduces
     /// trace-level partitioning bit-exactly).
@@ -287,7 +339,9 @@ impl OrchestratorBuilder {
         Orchestrator {
             evaluator: Evaluator::new(self.system, self.model, self.techniques)
                 .with_policy(self.policy)
-                .with_prefill(self.prefill),
+                .with_preemption(self.preemption)
+                .with_prefill(self.prefill)
+                .with_kv_capacity_factor(self.kv_capacity_factor),
             router: self.router,
             threads: self.threads,
         }

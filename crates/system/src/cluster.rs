@@ -241,11 +241,13 @@ impl Accum {
 
     /// Accounts one executed prefill chunk (`pre` holds the chunk's
     /// totals): prompt tokens, prefill wall-clock, utilization weight,
-    /// and energy. Prefill executes no decode steps, so `mean_batch`
+    /// and energy; `restart` seconds of the chunk were post-eviction
+    /// re-work. Prefill executes no decode steps, so `mean_batch`
     /// and the decode-phase attn/fc second split are untouched.
-    fn prefill(&mut self, eval: &Evaluator, pre: &IterationBreakdown, chunk: u64) {
+    fn prefill(&mut self, eval: &Evaluator, pre: &IterationBreakdown, chunk: u64, restart: f64) {
         self.report.prefill_tokens += chunk;
         self.report.prefill_seconds += pre.seconds;
+        self.report.restart_seconds += restart;
         self.util_weighted += pre.attn_utilization * pre.seconds;
         eval.energy_model().accumulate(
             &mut self.report.energy,
@@ -254,6 +256,15 @@ impl Accum {
             eval.system().parallel.modules(),
             eval.system().module.channels,
         );
+    }
+
+    /// Accounts one eviction: the discarded work is recorded here; the
+    /// re-work itself is billed by the `Prefill`/`Chunk` events that
+    /// redo it.
+    fn evict(&mut self, reprefill: u64, redecode: u64) {
+        self.report.evictions += 1;
+        self.report.wasted_prefill_tokens += reprefill;
+        self.report.wasted_decode_tokens += redecode;
     }
 
     /// Accounts a finished request's KV footprint under the memory
@@ -343,6 +354,7 @@ impl<'a> Cluster<'a> {
                 in_flight: 0,
                 reserved_kv: 0,
                 pending_prefill: 0,
+                evictions: 0,
             })
             .collect();
         for r in &arrivals {
@@ -388,7 +400,15 @@ impl<'a> Cluster<'a> {
                         chunk,
                         secs,
                     } => acc.chunk(eval, it, batch_len, chunk, secs),
-                    SimEvent::Prefill { ref pre, chunk } => acc.prefill(eval, pre, chunk),
+                    SimEvent::Prefill {
+                        ref pre,
+                        chunk,
+                        restart,
+                    } => acc.prefill(eval, pre, chunk, restart),
+                    SimEvent::Evict {
+                        reprefill,
+                        redecode,
+                    } => acc.evict(reprefill, redecode),
                     SimEvent::Retire { final_len } => acc.retire(eval, final_len, t_max),
                 }
             }
@@ -437,6 +457,7 @@ impl<'a> Cluster<'a> {
             0.0
         };
         report.latency = LatencyReport::from_timings(&timings);
+        report.latency_by_priority = LatencyReport::by_priority(&timings);
         report.per_replica = per_replica;
         report
     }
@@ -513,6 +534,7 @@ mod tests {
                 in_flight: 10 * i,
                 reserved_kv: 0,
                 pending_prefill: 0,
+                evictions: 0,
             })
             .collect();
         let req = Request {
@@ -520,6 +542,7 @@ mod tests {
             context_len: 1,
             decode_len: 1,
             arrival_us: 0,
+            priority: 0,
         };
         let mut rr = RoundRobin::default();
         let picks: Vec<usize> = (0..5).map(|_| rr.route(&req, &loads)).collect();
@@ -534,18 +557,21 @@ mod tests {
                 in_flight: 3,
                 reserved_kv: 100,
                 pending_prefill: 40_000,
+                evictions: 0,
             },
             ReplicaLoad {
                 replica: 1,
                 in_flight: 1,
                 reserved_kv: 900,
                 pending_prefill: 2_000,
+                evictions: 0,
             },
             ReplicaLoad {
                 replica: 2,
                 in_flight: 1,
                 reserved_kv: 50,
                 pending_prefill: 9_000,
+                evictions: 0,
             },
         ];
         let req = Request {
@@ -553,6 +579,7 @@ mod tests {
             context_len: 1,
             decode_len: 1,
             arrival_us: 0,
+            priority: 0,
         };
         assert_eq!(JoinShortestQueue.route(&req, &loads), 1); // tie 1 vs 2 → lowest index
         assert_eq!(LeastLoaded.route(&req, &loads), 2);

@@ -12,7 +12,7 @@
 //! partitioning bit-exactly.
 //!
 //! Decode steps are chunked: the iteration latency is recomputed every
-//! [`Evaluator::stride`] steps (token growth between recomputes is below
+//! `Evaluator::stride` steps (token growth between recomputes is below
 //! 1% for long contexts), and a chunk is additionally cut short at the
 //! next request completion or — under the continuous policy — at the
 //! next admissible arrival, so batch composition is constant within a

@@ -24,7 +24,10 @@
 //!   17) and online [`SchedulingPolicy::Continuous`] batching over
 //!   arrival times; [`PrefillConfig`] turns on end-to-end prompt
 //!   processing (wave: whole-batch prefill before decode; continuous:
-//!   chunked prefill interleaved with running decode steps).
+//!   chunked prefill interleaved with running decode steps);
+//!   [`PreemptionPolicy`] lets blocked higher-priority arrivals evict
+//!   running requests under KV memory pressure (evict-and-restart or
+//!   evict-and-pause with extended-prompt re-prefill).
 //! * [`metrics`] — per-request TTFT/TPOT/E2E latency percentiles with a
 //!   queueing-vs-prefill TTFT decomposition, per-replica breakdowns,
 //!   Jain fairness.
@@ -96,8 +99,10 @@ pub use energy::{EnergyBreakdown, EnergyModel};
 pub use engine::Engine;
 pub use gpu::GpuSystem;
 pub use kernel::{AttentionKind, KernelModel, KernelStats};
-pub use metrics::{jain_fairness, LatencyReport, LatencySummary, ReplicaBreakdown, RequestTiming};
-pub use policy::{PrefillConfig, SchedulingPolicy};
+pub use metrics::{
+    jain_fairness, LatencyReport, LatencySummary, PriorityLatency, ReplicaBreakdown, RequestTiming,
+};
+pub use policy::{PreemptionPolicy, PrefillConfig, SchedulingPolicy};
 pub use replica::ReplicaLoad;
 pub use serve::{Evaluator, ServingReport};
 pub use stage::{AttentionStage, IterationBreakdown, StageModel};

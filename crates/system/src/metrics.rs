@@ -43,6 +43,17 @@ pub struct RequestTiming {
     pub finished: f64,
     /// Tokens generated.
     pub decode_len: u64,
+    /// The request's scheduling priority class (higher is more urgent).
+    pub priority: u8,
+    /// How many times the request was evicted under memory pressure.
+    pub evictions: u32,
+    /// Seconds spent *re*-prefilling tokens that had already been
+    /// computed before an eviction dropped their KV entries (0 when the
+    /// request was never evicted). This is re-work: attributing it to
+    /// the ordinary prefill bucket would silently inflate the
+    /// prompt-processing story, so it gets its own
+    /// [`LatencyReport::restart`] summary.
+    pub restart_secs: f64,
 }
 
 impl RequestTiming {
@@ -78,6 +89,12 @@ impl RequestTiming {
     /// End-to-end latency: arrival → last generated token.
     pub fn e2e(&self) -> f64 {
         self.finished - self.arrival
+    }
+
+    /// Seconds of post-eviction re-prefill service (see
+    /// [`RequestTiming::restart_secs`]).
+    pub fn restart_delay(&self) -> f64 {
+        self.restart_secs
     }
 }
 
@@ -128,7 +145,7 @@ impl LatencySummary {
 }
 
 /// Per-replica serving totals, populated by the cluster layer so
-/// load-balancer skew is observable in the [`ServingReport`]
+/// load-balancer skew is observable in the serving report
 /// (`crate::ServingReport::per_replica`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
 pub struct ReplicaBreakdown {
@@ -145,6 +162,9 @@ pub struct ReplicaBreakdown {
     /// Peak KV bytes reserved by the running batch under the active
     /// memory policy (whole-wave reservation under the wave policy).
     pub peak_reserved_kv: u64,
+    /// Requests this replica evicted under memory pressure (0 unless a
+    /// preemption policy is active).
+    pub evictions: u64,
 }
 
 /// Jain's fairness index over a load vector: `(Σx)² / (n·Σx²)`, 1.0 for
@@ -182,6 +202,11 @@ pub struct LatencyReport {
     /// resident; all-zero when prefill is not modeled) — the TTFT share
     /// the *prefill stage* is responsible for.
     pub prefill: LatencySummary,
+    /// Post-eviction re-prefill service time distribution (all-zero
+    /// when nothing was evicted) — re-work the *preemption policy* is
+    /// responsible for, kept out of the `prefill` bucket so the
+    /// prompt-processing decomposition stays honest.
+    pub restart: LatencySummary,
 }
 
 impl LatencyReport {
@@ -196,8 +221,44 @@ impl LatencyReport {
             e2e: LatencySummary::from_samples(&collect(RequestTiming::e2e)),
             queueing: LatencySummary::from_samples(&collect(RequestTiming::queueing_delay)),
             prefill: LatencySummary::from_samples(&collect(RequestTiming::prefill_delay)),
+            restart: LatencySummary::from_samples(&collect(RequestTiming::restart_delay)),
         }
     }
+
+    /// Splits the timings into one report per priority class present,
+    /// sorted by descending priority (the most urgent class first) —
+    /// the per-SLO view preemption policies are judged on. A
+    /// single-class trace yields one entry identical to the aggregate
+    /// report.
+    pub fn by_priority(timings: &[RequestTiming]) -> Vec<PriorityLatency> {
+        let mut classes: Vec<u8> = timings.iter().map(|t| t.priority).collect();
+        classes.sort_unstable_by(|a, b| b.cmp(a));
+        classes.dedup();
+        classes
+            .into_iter()
+            .map(|priority| {
+                let class: Vec<RequestTiming> = timings
+                    .iter()
+                    .filter(|t| t.priority == priority)
+                    .copied()
+                    .collect();
+                PriorityLatency {
+                    priority,
+                    latency: LatencyReport::from_timings(&class),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Latency statistics of one priority class (see
+/// [`LatencyReport::by_priority`]).
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct PriorityLatency {
+    /// The class's priority value (higher is more urgent).
+    pub priority: u8,
+    /// Latency statistics over the class's completed requests.
+    pub latency: LatencyReport,
 }
 
 #[cfg(test)]
@@ -213,6 +274,9 @@ mod tests {
             first_token: first,
             finished,
             decode_len: d,
+            priority: 0,
+            evictions: 0,
+            restart_secs: 0.0,
         }
     }
 
@@ -305,6 +369,9 @@ mod tests {
             first_token: 4.2,
             finished: 9.2,
             decode_len: 6,
+            priority: 0,
+            evictions: 0,
+            restart_secs: 0.0,
         };
         assert!((t.queueing_delay() - 1.5).abs() < 1e-12);
         assert!((t.prefill_delay() - 1.5).abs() < 1e-12);
@@ -331,6 +398,9 @@ mod tests {
             first_token: prefill_end + 0.1,
             finished: prefill_end + 1.1,
             decode_len: 4,
+            priority: 0,
+            evictions: 0,
+            restart_secs: 0.0,
         };
         let r = LatencyReport::from_timings(&[mk(0.0, 0.5, 1.5), mk(1.0, 1.2, 3.2)]);
         assert!((r.queueing.max - 0.5).abs() < 1e-12);
@@ -339,6 +409,56 @@ mod tests {
         // Decode-only timings leave the prefill summary at zero.
         let d = LatencyReport::from_timings(&[timing(0.0, 0.5, 1.0, 2.0, 4)]);
         assert_eq!(d.prefill, LatencySummary::from_samples(&[0.0]));
+    }
+
+    #[test]
+    fn restart_rework_lands_in_its_own_bucket_not_prefill() {
+        // Two requests with identical prompt-residency timestamps; one
+        // was evicted and spent 2.0 s re-prefilling afterwards. The
+        // prefill decomposition (admission → first prompt residency)
+        // must be identical for both — re-work is reported under
+        // `restart`, never folded into `prefill`.
+        let clean = timing(0.0, 1.0, 3.5, 9.0, 8);
+        let evicted = RequestTiming {
+            evictions: 1,
+            restart_secs: 2.0,
+            finished: 11.0,
+            ..clean
+        };
+        assert_eq!(clean.prefill_delay(), evicted.prefill_delay());
+        assert_eq!(evicted.restart_delay(), 2.0);
+        let r = LatencyReport::from_timings(&[clean, evicted]);
+        assert_eq!(r.prefill.max, clean.prefill_delay());
+        assert_eq!(r.restart.max, 2.0);
+        assert_eq!(r.restart.p50, 0.0, "the clean request has no re-work");
+        // An eviction-free run reports an all-zero restart summary.
+        let quiet = LatencyReport::from_timings(&[clean]);
+        assert_eq!(quiet.restart, LatencySummary::from_samples(&[0.0]));
+    }
+
+    #[test]
+    fn by_priority_splits_classes_most_urgent_first() {
+        let mk = |priority: u8, first: f64| RequestTiming {
+            priority,
+            ..timing(0.0, 0.5, first, first + 1.0, 4)
+        };
+        let timings = [mk(0, 10.0), mk(2, 1.0), mk(0, 12.0), mk(1, 5.0)];
+        let split = LatencyReport::by_priority(&timings);
+        assert_eq!(split.len(), 3);
+        assert_eq!(
+            split.iter().map(|p| p.priority).collect::<Vec<_>>(),
+            vec![2, 1, 0]
+        );
+        assert_eq!(split[0].latency.completed, 1);
+        assert_eq!(split[2].latency.completed, 2);
+        assert!(split[0].latency.ttft.max < split[2].latency.ttft.p50);
+        // A single-class input collapses to the aggregate report.
+        let single = LatencyReport::by_priority(&[mk(0, 10.0), mk(0, 12.0)]);
+        assert_eq!(single.len(), 1);
+        assert_eq!(
+            single[0].latency,
+            LatencyReport::from_timings(&[mk(0, 10.0), mk(0, 12.0)])
+        );
     }
 
     #[test]

@@ -46,6 +46,69 @@ impl std::fmt::Display for SchedulingPolicy {
     }
 }
 
+/// What the continuous scheduler may do when an arrived request cannot
+/// be admitted because the memory policy has no room.
+///
+/// Admission is priority-ordered ([`workload::Request::priority`],
+/// FCFS within a priority class); preemption decides whether a blocked
+/// *higher-priority* candidate may reclaim KV memory from
+/// strictly-lower-priority running requests. Victims are chosen lowest
+/// priority first, most recently (re-)admitted first (the least
+/// progress is lost), released back to the pending queue in arrival
+/// order, and re-admitted under the same priority rules. Strictly-lower
+/// priority is required, so a trace whose priorities are all equal
+/// never evicts — every variant is then bit-exact with
+/// [`PreemptionPolicy::None`].
+///
+/// The wave policy is closed-world (admitted waves always run to
+/// completion) and ignores this knob entirely.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize)]
+pub enum PreemptionPolicy {
+    /// Never evict: an admitted request holds its KV reservation until
+    /// completion (the historical behavior; head-of-line blocking under
+    /// memory pressure is visible by design).
+    #[default]
+    None,
+    /// Evict-and-restart: the victim's KV *and generated tokens* are
+    /// dropped; on re-admission it re-prefills its prompt and decodes
+    /// from scratch (wasted prompt and decode work).
+    EvictRestart,
+    /// Evict-and-pause: the victim's KV is dropped but its generated
+    /// tokens are kept; on re-admission the prompt *plus* the kept
+    /// tokens are re-prefilled as an extended prompt and decoding
+    /// resumes where it stopped (wasted prompt work only).
+    EvictPause,
+}
+
+impl PreemptionPolicy {
+    /// Every policy, for comparison sweeps.
+    pub const ALL: [PreemptionPolicy; 3] = [
+        PreemptionPolicy::None,
+        PreemptionPolicy::EvictRestart,
+        PreemptionPolicy::EvictPause,
+    ];
+
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PreemptionPolicy::None => "none",
+            PreemptionPolicy::EvictRestart => "evict-restart",
+            PreemptionPolicy::EvictPause => "evict-pause",
+        }
+    }
+
+    /// Whether this policy ever evicts.
+    pub fn evicts(&self) -> bool {
+        !matches!(self, PreemptionPolicy::None)
+    }
+}
+
+impl std::fmt::Display for PreemptionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Prompt-processing (prefill) configuration for the serving engine.
 ///
 /// Disabled by default: the simulator then reproduces the historical
@@ -157,6 +220,16 @@ impl ContinuousAdmitter {
 
     /// Whether `r` would fit alongside `occupancy` running requests.
     pub(crate) fn fits(&self, eval: &Evaluator, r: &Request, occupancy: usize, t_max: u64) -> bool {
+        let need = eval.kv_reservation(r.final_len(), t_max);
+        self.fits_given(need, self.used, occupancy)
+    }
+
+    /// The raw admission predicate against a *hypothetical* batch state
+    /// (`used` reserved bytes, `occupancy` running requests) — used by
+    /// eviction planning, which must know whether removing a victim set
+    /// would make a blocked candidate admissible before actually
+    /// evicting anyone.
+    pub(crate) fn fits_given(&self, need: u64, used: u64, occupancy: usize) -> bool {
         // Mirror the wave loop's guarantee: an empty batch always accepts
         // its first request, even one whose worst case exceeds capacity.
         if occupancy == 0 {
@@ -165,8 +238,7 @@ impl ContinuousAdmitter {
         if occupancy as u64 >= self.limit {
             return false;
         }
-        let need = eval.kv_reservation(r.final_len(), t_max);
-        self.used.saturating_add(need) <= self.capacity
+        used.saturating_add(need) <= self.capacity
     }
 
     /// Reserves `r`'s memory. Call only after [`Self::fits`] approved it.
@@ -209,6 +281,17 @@ mod tests {
         assert_eq!(SchedulingPolicy::default(), SchedulingPolicy::Wave);
         assert_eq!(SchedulingPolicy::Wave.label(), "wave");
         assert_eq!(SchedulingPolicy::Continuous.to_string(), "continuous");
+    }
+
+    #[test]
+    fn preemption_labels_and_default() {
+        assert_eq!(PreemptionPolicy::default(), PreemptionPolicy::None);
+        assert!(!PreemptionPolicy::None.evicts());
+        for p in PreemptionPolicy::ALL {
+            assert_eq!(p.to_string(), p.label());
+        }
+        assert!(PreemptionPolicy::EvictRestart.evicts());
+        assert_eq!(PreemptionPolicy::EvictPause.label(), "evict-pause");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Standalone per-replica serving state machine.
 //!
-//! [`ReplicaSim`] is the per-replica core extracted from the original
+//! `ReplicaSim` is the per-replica core extracted from the original
 //! `Engine::run` loops: it owns one replica's pending queue, running
 //! batch, memory admitter and virtual clock, and advances them over
 //! admission / chunked-decode / completion events. The cluster layer
@@ -8,13 +8,32 @@
 //! to one of them, advancing them up to the routing frontier, and
 //! draining them to completion (on scoped threads when asked).
 //!
+//! # Admission order and preemption
+//!
+//! The continuous policy admits in **priority order**
+//! ([`workload::Request::priority`], FCFS within a class): at every
+//! admission instant the highest-priority arrived pending request is
+//! considered first, and the sweep stops at the first candidate the
+//! memory policy cannot place (head-of-line blocking *within* the
+//! priority order is preserved — it is part of what is being measured).
+//! When a [`crate::policy::PreemptionPolicy`] other than `None` is
+//! active, a blocked candidate may instead **evict** strictly-lower-
+//! priority running requests: victims (lowest priority first, most
+//! recently admitted first) release their KV reservation and re-enter
+//! the pending queue in arrival order, to be re-admitted later —
+//! re-prefilling their prompt from scratch (`EvictRestart` additionally
+//! regenerates their tokens; `EvictPause` re-prefills prompt *plus*
+//! kept tokens as an extended prompt). Because victims must have
+//! *strictly* lower priority, a trace with uniform priorities can never
+//! evict, and every preemption policy is then bit-exact with `None`.
+//!
 //! # Determinism and bit-exactness
 //!
 //! Two properties the cluster depends on are enforced here:
 //!
 //! * **Frontier-safe chunking.** A decode chunk may be cut short by the
 //!   next *admissible* pending arrival, and arrivals only become visible
-//!   once the router dispatches them. [`ReplicaSim::advance_to`]
+//!   once the router dispatches them. `ReplicaSim::advance_to`
 //!   therefore never executes a chunk that would end past the supplied
 //!   limit (the cluster's routing frontier): any arrival that could cut
 //!   a chunk ending at or before the frontier has already been routed,
@@ -23,15 +42,18 @@
 //! * **Replayable accounting.** Floating-point accumulation is not
 //!   associative, so replicas do not sum into a shared accumulator
 //!   directly (the merge order would then depend on thread scheduling).
-//!   Instead each replica records a [`SimEvent`] log; the cluster
+//!   Instead each replica records a `SimEvent` log; the cluster
 //!   replays all logs into one accumulator in replica-index order,
 //!   reproducing the exact operation sequence of the original
-//!   single-threaded loops.
+//!   single-threaded loops. Evictions are ordinary events in this log:
+//!   they happen inside one replica's admission sweep at a fixed
+//!   virtual-time instant, so thread count still cannot change results.
 
 use crate::metrics::{ReplicaBreakdown, RequestTiming};
-use crate::policy::{self, ContinuousAdmitter, PrefillConfig, SchedulingPolicy};
+use crate::policy::{self, ContinuousAdmitter, PreemptionPolicy, PrefillConfig, SchedulingPolicy};
 use crate::serve::Evaluator;
 use crate::stage::{IterationBreakdown, StageModel};
+use std::cmp::Reverse;
 use std::collections::VecDeque;
 use workload::Request;
 
@@ -43,8 +65,8 @@ use workload::Request;
 /// visit — measured at 2–3× the total simulation cost under
 /// `LeastLoaded`/JSQ routing. The cache is keyed by
 /// [`ReplicaSim::batch_version`], which bumps on any admission, executed
-/// step, or completion, so a hit is always priced for the current batch
-/// membership and token counts.
+/// step, eviction, or completion, so a hit is always priced for the
+/// current batch membership and token counts.
 #[derive(Debug, Clone, Copy)]
 enum PlannedStep {
     /// A pure decode chunk: the iteration priced at the midpoint of the
@@ -92,6 +114,22 @@ pub(crate) enum SimEvent {
         pre: IterationBreakdown,
         /// Prompt tokens processed.
         chunk: u64,
+        /// The share of the chunk's seconds spent *re*-processing tokens
+        /// a previous eviction discarded (0 on first-pass prefill).
+        restart: f64,
+    },
+    /// A request evicted under memory pressure (no float accounting —
+    /// the re-work itself is billed by the later `Prefill`/`Chunk`
+    /// events that redo it).
+    Evict {
+        /// Already-computed tokens whose KV was dropped and must be
+        /// prefilled again (prompt tokens processed so far; under
+        /// `EvictPause` also the generated tokens that will return as
+        /// an extended prompt).
+        reprefill: u64,
+        /// Generated tokens discarded outright and decoded again from
+        /// scratch (`EvictRestart` only).
+        redecode: u64,
     },
     /// A finished request's KV footprint (for capacity utilization).
     Retire {
@@ -119,28 +157,95 @@ pub struct ReplicaLoad {
     /// weigh prompt-processing backlog, which in-flight counts and KV
     /// reservations miss.
     pub pending_prefill: u64,
+    /// Requests this replica has evicted so far — the memory-pressure
+    /// signal: a replica that keeps evicting is thrashing its KV pool,
+    /// and routing more work to it multiplies the wasted re-prefill.
+    pub evictions: u64,
+}
+
+/// A routed request waiting for (re-)admission, with the state an
+/// eviction must carry across its trip back through the queue.
+#[derive(Debug, Clone, Copy)]
+struct Queued {
+    req: Request,
+    /// Generated tokens kept across an `EvictPause` (0 for fresh
+    /// requests and after an `EvictRestart`); re-prefilled together
+    /// with the prompt as an extended prompt on re-admission.
+    resume_done: u64,
+    /// Already-computed tokens whose re-prefill is still owed — drives
+    /// the restart-time attribution (see [`Active::owed`]).
+    owed: u64,
+    evictions: u32,
+    restart_secs: f64,
+    /// First admission instant (queueing delay is arrival → *first*
+    /// admission; later re-admissions are eviction re-work, not
+    /// scheduler queueing).
+    first_admitted: Option<f64>,
+    /// First prompt-residency instant, if reached before the eviction.
+    prefill_end: Option<f64>,
+    first_token: Option<f64>,
+}
+
+impl Queued {
+    fn fresh(req: Request) -> Self {
+        Queued {
+            req,
+            resume_done: 0,
+            owed: 0,
+            evictions: 0,
+            restart_secs: 0.0,
+            first_admitted: None,
+            prefill_end: None,
+            first_token: None,
+        }
+    }
+
+    /// Prompt tokens a (re-)admission must prefill before decoding.
+    fn prefill_target(&self) -> u64 {
+        self.req.context_len + self.resume_done
+    }
 }
 
 /// One request resident in a replica's running batch.
 #[derive(Debug, Clone, Copy)]
 struct Active {
     req: Request,
-    /// Tokens generated so far.
+    /// Tokens generated so far (starts at the kept-token count when
+    /// resuming from an `EvictPause`).
     done: u64,
-    /// Prompt tokens processed so far (initialized to `context_len`
-    /// when prefill is not modeled, so the request decodes immediately).
+    /// Prompt tokens processed so far (initialized to the target when
+    /// prefill is not modeled, so the request decodes immediately).
     prefilled: u64,
+    /// Prompt tokens this residency must process before decoding:
+    /// `context_len`, plus the kept tokens re-prefilled as an extended
+    /// prompt after an `EvictPause`.
+    prefill_target: u64,
+    /// `done` at (re-)admission — the resume point, needed to tell
+    /// tokens generated *this* residency from kept ones at eviction.
+    resume_done: u64,
+    /// First admission instant (survives evictions).
     admitted: f64,
-    /// When the prompt finished processing (None while prefilling, or
-    /// forever when prefill is not modeled).
+    /// When the prompt *first* finished processing (None while
+    /// prefilling; set once and kept across evictions).
     prefill_end: Option<f64>,
     first_token: Option<f64>,
+    /// Already-computed tokens still to be re-prefilled: the leading
+    /// `owed` tokens of the current prefill pass are re-work, and their
+    /// pro-rata share of each chunk's seconds is billed to the restart
+    /// bucket instead of first-pass prefill.
+    owed: u64,
+    evictions: u32,
+    restart_secs: f64,
+    /// Admission sequence number within the replica — victim selection
+    /// evicts the most recently admitted (least progress lost) among
+    /// the lowest-priority candidates, deterministically.
+    seq: u64,
 }
 
 impl Active {
     /// Whether the prompt is resident and decoding may proceed.
     fn prompt_ready(&self) -> bool {
-        self.prefilled >= self.req.context_len
+        self.prefilled >= self.prefill_target
     }
 }
 
@@ -149,18 +254,27 @@ pub(crate) struct ReplicaSim<'a> {
     eval: &'a Evaluator,
     stage: StageModel<'a>,
     policy: SchedulingPolicy,
+    preempt: PreemptionPolicy,
     prefill: PrefillConfig,
     t_max: u64,
-    /// Routed, not-yet-admitted requests in arrival order.
-    pending: VecDeque<Request>,
+    /// Routed, not-yet-admitted requests in `(arrival_us, id)` order
+    /// (evicted requests re-enter at their arrival-order position).
+    pending: VecDeque<Queued>,
     /// Sum of the pending requests' would-be reservations.
     pending_reserved: u64,
     /// Prompt tokens routed but not yet prefilled (0 with prefill off).
     prefill_backlog: u64,
+    /// Whether any routed request carried a nonzero priority. While
+    /// false, admission and chunk-cutting follow the historical FCFS
+    /// fast path bit-exactly (uniform priorities also make eviction
+    /// impossible, so every preemption policy coincides with `None`).
+    saw_priority: bool,
     admitter: ContinuousAdmitter,
     running: Vec<Active>,
-    /// Bumped on every admission, executed step, and completion; keys
-    /// `cached_step` (see [`PlannedStep`]).
+    /// Admission sequence counter feeding [`Active::seq`].
+    admit_seq: u64,
+    /// Bumped on every admission, executed step, eviction, and
+    /// completion; keys `cached_step` (see [`PlannedStep`]).
     batch_version: u64,
     /// Deferred-step pricing cache, valid while `batch_version` matches.
     cached_step: Option<(u64, PlannedStep)>,
@@ -171,6 +285,7 @@ pub(crate) struct ReplicaSim<'a> {
     routed: u64,
     served: u64,
     tokens: u64,
+    evictions: u64,
     peak_reserved: u64,
     pub(crate) events: Vec<SimEvent>,
     pub(crate) timings: Vec<RequestTiming>,
@@ -183,13 +298,16 @@ impl<'a> ReplicaSim<'a> {
             eval,
             stage: eval.stage_model(),
             policy,
+            preempt: eval.preemption_policy(),
             prefill: eval.prefill_config(),
             t_max,
             pending: VecDeque::new(),
             pending_reserved: 0,
             prefill_backlog: 0,
+            saw_priority: false,
             admitter: ContinuousAdmitter::new(eval, t_max),
             running: Vec::new(),
+            admit_seq: 0,
             batch_version: 0,
             cached_step: None,
             t: 0.0,
@@ -197,6 +315,7 @@ impl<'a> ReplicaSim<'a> {
             routed: 0,
             served: 0,
             tokens: 0,
+            evictions: 0,
             peak_reserved: 0,
             events: Vec::new(),
             timings: Vec::new(),
@@ -214,7 +333,8 @@ impl<'a> ReplicaSim<'a> {
         if self.prefill.enabled {
             self.prefill_backlog = self.prefill_backlog.saturating_add(r.context_len);
         }
-        self.pending.push_back(r);
+        self.saw_priority |= r.priority != 0;
+        self.pending.push_back(Queued::fresh(r));
         self.routed += 1;
     }
 
@@ -225,6 +345,7 @@ impl<'a> ReplicaSim<'a> {
             in_flight: self.pending.len() + self.running.len(),
             reserved_kv: self.admitter.used().saturating_add(self.pending_reserved),
             pending_prefill: self.prefill_backlog,
+            evictions: self.evictions,
         }
     }
 
@@ -264,18 +385,21 @@ impl<'a> ReplicaSim<'a> {
             busy_seconds: self.busy,
             seconds: self.t,
             peak_reserved_kv: self.peak_reserved,
+            evictions: self.evictions,
         }
     }
 
     /// The original closed-world wave loop over this replica's routed
     /// queue: each wave decodes to completion before the next is
-    /// admitted. Arrival times are ignored (every request is treated as
-    /// queued at time 0), so TTFT under this policy measures closed-world
-    /// queueing. Extracted verbatim from `Engine::run_wave_replica`.
+    /// admitted. Arrival times and priorities are ignored (every request
+    /// is treated as queued at time 0), so TTFT under this policy
+    /// measures closed-world queueing, and preemption never applies (an
+    /// admitted wave always runs to completion). Extracted verbatim from
+    /// `Engine::run_wave_replica`.
     fn run_wave(&mut self) {
         let eval = self.eval;
         let stride = eval.stride();
-        let queue: Vec<Request> = self.pending.drain(..).collect();
+        let queue: Vec<Request> = self.pending.drain(..).map(|q| q.req).collect();
         self.pending_reserved = 0;
         let mut idx = 0usize;
         while idx < queue.len() {
@@ -303,7 +427,11 @@ impl<'a> ReplicaSim<'a> {
                     while done < r.context_len {
                         let c = self.prefill.chunk_tokens.min(r.context_len - done);
                         let pre = self.stage.prefill_chunk(r.id, done, c);
-                        self.events.push(SimEvent::Prefill { pre, chunk: c });
+                        self.events.push(SimEvent::Prefill {
+                            pre,
+                            chunk: c,
+                            restart: 0.0,
+                        });
                         self.t += pre.seconds;
                         self.busy += pre.seconds;
                         self.prefill_backlog = self.prefill_backlog.saturating_sub(c);
@@ -394,6 +522,9 @@ impl<'a> ReplicaSim<'a> {
                     first_token: first,
                     finished: finish[i],
                     decode_len: r.decode_len,
+                    priority: r.priority,
+                    evictions: 0,
+                    restart_secs: 0.0,
                 });
             }
         }
@@ -401,63 +532,94 @@ impl<'a> ReplicaSim<'a> {
 
     /// Continuous batching up to `limit`: pending requests join the
     /// running batch the moment their arrival has passed and the memory
-    /// policy has room; completions free reservations immediately. With
-    /// prefill enabled, admitted requests first process their prompt in
-    /// chunks interleaved with decode steps of the running batch
-    /// ([`Self::mixed_step`]), so decodes are not starved behind long
-    /// prompts. The clock jumps over idle gaps (counted in `seconds` but
-    /// not `busy_seconds`). The step decision is recomputed at execution
-    /// time so deferral at the routing frontier is transparent; its
-    /// *pricing* is cached across frontier visits (see [`PlannedStep`]).
+    /// policy has room (highest priority first; see the module docs for
+    /// the eviction rules); completions free reservations immediately.
+    /// With prefill enabled, admitted requests first process their
+    /// prompt in chunks interleaved with decode steps of the running
+    /// batch ([`Self::mixed_step`]), so decodes are not starved behind
+    /// long prompts. The clock jumps over idle gaps (counted in
+    /// `seconds` but not `busy_seconds`). The step decision is
+    /// recomputed at execution time so deferral at the routing frontier
+    /// is transparent; its *pricing* is cached across frontier visits
+    /// (see [`PlannedStep`]).
     fn advance_continuous(&mut self, limit: f64) {
         let eval = self.eval;
 
         loop {
-            // Idle: jump the clock to the next arrival.
+            // Idle: jump the clock to the next arrival (the queue is in
+            // arrival order, so the front is the earliest).
             if self.running.is_empty() {
                 match self.pending.front() {
                     None => return,
-                    Some(r) if r.arrival_secs() > limit => return,
-                    Some(r) if r.arrival_secs() > self.t => self.t = r.arrival_secs(),
+                    Some(q) if q.req.arrival_secs() > limit => return,
+                    Some(q) if q.req.arrival_secs() > self.t => self.t = q.req.arrival_secs(),
                     Some(_) => {}
                 }
             }
 
-            // Admission event: FCFS sweep of everything that has arrived
-            // and fits. No reordering — head-of-line blocking under
-            // worst-case reservations is part of what's being measured.
+            // Admission events: priority-ordered sweep of everything
+            // that has arrived (plain FCFS while every priority is 0 —
+            // bit-exact with the historical loop). The sweep stops at
+            // the first candidate that neither fits nor can claim room
+            // by evicting strictly-lower-priority running requests.
             let mut admitted_now = 0usize;
-            while let Some(&r) = self.pending.front() {
-                if r.arrival_secs() > self.t
-                    || !self.admitter.fits(eval, &r, self.running.len(), self.t_max)
+            while let Some(ci) = self.best_candidate() {
+                let cand = self.pending[ci].req;
+                let need = eval.kv_reservation(cand.final_len(), self.t_max);
+                let mut ci = ci;
+                if !self
+                    .admitter
+                    .fits_given(need, self.admitter.used(), self.running.len())
                 {
-                    break;
+                    let Some(victims) = self.plan_eviction(need, cand.priority) else {
+                        break;
+                    };
+                    for id in victims {
+                        self.evict(id);
+                    }
+                    // Victims re-entered the queue at their arrival-order
+                    // position, which may have shifted the candidate.
+                    ci = self
+                        .pending
+                        .iter()
+                        .position(|q| q.req.id == cand.id)
+                        .expect("candidate still pending");
                 }
-                self.pending.pop_front();
-                self.pending_reserved = self
-                    .pending_reserved
-                    .saturating_sub(eval.kv_reservation(r.final_len(), self.t_max));
-                self.admitter.reserve(eval, &r, self.t_max);
+                let q = self.pending.remove(ci).expect("candidate index in range");
+                self.pending_reserved = self.pending_reserved.saturating_sub(need);
+                self.admitter.reserve(eval, &q.req, self.t_max);
                 self.peak_reserved = self.peak_reserved.max(self.admitter.used());
-                let must_prefill = self.prefill.enabled && r.context_len > 0;
-                if r.decode_len == 0 && !must_prefill {
+                let target = q.prefill_target();
+                let must_prefill = self.prefill.enabled && target > 0;
+                if q.req.decode_len == 0 && !must_prefill {
                     // Nothing to generate or prefill: completes at
                     // admission — with no emitted token, so no timing
                     // sample (see the metrics module docs).
-                    self.admitter.release(eval, &r, self.t_max);
+                    self.admitter.release(eval, &q.req, self.t_max);
                     self.events.push(SimEvent::Retire {
-                        final_len: r.final_len(),
+                        final_len: q.req.final_len(),
                     });
                     self.served += 1;
                     continue;
                 }
+                self.admit_seq += 1;
                 self.running.push(Active {
-                    req: r,
-                    done: 0,
-                    prefilled: if must_prefill { 0 } else { r.context_len },
-                    admitted: self.t,
-                    prefill_end: if must_prefill { None } else { Some(self.t) },
-                    first_token: None,
+                    req: q.req,
+                    done: q.resume_done,
+                    prefilled: if must_prefill { 0 } else { target },
+                    prefill_target: target,
+                    resume_done: q.resume_done,
+                    admitted: q.first_admitted.unwrap_or(self.t),
+                    prefill_end: if must_prefill {
+                        q.prefill_end
+                    } else {
+                        Some(q.prefill_end.unwrap_or(self.t))
+                    },
+                    first_token: q.first_token,
+                    owed: q.owed.min(target),
+                    evictions: q.evictions,
+                    restart_secs: q.restart_secs,
+                    seq: self.admit_seq,
                 });
                 admitted_now += 1;
             }
@@ -511,6 +673,9 @@ impl<'a> ReplicaSim<'a> {
                             first_token: first,
                             finished: self.t,
                             decode_len: a.req.decode_len,
+                            priority: a.req.priority,
+                            evictions: a.evictions,
+                            restart_secs: a.restart_secs,
                         });
                     }
                 } else {
@@ -523,19 +688,134 @@ impl<'a> ReplicaSim<'a> {
         }
     }
 
-    /// Executes one mixed prefill step: the FCFS-oldest prefilling
-    /// request advances one prompt chunk while the decoding batch (if
-    /// any) advances one token. The prompt chunk runs first within the
-    /// step, so a prompt completed mid-step starts decoding at the
-    /// *next* step. Returns false if the step would end past `limit`
-    /// (deferred; pricing stays cached for the revisit).
+    /// The next admission candidate: the highest-priority arrived
+    /// pending request, FCFS (`(arrival_us, id)`) within a class. While
+    /// every priority is 0 this is exactly the queue front (taken as an
+    /// O(1) fast path — the scan below is O(arrived backlog) and the
+    /// sweep runs at every chunk boundary), preserving the historical
+    /// FCFS admission bit-exactly.
+    fn best_candidate(&self) -> Option<usize> {
+        if !self.saw_priority {
+            return self
+                .pending
+                .front()
+                .filter(|q| q.req.arrival_secs() <= self.t)
+                .map(|_| 0);
+        }
+        self.pending
+            .iter()
+            .enumerate()
+            .take_while(|(_, q)| q.req.arrival_secs() <= self.t)
+            .max_by_key(|(_, q)| (q.req.priority, Reverse(q.req.arrival_us), Reverse(q.req.id)))
+            .map(|(i, _)| i)
+    }
+
+    /// Plans which running requests to evict so a blocked candidate
+    /// needing `need` reservation bytes fits. Victims must have strictly
+    /// lower priority than `priority` (so uniform-priority traces never
+    /// evict, and eviction chains strictly descend — no thrashing);
+    /// among them, the lowest priority goes first and the most recently
+    /// admitted within it (the least progress is lost). Returns `None` —
+    /// and evicts nobody — when even the full victim set would not make
+    /// the candidate fit.
+    fn plan_eviction(&self, need: u64, priority: u8) -> Option<Vec<u64>> {
+        if !self.preempt.evicts() {
+            return None;
+        }
+        let mut victims: Vec<&Active> = self
+            .running
+            .iter()
+            .filter(|a| a.req.priority < priority)
+            .collect();
+        victims.sort_by_key(|a| (a.req.priority, Reverse(a.seq)));
+        let mut used = self.admitter.used();
+        let mut occupancy = self.running.len();
+        let mut chosen = Vec::new();
+        for v in victims {
+            if self.admitter.fits_given(need, used, occupancy) {
+                break;
+            }
+            used = used.saturating_sub(self.eval.kv_reservation(v.req.final_len(), self.t_max));
+            occupancy -= 1;
+            chosen.push(v.req.id);
+        }
+        (!chosen.is_empty() && self.admitter.fits_given(need, used, occupancy)).then_some(chosen)
+    }
+
+    /// Evicts one running request: releases its KV reservation, records
+    /// the discarded work, and re-enqueues it at its arrival-order
+    /// position for later re-admission (see
+    /// [`crate::policy::PreemptionPolicy`] for what survives).
+    fn evict(&mut self, id: u64) {
+        let idx = self
+            .running
+            .iter()
+            .position(|a| a.req.id == id)
+            .expect("victim is running");
+        let a = self.running.swap_remove(idx);
+        self.admitter.release(self.eval, &a.req, self.t_max);
+        self.evictions += 1;
+        self.batch_version += 1;
+
+        // Generated tokens kept across the eviction (pause) vs dropped
+        // (restart); fresh-this-residency generation separates kept
+        // tokens from ones already re-prefilled once.
+        let fresh_decode = a.done - a.resume_done;
+        let (keep, reprefill, redecode) = match self.preempt {
+            PreemptionPolicy::EvictPause => (a.done, a.prefilled + fresh_decode, 0),
+            PreemptionPolicy::EvictRestart => (0, a.prefilled, a.done),
+            PreemptionPolicy::None => unreachable!("plan_eviction never evicts under None"),
+        };
+        self.events.push(SimEvent::Evict {
+            reprefill,
+            redecode,
+        });
+
+        let q = Queued {
+            req: a.req,
+            resume_done: keep,
+            // Unfinished re-work carries over; the new target's worth of
+            // already-computed tokens joins it (clamped at admission).
+            owed: a.owed.saturating_add(reprefill),
+            evictions: a.evictions + 1,
+            restart_secs: a.restart_secs,
+            first_admitted: Some(a.admitted),
+            prefill_end: a.prefill_end,
+            first_token: a.first_token,
+        };
+        self.pending_reserved = self
+            .pending_reserved
+            .saturating_add(self.eval.kv_reservation(a.req.final_len(), self.t_max));
+        if self.prefill.enabled {
+            // The backlog still carried this request's unprocessed
+            // remainder; after the eviction its whole new target must be
+            // prefilled from scratch.
+            let remainder = a.prefill_target - a.prefilled;
+            self.prefill_backlog = self
+                .prefill_backlog
+                .saturating_add(q.prefill_target())
+                .saturating_sub(remainder);
+        }
+        let key = (q.req.arrival_us, q.req.id);
+        let pos = self
+            .pending
+            .partition_point(|p| (p.req.arrival_us, p.req.id) <= key);
+        self.pending.insert(pos, q);
+    }
+
+    /// Executes one mixed prefill step: the highest-priority (then
+    /// FCFS-oldest) prefilling request advances one prompt chunk while
+    /// the decoding batch (if any) advances one token. The prompt chunk
+    /// runs first within the step, so a prompt completed mid-step starts
+    /// decoding at the *next* step. Returns false if the step would end
+    /// past `limit` (deferred; pricing stays cached for the revisit).
     fn mixed_step(&mut self, limit: f64) -> bool {
         let pi = self
             .running
             .iter()
             .enumerate()
             .filter(|(_, a)| !a.prompt_ready())
-            .min_by_key(|(_, a)| (a.req.arrival_us, a.req.id))
+            .min_by_key(|(_, a)| (Reverse(a.req.priority), a.req.arrival_us, a.req.id))
             .map(|(i, _)| i)
             .expect("a prefilling request exists");
         let (pre, pchunk, it, batch_len) = match self.cached_step {
@@ -553,7 +833,7 @@ impl<'a> ReplicaSim<'a> {
                 let pchunk = self
                     .prefill
                     .chunk_tokens
-                    .min(a.req.context_len - a.prefilled);
+                    .min(a.prefill_target - a.prefilled);
                 let pre = self.stage.prefill_chunk(a.req.id, a.prefilled, pchunk);
                 let batch: Vec<(u64, u64)> = self
                     .running
@@ -584,7 +864,20 @@ impl<'a> ReplicaSim<'a> {
             return false;
         }
         let step_start = self.t;
-        self.events.push(SimEvent::Prefill { pre, chunk: pchunk });
+        // The leading `owed` tokens of a post-eviction prefill pass are
+        // re-work: bill their pro-rata share of the chunk to the restart
+        // bucket so the first-pass prefill story stays honest.
+        let owed_used = pchunk.min(self.running[pi].owed);
+        let restart = if owed_used > 0 {
+            pre.seconds * owed_used as f64 / pchunk as f64
+        } else {
+            0.0
+        };
+        self.events.push(SimEvent::Prefill {
+            pre,
+            chunk: pchunk,
+            restart,
+        });
         self.prefill_backlog = self.prefill_backlog.saturating_sub(pchunk);
         if let Some(it) = it {
             self.events.push(SimEvent::Chunk {
@@ -605,7 +898,9 @@ impl<'a> ReplicaSim<'a> {
         }
         let a = &mut self.running[pi];
         a.prefilled += pchunk;
-        if a.prompt_ready() {
+        a.owed -= owed_used;
+        a.restart_secs += restart;
+        if a.prompt_ready() && a.prefill_end.is_none() {
             a.prefill_end = Some(step_start + pre.seconds);
         }
         self.t += secs;
@@ -648,19 +943,34 @@ impl<'a> ReplicaSim<'a> {
         let per_step = it0.seconds;
         let mut chunk = c0;
         // Cut the chunk at the next arrival that could actually join,
-        // so admission is not delayed by up to a whole stride.
+        // so admission is not delayed by up to a whole stride. On the
+        // FCFS fast path (every priority 0) only the queue front can be
+        // admitted next, and only if it fits — the historical rule,
+        // preserved bit-exactly. With priorities in play, a later
+        // higher-priority arrival can leapfrog a blocked head (and
+        // under an eviction policy claim room that does not exist yet),
+        // so any future arrival conservatively ends the chunk and lets
+        // the admission sweep decide.
         if per_step > 0.0 {
-            if let Some(front) = self.pending.front() {
-                let arr = front.arrival_secs();
-                if arr > self.t
-                    && self
-                        .admitter
-                        .fits(eval, front, self.running.len(), self.t_max)
-                {
-                    let steps_until = ((arr - self.t) / per_step).ceil().max(1.0);
-                    if (steps_until as u64) < chunk {
-                        chunk = steps_until as u64;
-                    }
+            let cut_arrival = if self.saw_priority {
+                self.pending
+                    .iter()
+                    .map(|q| q.req.arrival_secs())
+                    .find(|&a| a > self.t)
+            } else {
+                self.pending.front().and_then(|front| {
+                    let arr = front.req.arrival_secs();
+                    (arr > self.t
+                        && self
+                            .admitter
+                            .fits(eval, &front.req, self.running.len(), self.t_max))
+                    .then_some(arr)
+                })
+            };
+            if let Some(arr) = cut_arrival {
+                let steps_until = ((arr - self.t) / per_step).ceil().max(1.0);
+                if (steps_until as u64) < chunk {
+                    chunk = steps_until as u64;
                 }
             }
         }

@@ -13,7 +13,7 @@ use crate::energy::{EnergyBreakdown, EnergyModel};
 use crate::engine::Engine;
 use crate::kernel::KernelModel;
 use crate::metrics::{self, LatencyReport, ReplicaBreakdown};
-use crate::policy::{self, PrefillConfig, SchedulingPolicy};
+use crate::policy::{self, PreemptionPolicy, PrefillConfig, SchedulingPolicy};
 use crate::stage::{IterationBreakdown, StageModel};
 use llm_model::ModelConfig;
 use pim_mem::DEFAULT_CHUNK_BYTES;
@@ -38,6 +38,21 @@ pub struct ServingReport {
     /// Seconds replicas spent in prompt processing, summed over
     /// replicas (a share of `busy_seconds`).
     pub prefill_seconds: f64,
+    /// Requests evicted under memory pressure (0 unless a preemption
+    /// policy is active and the trace carries priority diversity).
+    pub evictions: u64,
+    /// Already-computed tokens whose KV was dropped by evictions and
+    /// had to be prefilled again — the prompt-side wasted work of the
+    /// preemption policy.
+    pub wasted_prefill_tokens: u64,
+    /// Generated tokens discarded by `EvictRestart` evictions and
+    /// decoded again from scratch (counted inside `tokens` each time
+    /// they are produced; `tokens - wasted_decode_tokens` is goodput).
+    pub wasted_decode_tokens: u64,
+    /// Seconds spent *re*-prefilling after evictions (a share of
+    /// `prefill_seconds`; the per-request distribution is
+    /// `latency.restart`).
+    pub restart_seconds: f64,
     /// Mean batch size: per admitted wave under the wave policy,
     /// per executed decode step under the continuous policy.
     pub mean_batch: f64,
@@ -56,6 +71,11 @@ pub struct ServingReport {
     pub fc_seconds: f64,
     /// Per-request latency statistics (TTFT/TPOT/E2E percentiles).
     pub latency: LatencyReport,
+    /// Latency statistics split by priority class, most urgent first —
+    /// the per-SLO view preemption policies are judged on (a single
+    /// entry mirroring `latency` when the trace has one class; empty
+    /// for reports produced by the pre-cluster reference loop).
+    pub latency_by_priority: Vec<metrics::PriorityLatency>,
     /// Per-replica totals (busy time, served requests, peak reserved
     /// KV), indexed by replica — makes load-balancer skew observable.
     /// Empty for reports produced by the pre-cluster reference loop.
@@ -79,7 +99,12 @@ pub struct Evaluator {
     model: ModelConfig,
     techniques: Techniques,
     policy: SchedulingPolicy,
+    preemption: PreemptionPolicy,
     prefill: PrefillConfig,
+    /// Scales the replica's KV pool (1.0 = the hardware capacity);
+    /// fractions below one model memory pressure without re-sizing the
+    /// system, the knob preemption studies sweep.
+    kv_capacity_factor: f64,
     kernels: KernelModel,
     energy: EnergyModel,
     /// Recompute the iteration time every `stride` decode steps (the
@@ -97,7 +122,9 @@ impl Evaluator {
             model,
             techniques,
             policy: SchedulingPolicy::Wave,
+            preemption: PreemptionPolicy::None,
             prefill: PrefillConfig::disabled(),
+            kv_capacity_factor: 1.0,
             kernels: KernelModel::new(pim_sim::Timing::aimx(), model.head_dim),
             energy: EnergyModel::aimx(),
             stride: 64,
@@ -108,6 +135,42 @@ impl Evaluator {
     pub fn with_policy(mut self, policy: SchedulingPolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Returns this evaluator with a preemption policy: what the
+    /// continuous scheduler may do when an arrived request cannot be
+    /// admitted for lack of KV memory (see
+    /// [`PreemptionPolicy`]). The default `None` reproduces the
+    /// historical admitted-runs-to-completion behavior bit-exactly; the
+    /// wave policy ignores this knob.
+    pub fn with_preemption(mut self, preemption: PreemptionPolicy) -> Self {
+        self.preemption = preemption;
+        self
+    }
+
+    /// The active preemption policy.
+    pub fn preemption_policy(&self) -> PreemptionPolicy {
+        self.preemption
+    }
+
+    /// Returns this evaluator with the replica KV pool scaled by
+    /// `factor` (must be positive; 1.0 — the default — is the hardware
+    /// capacity, bit-exact with historical behavior). Fractions below
+    /// one model KV memory pressure — the regime where admission
+    /// blocks, head-of-line queueing explodes, and preemption policies
+    /// start to matter — without re-sizing modules or models.
+    pub fn with_kv_capacity_factor(mut self, factor: f64) -> Self {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "KV capacity factor must be positive"
+        );
+        self.kv_capacity_factor = factor;
+        self
+    }
+
+    /// The configured KV-pool scale factor.
+    pub fn kv_capacity_factor(&self) -> f64 {
+        self.kv_capacity_factor
     }
 
     /// Returns this evaluator with an explicit prefill configuration.
@@ -202,10 +265,16 @@ impl Evaluator {
         secs
     }
 
-    /// KV bytes available to one replica (capacity minus weights).
+    /// KV bytes available to one replica (capacity minus weights,
+    /// scaled by [`Self::with_kv_capacity_factor`]).
     pub fn replica_kv_capacity(&self) -> u64 {
         let total = u64::from(self.system.parallel.modules()) * self.system.module.capacity_bytes;
-        total.saturating_sub(self.model.weight_bytes())
+        let cap = total.saturating_sub(self.model.weight_bytes());
+        if self.kv_capacity_factor == 1.0 {
+            cap // bit-exact fast path for the unscaled default
+        } else {
+            (cap as f64 * self.kv_capacity_factor) as u64
+        }
     }
 
     /// Per-request KV reservation under the active memory policy, for a

@@ -33,6 +33,12 @@ pub struct Request {
     /// Arrival time in integer microseconds since the trace epoch
     /// (microseconds keep `Request` hashable and exactly comparable).
     pub arrival_us: u64,
+    /// Scheduling priority class: higher values are more urgent.
+    /// Priority 0 (the default) reproduces plain FCFS; under the serving
+    /// stack's preemption policies a higher-priority arrival may evict
+    /// strictly-lower-priority running requests to claim their KV
+    /// reservation.
+    pub priority: u8,
 }
 
 impl Request {
@@ -254,6 +260,7 @@ pub struct TraceBuilder {
     decode: DecodeSpec,
     sigma_clip: Option<f64>,
     arrivals: ArrivalProcess,
+    priority_levels: u8,
 }
 
 impl TraceBuilder {
@@ -272,6 +279,7 @@ impl TraceBuilder {
             decode: DecodeSpec::Fixed(256),
             sigma_clip: None,
             arrivals: ArrivalProcess::Batch,
+            priority_levels: 1,
         }
     }
 
@@ -335,12 +343,23 @@ impl TraceBuilder {
         self.arrivals(ArrivalProcess::Bursty { rate, cv })
     }
 
+    /// Draws each request's priority uniformly from `0..levels`
+    /// (`levels ≥ 1`; higher is more urgent). The default single level
+    /// leaves every priority at 0 — and draws nothing from the RNG — so
+    /// existing traces are bit-identical.
+    pub fn priority_levels(mut self, levels: u8) -> Self {
+        assert!(levels >= 1, "at least one priority level is required");
+        self.priority_levels = levels;
+        self
+    }
+
     /// Generates the trace.
     ///
     /// RNG draw order is: context lengths (one rejection loop per
     /// request), then decode budgets (only if ranged), then interarrival
-    /// gaps (only if open-loop) — so default builds reproduce the exact
-    /// streams of earlier versions of this crate.
+    /// gaps (only if open-loop), then priorities (only if more than one
+    /// level) — so default builds reproduce the exact streams of earlier
+    /// versions of this crate.
     pub fn build(&self) -> Trace {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let (mut lo, mut hi) = (self.stats.min as f64, self.stats.max as f64);
@@ -360,6 +379,7 @@ impl TraceBuilder {
                 context_len: len.round().max(1.0) as u64,
                 decode_len,
                 arrival_us: 0,
+                priority: 0,
             });
         }
         if let DecodeSpec::Uniform(dlo, dhi) = self.decode {
@@ -374,6 +394,11 @@ impl TraceBuilder {
             for r in &mut requests {
                 clock += self.arrivals.sample_gap(&mut rng);
                 r.arrival_us = (clock * 1e6).round() as u64;
+            }
+        }
+        if self.priority_levels > 1 {
+            for r in &mut requests {
+                r.priority = rng.gen_range(0..u64::from(self.priority_levels)) as u8;
             }
         }
         Trace { requests }
@@ -533,6 +558,7 @@ mod tests {
             context_len: 10,
             decode_len: 4,
             arrival_us,
+            priority: 0,
         };
         // Hand-built trace with out-of-order arrivals and a tie.
         let t: Trace = [mk(0, 500), mk(1, 100), mk(2, 100), mk(3, 0)]
@@ -634,6 +660,44 @@ mod tests {
             (rp - rb).abs() / rp < 0.25,
             "poisson {rp:.2} vs bursty {rb:.2}"
         );
+    }
+
+    #[test]
+    fn priorities_default_to_zero_and_draw_after_everything_else() {
+        // One level (the default): every priority is 0 and the rest of
+        // the trace is bit-identical to a builder without the call.
+        let base = TraceBuilder::new(Dataset::QmSum)
+            .seed(13)
+            .requests(64)
+            .decode_range(4, 32)
+            .bursty(8.0, 2.0)
+            .build();
+        let one_level = TraceBuilder::new(Dataset::QmSum)
+            .seed(13)
+            .requests(64)
+            .decode_range(4, 32)
+            .bursty(8.0, 2.0)
+            .priority_levels(1)
+            .build();
+        assert_eq!(base, one_level);
+        assert!(base.iter().all(|r| r.priority == 0));
+        // Multiple levels: priorities are drawn *after* contexts, decode
+        // budgets and arrivals, so those streams stay untouched.
+        let tiered = TraceBuilder::new(Dataset::QmSum)
+            .seed(13)
+            .requests(64)
+            .decode_range(4, 32)
+            .bursty(8.0, 2.0)
+            .priority_levels(3)
+            .build();
+        for (a, b) in base.iter().zip(tiered.iter()) {
+            assert_eq!(a.context_len, b.context_len);
+            assert_eq!(a.decode_len, b.decode_len);
+            assert_eq!(a.arrival_us, b.arrival_us);
+        }
+        assert!(tiered.iter().all(|r| r.priority < 3));
+        let distinct: std::collections::HashSet<u8> = tiered.iter().map(|r| r.priority).collect();
+        assert!(distinct.len() > 1, "uniform draw should spread");
     }
 
     #[test]

@@ -120,6 +120,7 @@ fn ttft_is_monotone_in_prompt_length() {
                 context_len,
                 decode_len: 16,
                 arrival_us: id * 1_000_000,
+                priority: 0,
             })
             .collect()
     };
