@@ -22,8 +22,10 @@
 //! the same cost model as the sweep — sets its saturation request rate,
 //! and the sweep offers fixed fractions of that capacity. Run with:
 //! `cargo run --release -p bench --bin latency_curve` (`-- --tiny` for
-//! the CI smoke configuration).
+//! the CI smoke configuration, `-- --scenario <file.json>` to run a
+//! declarative scenario spec instead of the built-in sweep).
 
+use bench::cli::{BenchArgs, DECODE_HI, DECODE_LO, SEED};
 use llm_model::LLM_7B_32K;
 use pim_compiler::ParallelConfig;
 use system::{
@@ -36,16 +38,17 @@ const LOAD_FRACTIONS: [f64; 5] = [0.25, 0.5, 0.75, 1.0, 1.5];
 const TINY_LOAD_FRACTIONS: [f64; 2] = [0.5, 1.0];
 const REQUESTS: usize = 96;
 const TINY_REQUESTS: usize = 16;
-const DECODE_LO: u64 = 16;
-const DECODE_HI: u64 = 96;
-const SEED: u64 = 2026;
 const PREFILL_CHUNK: u64 = PrefillConfig::DEFAULT_CHUNK;
 const ROUTERS: [RouterKind; 2] = [RouterKind::RoundRobin, RouterKind::JoinShortestQueue];
 
 fn main() {
-    let tiny = std::env::args().any(|a| a == "--tiny");
-    let decode_only = std::env::args().any(|a| a == "--decode-only");
-    let json_path = bench::json_arg();
+    let args = BenchArgs::parse();
+    if bench::cli::maybe_run_scenario("latency_curve", &args) {
+        return;
+    }
+    let tiny = args.tiny;
+    let decode_only = args.decode_only;
+    let json_path = args.json;
     let mut rows = Vec::new();
     let model = LLM_7B_32K;
     let sys = SystemConfig::cent_for(&model).with_parallel(ParallelConfig::new(2, 1));

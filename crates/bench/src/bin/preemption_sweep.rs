@@ -24,8 +24,10 @@
 //!
 //! Run with: `cargo run --release -p bench --bin preemption_sweep`
 //! (`-- --tiny` for the CI smoke configuration, `--json <path>` for
-//! machine-readable results).
+//! machine-readable results, `--scenario <file.json>` to run a
+//! declarative scenario spec instead).
 
+use bench::cli::{BenchArgs, DECODE_HI, DECODE_LO, SEED};
 use llm_model::LLM_7B_32K;
 use pim_compiler::ParallelConfig;
 use system::{
@@ -34,10 +36,7 @@ use system::{
 };
 use workload::{Dataset, Trace, TraceBuilder};
 
-const SEED: u64 = 2026;
 const CV: f64 = 2.5;
-const DECODE_LO: u64 = 16;
-const DECODE_HI: u64 = 96;
 const PREFILL_CHUNK: u64 = PrefillConfig::DEFAULT_CHUNK;
 /// Interactive (1) vs batch (0) traffic mix.
 const PRIORITY_LEVELS: u8 = 2;
@@ -62,8 +61,12 @@ fn class_p99(r: &ServingReport, priority: u8) -> f64 {
 }
 
 fn main() {
-    let tiny = std::env::args().any(|a| a == "--tiny");
-    let json_path = bench::json_arg();
+    let args = BenchArgs::parse();
+    if bench::cli::maybe_run_scenario("preemption_sweep", &args) {
+        return;
+    }
+    let tiny = args.tiny;
+    let json_path = args.json;
     let model = LLM_7B_32K;
     // TP=2 over 8 modules → 4 replicas behind one cluster front-end.
     let sys = SystemConfig::cent_for(&model).with_parallel(ParallelConfig::new(2, 1));

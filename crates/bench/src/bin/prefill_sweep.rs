@@ -20,8 +20,10 @@
 //! capacity so queueing stays mild and the prefill share is legible.
 //!
 //! Run with: `cargo run --release -p bench --bin prefill_sweep`
-//! (`-- --tiny` for the CI smoke configuration).
+//! (`-- --tiny` for the CI smoke configuration, `-- --scenario
+//! <file.json>` to run a declarative scenario spec instead).
 
+use bench::cli::{BenchArgs, DECODE_HI, DECODE_LO, SEED};
 use llm_model::LLM_7B_32K;
 use pim_compiler::ParallelConfig;
 use system::{
@@ -29,9 +31,6 @@ use system::{
 };
 use workload::{Dataset, DatasetStats, Trace, TraceBuilder};
 
-const SEED: u64 = 2026;
-const DECODE_LO: u64 = 16;
-const DECODE_HI: u64 = 96;
 const LOAD_FRACTION: f64 = 0.7;
 const DEFAULT_CHUNK: u64 = PrefillConfig::DEFAULT_CHUNK;
 
@@ -71,8 +70,12 @@ fn capacity_rps(eval: &Evaluator, stats: DatasetStats, requests: usize) -> f64 {
 }
 
 fn main() {
-    let tiny = std::env::args().any(|a| a == "--tiny");
-    let json_path = bench::json_arg();
+    let args = BenchArgs::parse();
+    if bench::cli::maybe_run_scenario("prefill_sweep", &args) {
+        return;
+    }
+    let tiny = args.tiny;
+    let json_path = args.json;
     let mut rows = Vec::new();
     let model = LLM_7B_32K;
     let sys = SystemConfig::cent_for(&model).with_parallel(ParallelConfig::new(2, 1));

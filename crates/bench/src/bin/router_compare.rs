@@ -28,8 +28,10 @@
 //! below warns if that regresses).
 //!
 //! Run with: `cargo run --release -p bench --bin router_compare`
-//! (`-- --tiny` for the CI smoke configuration).
+//! (`-- --tiny` for the CI smoke configuration, `-- --scenario
+//! <file.json>` to run a declarative scenario spec instead).
 
+use bench::cli::{BenchArgs, DECODE_HI, DECODE_LO, SEED};
 use llm_model::LLM_7B_32K;
 use pim_compiler::ParallelConfig;
 use std::time::Instant;
@@ -43,9 +45,9 @@ const PREFILL_CHUNK: u64 = PrefillConfig::DEFAULT_CHUNK;
 
 fn bursty_trace(requests: usize, rate: f64, cv: f64) -> Trace {
     TraceBuilder::new(Dataset::QmSum)
-        .seed(2026)
+        .seed(SEED)
         .requests(requests)
-        .decode_range(16, 96)
+        .decode_range(DECODE_LO, DECODE_HI)
         .bursty(rate, cv)
         .build()
 }
@@ -166,8 +168,12 @@ fn wall_clock_smoke(reports: &[(RouterKind, ServingReport, f64)]) {
 }
 
 fn main() {
-    let tiny = std::env::args().any(|a| a == "--tiny");
-    let json_path = bench::json_arg();
+    let args = BenchArgs::parse();
+    if bench::cli::maybe_run_scenario("router_compare", &args) {
+        return;
+    }
+    let tiny = args.tiny;
+    let json_path = args.json;
     let model = LLM_7B_32K;
     // TP=2 over 8 modules → 4 replicas behind one cluster front-end.
     let sys = SystemConfig::cent_for(&model).with_parallel(ParallelConfig::new(2, 1));

@@ -1,0 +1,47 @@
+//! Scenario validator and runner: parse + materialize + run every spec
+//! file given on the command line.
+//!
+//! CI points this at the checked-in `scenarios/*.json` so a spec that
+//! stops parsing, stops materializing, or silently drifts cannot land:
+//! each file is loaded through `system::scenario`, run end-to-end
+//! through the cluster layer, and reported with its per-tenant p99
+//! TTFT, SLO attainment, and Jain tenant fairness. With `--json <path>`
+//! the runs are recorded as a `scenarios` bench document whose rows the
+//! `check_regression` gate pins against `BENCH_serving.json` — the
+//! multi-tenant serving trajectory rides the same gate as the sweeps.
+//!
+//! Run with: `cargo run --release -p bench --bin scenario_check --
+//! scenarios/*.json [--json <out.json>]`.
+
+use bench::cli::{self, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    if args.rest.is_empty() {
+        eprintln!("usage: scenario_check <scenario.json>... [--json <out.json>]");
+        std::process::exit(2);
+    }
+    let mut rows = Vec::new();
+    let mut failures = 0usize;
+    for path in &args.rest {
+        match cli::run_scenario_file(path) {
+            Ok((m, report)) => {
+                rows.extend(cli::scenario_rows(&cli::file_stem(path), &m, &report));
+            }
+            Err(e) => {
+                eprintln!("\nFAIL {path}: {e}");
+                failures += 1;
+            }
+        }
+    }
+    println!(
+        "\n{} scenario(s) checked, {failures} failed",
+        args.rest.len()
+    );
+    if let Some(path) = &args.json {
+        bench::write_bench_json(path, "scenarios", rows);
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -3,7 +3,9 @@
 //! and figure of the PIMphony paper. See `EXPERIMENTS.md` for the index
 //! and paper-vs-measured record.
 
-pub mod json;
+pub use jsonio as json;
+
+pub mod cli;
 pub mod regression;
 
 use json::Json;
@@ -18,16 +20,10 @@ pub fn header(title: &str) {
 }
 
 /// The path following a `--json` flag in the process arguments, if any
-/// (the shared machine-readable output switch of the serving bench
-/// binaries).
+/// (the shared machine-readable output switch of the bench binaries;
+/// serving bins parse the full switch set with [`cli::BenchArgs`]).
 pub fn json_arg() -> Option<String> {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == "--json" {
-            return Some(args.next().expect("--json requires a path"));
-        }
-    }
-    None
+    cli::BenchArgs::parse().json
 }
 
 /// One machine-readable result row for a serving run: the identifying

@@ -1,15 +1,21 @@
-//! Minimal JSON value type, writer and parser for the bench
-//! trajectory files (`BENCH_*.json`).
+//! Minimal JSON value type, writer and parser shared by the bench
+//! trajectory files (`BENCH_*.json`) and the declarative scenario spec
+//! (`system::scenario`, `scenarios/*.json`).
 //!
 //! The offline serde compat shim (`crates/compat/serde`) keeps derives
-//! compiling but intentionally serializes nothing, so the machine-
-//! readable bench output is produced by this explicit, dependency-free
-//! layer instead: a [`Json`] tree, a deterministic pretty-printer
-//! (object keys keep insertion order; floats print in Rust's
-//! shortest-round-trip form, so equal values always produce equal
-//! bytes), and a small recursive-descent parser for the
-//! `check_regression` comparator. On a networked build the writer side
-//! could be swapped for `serde_json` without changing the file format.
+//! compiling but intentionally serializes nothing, so every machine-
+//! readable artifact in this workspace is produced by this explicit,
+//! dependency-free layer instead: a [`Json`] tree, a deterministic
+//! pretty-printer (object keys keep insertion order; floats print in
+//! Rust's shortest-round-trip form, so equal values always produce
+//! equal bytes), and a small recursive-descent parser. The crate sits
+//! below `system` and `bench` in the dependency graph precisely so both
+//! can share it without a cycle (it was born as `bench::json`, which
+//! now re-exports it). On a networked build the writer side could be
+//! swapped for `serde_json` without changing the file formats.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 /// A JSON value. Objects preserve insertion order so output is
 /// deterministic and diffs stay readable.
@@ -282,11 +288,32 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 Some((_, 'b')) => out.push('\u{8}'),
                 Some((_, 'f')) => out.push('\u{c}'),
                 Some((_, 'u')) => {
-                    let mut code = 0u32;
-                    for _ in 0..4 {
-                        let (_, h) = chars.next().ok_or("truncated \\u escape")?;
-                        code = code * 16 + h.to_digit(16).ok_or("invalid \\u escape")?;
-                    }
+                    let hex4 = |chars: &mut std::str::CharIndices<'_>| {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let (_, h) = chars.next().ok_or("truncated \\u escape")?;
+                            code = code * 16 + h.to_digit(16).ok_or("invalid \\u escape")?;
+                        }
+                        Ok::<u32, String>(code)
+                    };
+                    let code = hex4(&mut chars)?;
+                    // JSON encodes non-BMP characters as UTF-16
+                    // surrogate pairs (`\ud83d\ude00`); decode the pair
+                    // instead of emitting two replacement characters.
+                    let code = if (0xD800..0xDC00).contains(&code) {
+                        match (chars.next(), chars.next()) {
+                            (Some((_, '\\')), Some((_, 'u'))) => {
+                                let low = hex4(&mut chars)?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err("unpaired \\u surrogate".to_string());
+                                }
+                                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                            }
+                            _ => return Err("unpaired \\u surrogate".to_string()),
+                        }
+                    } else {
+                        code
+                    };
                     out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                 }
                 _ => return Err("invalid escape".to_string()),
@@ -343,6 +370,23 @@ mod tests {
         assert_eq!(arr[2].as_str(), Some("x"));
         assert_eq!(doc.get("n").unwrap().as_f64(), Some(-300.0));
         assert_eq!(doc.get("missing"), None);
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_one_character() {
+        // The standard JSON encoding of non-BMP characters (what
+        // serde_json / python json emit) is a UTF-16 surrogate pair.
+        let doc = Json::parse(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(doc.as_str(), Some("\u{1F600}"));
+        // BMP escapes still decode singly.
+        assert_eq!(Json::parse(r#""\u0041""#).unwrap().as_str(), Some("A"));
+        // Unpaired surrogates are invalid JSON text.
+        assert!(Json::parse(r#""\ud83d""#).is_err());
+        assert!(Json::parse(r#""\ud83dA""#).is_err());
+        // Raw (already-UTF-8) non-BMP text round-trips through the
+        // writer untouched.
+        let s = Json::str("name-😀");
+        assert_eq!(Json::parse(&s.to_pretty()).unwrap(), s);
     }
 
     #[test]

@@ -37,6 +37,16 @@
 //! byte-identical whatever the thread count), and reports carry a
 //! per-replica breakdown ([`ServingReport::per_replica`]).
 //!
+//! Experiments are also available as *data*: the builder is a thin
+//! fluent wrapper over a declarative [`Scenario`] spec
+//! ([`system::scenario`]) — model + system + techniques + multi-tenant
+//! workload + cluster + policies in one serializable value.
+//! [`Orchestrator::from_scenario`] materializes a spec (e.g. a
+//! checked-in `scenarios/*.json` file) into an orchestrator plus the
+//! merged tenant-tagged trace; reports then carry per-tenant latency
+//! percentiles, SLO attainment, and Jain tenant fairness
+//! ([`ServingReport::latency_by_tenant`]).
+//!
 //! Under KV memory pressure, continuous batching admits in priority
 //! order (`workload::Request::priority`) and can preempt:
 //! `.evict_restart()` / `.evict_pause()` let a blocked higher-priority
@@ -97,8 +107,13 @@ pub use pim_sim;
 pub use system;
 pub use workload;
 
+/// The declarative scenario spec (re-exported from
+/// [`system::scenario`]): one serializable value describing workload +
+/// cluster + policy, the data form of everything this builder
+/// configures.
+pub use system::scenario::{ClusterSpec, Materialized, PolicySpec, Scenario, TenantSpec};
+
 use llm_model::ModelConfig;
-use pim_compiler::ParallelConfig;
 use system::{
     Cluster, Evaluator, PreemptionPolicy, PrefillConfig, RouterKind, SchedulingPolicy,
     ServingReport, SystemConfig, Techniques,
@@ -106,11 +121,15 @@ use system::{
 use workload::Trace;
 
 /// Top-level handle evaluating a PIM serving system on traces.
+///
+/// Every orchestrator carries the declarative [`Scenario`] it was built
+/// from ([`Orchestrator::scenario`]): the builder is a thin fluent
+/// wrapper that edits that spec, so the orchestrator's configuration is
+/// always serializable and the getters simply read the spec back.
 #[derive(Debug)]
 pub struct Orchestrator {
     evaluator: Evaluator,
-    router: RouterKind,
-    threads: usize,
+    scenario: Scenario,
 }
 
 impl Orchestrator {
@@ -121,17 +140,40 @@ impl Orchestrator {
     }
 
     /// Creates an orchestrator with an explicit scheduling policy.
+    ///
+    /// The evaluator uses `system` verbatim (including any custom
+    /// module sizing); the recorded scenario captures its kind and
+    /// parallelization, which is the part the spec format describes.
     pub fn with_policy(
         system: SystemConfig,
         model: ModelConfig,
         techniques: Techniques,
         policy: SchedulingPolicy,
     ) -> Self {
+        let mut scenario = Scenario::new(model.name);
+        scenario.system = system.kind;
+        scenario.techniques = techniques;
+        scenario.cluster.tp = system.parallel.tp;
+        scenario.cluster.pp = system.parallel.pp;
+        scenario.policies.scheduling = policy;
         Orchestrator {
             evaluator: Evaluator::new(system, model, techniques).with_policy(policy),
-            router: RouterKind::RoundRobin,
-            threads: 1,
+            scenario,
         }
+    }
+
+    /// Materializes a declarative scenario into an orchestrator plus
+    /// the merged multi-tenant trace it describes — `serve(&trace)`
+    /// then runs the whole experiment the spec file named.
+    pub fn from_scenario(scenario: &Scenario) -> Result<(Orchestrator, Trace), String> {
+        let m = scenario.materialize()?;
+        Ok((
+            Orchestrator {
+                evaluator: m.evaluator,
+                scenario: scenario.clone(),
+            },
+            m.trace,
+        ))
     }
 
     /// Serves a trace through the cluster layer — arrivals are routed to
@@ -140,9 +182,9 @@ impl Orchestrator {
     /// throughput/latency/energy report. Results are independent of the
     /// thread count.
     pub fn serve(&self, trace: &Trace) -> ServingReport {
-        let mut router = self.router.build();
+        let mut router = self.scenario.policies.router.build();
         Cluster::new(&self.evaluator, self.evaluator.scheduling_policy())
-            .with_threads(self.threads)
+            .with_threads(self.scenario.cluster.threads)
             .run(trace, router.as_mut())
     }
 
@@ -154,6 +196,11 @@ impl Orchestrator {
     /// The underlying evaluator.
     pub fn evaluator(&self) -> &Evaluator {
         &self.evaluator
+    }
+
+    /// The declarative spec this orchestrator was built from.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
     }
 
     /// The active batch-scheduling policy.
@@ -168,84 +215,88 @@ impl Orchestrator {
 
     /// The active cross-replica load balancer.
     pub fn router(&self) -> RouterKind {
-        self.router
+        self.scenario.policies.router
     }
 
     /// The replica-simulation thread count.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.scenario.cluster.threads
     }
 }
 
 /// Builder for [`Orchestrator`] with the paper's preset configurations.
+///
+/// A thin fluent wrapper over a declarative [`Scenario`]: every method
+/// edits one field of the spec, and [`OrchestratorBuilder::build`]
+/// materializes the evaluator from it — so a new serving knob is added
+/// to the `Scenario` struct once instead of being plumbed through
+/// parallel builder fields. The resolved [`ModelConfig`] rides along so
+/// custom (non-Table-I) model configs keep working; everything else
+/// lives in the spec, inspectable via
+/// [`OrchestratorBuilder::scenario`].
 #[derive(Debug, Clone)]
 pub struct OrchestratorBuilder {
+    scenario: Scenario,
     model: ModelConfig,
-    system: SystemConfig,
-    techniques: Techniques,
-    policy: SchedulingPolicy,
-    preemption: PreemptionPolicy,
-    prefill: PrefillConfig,
-    kv_capacity_factor: f64,
-    router: RouterKind,
-    threads: usize,
 }
 
 impl OrchestratorBuilder {
     /// Starts from a model with the paper's PIM-only defaults.
     pub fn new(model: ModelConfig) -> Self {
         OrchestratorBuilder {
+            scenario: Scenario::new(model.name),
             model,
-            system: SystemConfig::cent_for(&model),
-            techniques: Techniques::pimphony(),
-            policy: SchedulingPolicy::Wave,
-            preemption: PreemptionPolicy::None,
-            prefill: PrefillConfig::disabled(),
-            kv_capacity_factor: 1.0,
-            router: RouterKind::RoundRobin,
-            threads: 1,
         }
+    }
+
+    /// The declarative spec the fluent calls have assembled so far.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
     }
 
     /// Uses the CENT-like PIM-only system sizing (Table IV).
     pub fn pim_only(mut self) -> Self {
-        self.system = SystemConfig::cent_for(&self.model);
+        self.scenario.system = system::SystemKind::PimOnly;
         self
     }
 
     /// Uses the NeuPIMs-like xPU+PIM system sizing (Table IV).
     pub fn xpu_pim(mut self) -> Self {
-        self.system = SystemConfig::neupims_for(&self.model);
+        self.scenario.system = system::SystemKind::XpuPim;
         self
     }
 
-    /// Overrides the (TP, PP) parallelization.
+    /// Overrides the (TP, PP) parallelization (both degrees ≥ 1; the
+    /// spec-level `tp = 0` "whole node" sentinel is not accepted here —
+    /// simply don't call `parallel` to keep the preset sizing).
     pub fn parallel(mut self, tp: u32, pp: u32) -> Self {
-        self.system = self.system.with_parallel(ParallelConfig::new(tp, pp));
+        assert!(tp > 0 && pp > 0, "parallel degrees must be positive");
+        self.scenario.cluster.tp = tp;
+        self.scenario.cluster.pp = pp;
         self
     }
 
     /// Disables every PIMphony technique (the prior-work baseline).
     pub fn baseline(mut self) -> Self {
-        self.techniques = Techniques::baseline();
+        self.scenario.techniques = Techniques::baseline();
         self
     }
 
     /// Enables all three techniques.
     pub fn full_pimphony(mut self) -> Self {
-        self.techniques = Techniques::pimphony();
+        self.scenario.techniques = Techniques::pimphony();
         self
     }
 
     /// Sets an explicit technique combination.
     pub fn techniques(mut self, techniques: Techniques) -> Self {
-        self.techniques = techniques;
+        self.scenario.techniques = techniques;
         self
     }
 
     /// Sets an explicit batch-scheduling policy.
     pub fn policy(mut self, policy: SchedulingPolicy) -> Self {
-        self.policy = policy;
+        self.scenario.policies.scheduling = policy;
         self
     }
 
@@ -265,7 +316,7 @@ impl OrchestratorBuilder {
     /// Sets an explicit prefill configuration (default: disabled, the
     /// historical decode-only simulation).
     pub fn prefill(mut self, prefill: PrefillConfig) -> Self {
-        self.prefill = prefill;
+        self.scenario.policies.prefill = prefill;
         self
     }
 
@@ -285,7 +336,7 @@ impl OrchestratorBuilder {
     /// trace — victims must have strictly lower priority than the
     /// blocked candidate.
     pub fn preemption(mut self, preemption: PreemptionPolicy) -> Self {
-        self.preemption = preemption;
+        self.scenario.policies.preemption = preemption;
         self
     }
 
@@ -308,7 +359,7 @@ impl OrchestratorBuilder {
     /// Fractions below one model memory pressure — the regime where
     /// preemption policies matter — without re-sizing the system.
     pub fn kv_capacity_factor(mut self, factor: f64) -> Self {
-        self.kv_capacity_factor = factor;
+        self.scenario.policies.kv_capacity_factor = factor;
         self
     }
 
@@ -316,7 +367,7 @@ impl OrchestratorBuilder {
     /// replica (default: [`RouterKind::RoundRobin`], which reproduces
     /// trace-level partitioning bit-exactly).
     pub fn router(mut self, router: RouterKind) -> Self {
-        self.router = router;
+        self.scenario.policies.router = router;
         self
     }
 
@@ -330,20 +381,17 @@ impl OrchestratorBuilder {
     /// one per available CPU). Reports are byte-identical whatever the
     /// thread count — parallelism only changes wall-clock time.
     pub fn threads(mut self, threads: usize) -> Self {
-        self.threads = threads;
+        self.scenario.cluster.threads = threads;
         self
     }
 
-    /// Builds the orchestrator.
+    /// Builds the orchestrator by materializing the assembled scenario
+    /// (the spec's evaluator path, shared with `--scenario` files —
+    /// there is exactly one place knobs turn into an [`Evaluator`]).
     pub fn build(self) -> Orchestrator {
         Orchestrator {
-            evaluator: Evaluator::new(self.system, self.model, self.techniques)
-                .with_policy(self.policy)
-                .with_preemption(self.preemption)
-                .with_prefill(self.prefill)
-                .with_kv_capacity_factor(self.kv_capacity_factor),
-            router: self.router,
-            threads: self.threads,
+            evaluator: self.scenario.evaluator_for(self.model),
+            scenario: self.scenario,
         }
     }
 }
@@ -389,6 +437,76 @@ mod tests {
         let rf = full.serve(&trace);
         assert!(rf.tokens_per_second > rb.tokens_per_second);
         assert!(rf.attn_utilization > rb.attn_utilization);
+    }
+
+    #[test]
+    fn builder_is_a_thin_scenario_wrapper() {
+        let b = OrchestratorBuilder::new(llm_model::LLM_7B_32K)
+            .parallel(2, 1)
+            .continuous_batching()
+            .join_shortest_queue()
+            .evict_pause()
+            .chunked_prefill(256)
+            .kv_capacity_factor(0.5)
+            .threads(4);
+        let s = b.scenario();
+        assert_eq!(s.model, "LLM-7B-32K");
+        assert_eq!(s.policies.scheduling, SchedulingPolicy::Continuous);
+        assert_eq!(s.policies.router, RouterKind::JoinShortestQueue);
+        assert_eq!(s.policies.preemption, PreemptionPolicy::EvictPause);
+        assert!(s.policies.prefill.enabled);
+        assert_eq!(s.policies.prefill.chunk_tokens, 256);
+        assert_eq!(s.policies.kv_capacity_factor, 0.5);
+        assert_eq!(
+            s.cluster,
+            ClusterSpec {
+                tp: 2,
+                pp: 1,
+                threads: 4
+            }
+        );
+        // The built orchestrator's evaluator and getters read the spec.
+        let o = b.build();
+        assert_eq!(o.router(), RouterKind::JoinShortestQueue);
+        assert_eq!(o.threads(), 4);
+        assert_eq!(o.preemption(), PreemptionPolicy::EvictPause);
+        assert_eq!(o.evaluator().kv_capacity_factor(), 0.5);
+        assert_eq!(o.evaluator().prefill_config().chunk_tokens, 256);
+        assert_eq!(o.scenario().policies.stride, 64);
+    }
+
+    #[test]
+    fn orchestrator_from_scenario_serves_multi_tenant_specs() {
+        let mut s = Scenario::new("LLM-7B-32K");
+        s.cluster.tp = 2;
+        s.policies.scheduling = SchedulingPolicy::Continuous;
+        s.policies.router = RouterKind::JoinShortestQueue;
+        let s = s
+            .tenant(
+                TenantSpec::new("interactive", Dataset::QmSum)
+                    .requests(8)
+                    .seed(3)
+                    .decode(workload::DecodeSpec::Uniform(8, 24))
+                    .arrivals(workload::ArrivalProcess::Poisson { rate: 4.0 })
+                    .priority(1)
+                    .slo_ttft_p99(60.0),
+            )
+            .tenant(
+                TenantSpec::new("batch", Dataset::QmSum)
+                    .requests(6)
+                    .seed(4)
+                    .decode(workload::DecodeSpec::Fixed(32)),
+            );
+        let (o, trace) = Orchestrator::from_scenario(&s).expect("materialize");
+        assert_eq!(trace.len(), 14);
+        assert_eq!(o.scenario(), &s);
+        let r = o.serve(&trace);
+        assert_eq!(r.latency.completed, 14);
+        assert_eq!(r.latency_by_tenant.len(), 2);
+        assert!((0.0..=1.0).contains(&r.latency_by_tenant[0].slo_attainment));
+        assert!(r.tenant_fairness() > 0.0);
+        // A broken spec surfaces as an error, not a panic.
+        assert!(Orchestrator::from_scenario(&Scenario::new("nope")).is_err());
     }
 
     #[test]

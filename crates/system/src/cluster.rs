@@ -458,6 +458,7 @@ impl<'a> Cluster<'a> {
         };
         report.latency = LatencyReport::from_timings(&timings);
         report.latency_by_priority = LatencyReport::by_priority(&timings);
+        report.latency_by_tenant = LatencyReport::by_tenant(&timings, eval.tenant_slos());
         report.per_replica = per_replica;
         report
     }
@@ -543,6 +544,7 @@ mod tests {
             decode_len: 1,
             arrival_us: 0,
             priority: 0,
+            tenant: 0,
         };
         let mut rr = RoundRobin::default();
         let picks: Vec<usize> = (0..5).map(|_| rr.route(&req, &loads)).collect();
@@ -580,6 +582,7 @@ mod tests {
             decode_len: 1,
             arrival_us: 0,
             priority: 0,
+            tenant: 0,
         };
         assert_eq!(JoinShortestQueue.route(&req, &loads), 1); // tie 1 vs 2 → lowest index
         assert_eq!(LeastLoaded.route(&req, &loads), 2);

@@ -28,9 +28,14 @@
 //!   [`PreemptionPolicy`] lets blocked higher-priority arrivals evict
 //!   running requests under KV memory pressure (evict-and-restart or
 //!   evict-and-pause with extended-prompt re-prefill).
+//! * [`scenario`] — the declarative, serializable experiment spec: one
+//!   [`Scenario`] value (model + system + techniques + multi-tenant
+//!   workload + cluster + policies) round-trips through JSON
+//!   (`scenarios/*.json`) and materializes into a runnable
+//!   evaluator/trace pair.
 //! * [`metrics`] — per-request TTFT/TPOT/E2E latency percentiles with a
-//!   queueing-vs-prefill TTFT decomposition, per-replica breakdowns,
-//!   Jain fairness.
+//!   queueing-vs-prefill TTFT decomposition, per-replica and per-tenant
+//!   breakdowns (SLO attainment), Jain fairness.
 //! * [`energy`] — the Fig. 16 energy decomposition.
 //! * [`gpu`] — the A100 flash-decoding + paged-attention baseline of
 //!   Fig. 20.
@@ -88,6 +93,7 @@ pub mod kernel;
 pub mod metrics;
 pub mod policy;
 pub mod replica;
+pub mod scenario;
 pub mod serve;
 pub mod stage;
 
@@ -100,9 +106,11 @@ pub use engine::Engine;
 pub use gpu::GpuSystem;
 pub use kernel::{AttentionKind, KernelModel, KernelStats};
 pub use metrics::{
-    jain_fairness, LatencyReport, LatencySummary, PriorityLatency, ReplicaBreakdown, RequestTiming,
+    jain_fairness, tenant_goodput_fairness, LatencyReport, LatencySummary, PriorityLatency,
+    ReplicaBreakdown, RequestTiming, TenantLatency,
 };
 pub use policy::{PreemptionPolicy, PrefillConfig, SchedulingPolicy};
 pub use replica::ReplicaLoad;
+pub use scenario::{ClusterSpec, Materialized, PolicySpec, Scenario, TenantSpec};
 pub use serve::{Evaluator, ServingReport};
 pub use stage::{AttentionStage, IterationBreakdown, StageModel};

@@ -45,6 +45,9 @@ pub struct RequestTiming {
     pub decode_len: u64,
     /// The request's scheduling priority class (higher is more urgent).
     pub priority: u8,
+    /// The tenant (traffic class) the request belongs to (0 for
+    /// single-tenant traces).
+    pub tenant: u8,
     /// How many times the request was evicted under memory pressure.
     pub evictions: u32,
     /// Seconds spent *re*-prefilling tokens that had already been
@@ -249,6 +252,45 @@ impl LatencyReport {
             })
             .collect()
     }
+
+    /// Splits the timings into one [`TenantLatency`] per tenant id
+    /// present, ascending. `slos` maps tenant ids to TTFT targets in
+    /// seconds (tenants absent from the map have no target); attainment
+    /// is the fraction of the tenant's completed requests whose TTFT
+    /// met its target. A single-tenant trace yields one entry whose
+    /// latency mirrors the aggregate report.
+    pub fn by_tenant(timings: &[RequestTiming], slos: &[(u8, f64)]) -> Vec<TenantLatency> {
+        let mut tenants: Vec<u8> = timings.iter().map(|t| t.tenant).collect();
+        tenants.sort_unstable();
+        tenants.dedup();
+        tenants
+            .into_iter()
+            .map(|tenant| {
+                let class: Vec<RequestTiming> = timings
+                    .iter()
+                    .filter(|t| t.tenant == tenant)
+                    .copied()
+                    .collect();
+                let slo_ttft = slos
+                    .iter()
+                    .find(|(t, _)| *t == tenant)
+                    .map(|(_, s)| *s)
+                    .unwrap_or(f64::INFINITY);
+                let met = class.iter().filter(|t| t.ttft() <= slo_ttft).count();
+                TenantLatency {
+                    tenant,
+                    latency: LatencyReport::from_timings(&class),
+                    tokens: class.iter().map(|t| t.decode_len).sum(),
+                    slo_ttft,
+                    slo_attainment: if class.is_empty() {
+                        1.0
+                    } else {
+                        met as f64 / class.len() as f64
+                    },
+                }
+            })
+            .collect()
+    }
 }
 
 /// Latency statistics of one priority class (see
@@ -259,6 +301,38 @@ pub struct PriorityLatency {
     pub priority: u8,
     /// Latency statistics over the class's completed requests.
     pub latency: LatencyReport,
+}
+
+/// Serving statistics of one tenant (traffic class): latency summary,
+/// delivered tokens, and — when the tenant carries an SLO target —
+/// attainment against it (see [`LatencyReport::by_tenant`]).
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct TenantLatency {
+    /// The tenant id ([`workload::Request::tenant`]).
+    pub tenant: u8,
+    /// Latency statistics over the tenant's completed requests.
+    pub latency: LatencyReport,
+    /// Decode tokens delivered to the tenant (its goodput share: the
+    /// trace-demanded tokens of its completed requests, excluding any
+    /// eviction re-decode waste).
+    pub tokens: u64,
+    /// The tenant's p99-style TTFT SLO target in seconds
+    /// (`f64::INFINITY` when the tenant has none).
+    pub slo_ttft: f64,
+    /// Fraction of the tenant's completed requests whose TTFT met the
+    /// SLO target (1.0 when there is no target or no completion —
+    /// vacuously attained).
+    pub slo_attainment: f64,
+}
+
+/// Jain's fairness index over per-tenant delivered tokens (goodput):
+/// 1.0 when every tenant received equal token service, approaching
+/// `1/tenants` when one tenant monopolized the cluster. Empty and
+/// all-zero inputs are defined as perfectly fair (see
+/// [`jain_fairness`]).
+pub fn tenant_goodput_fairness(tenants: &[TenantLatency]) -> f64 {
+    let tokens: Vec<f64> = tenants.iter().map(|t| t.tokens as f64).collect();
+    jain_fairness(&tokens)
 }
 
 #[cfg(test)]
@@ -275,6 +349,7 @@ mod tests {
             finished,
             decode_len: d,
             priority: 0,
+            tenant: 0,
             evictions: 0,
             restart_secs: 0.0,
         }
@@ -370,6 +445,7 @@ mod tests {
             finished: 9.2,
             decode_len: 6,
             priority: 0,
+            tenant: 0,
             evictions: 0,
             restart_secs: 0.0,
         };
@@ -399,6 +475,7 @@ mod tests {
             finished: prefill_end + 1.1,
             decode_len: 4,
             priority: 0,
+            tenant: 0,
             evictions: 0,
             restart_secs: 0.0,
         };
@@ -459,6 +536,36 @@ mod tests {
             single[0].latency,
             LatencyReport::from_timings(&[mk(0, 10.0), mk(0, 12.0)])
         );
+    }
+
+    #[test]
+    fn by_tenant_splits_ascending_with_slo_attainment() {
+        let mk = |tenant: u8, first: f64, d: u64| RequestTiming {
+            tenant,
+            decode_len: d,
+            ..timing(0.0, 0.5, first, first + 1.0, d)
+        };
+        // Tenant 0: TTFTs 1.0 and 5.0; tenant 2: TTFT 10.0.
+        let timings = [mk(0, 1.0, 8), mk(2, 10.0, 4), mk(0, 5.0, 8)];
+        let split = LatencyReport::by_tenant(&timings, &[(0, 2.0), (2, 20.0)]);
+        assert_eq!(split.len(), 2);
+        assert_eq!(split[0].tenant, 0);
+        assert_eq!(split[1].tenant, 2);
+        assert_eq!(split[0].latency.completed, 2);
+        assert_eq!(split[0].tokens, 16);
+        assert_eq!(split[0].slo_ttft, 2.0);
+        assert!((split[0].slo_attainment - 0.5).abs() < 1e-12);
+        assert_eq!(split[1].slo_attainment, 1.0);
+        // A tenant without a target is vacuously attained.
+        let untargeted = LatencyReport::by_tenant(&timings, &[]);
+        assert!(untargeted.iter().all(|t| t.slo_attainment == 1.0));
+        assert!(untargeted.iter().all(|t| t.slo_ttft.is_infinite()));
+        // Goodput fairness: even split is 1.0, monopolized is 1/n.
+        assert_eq!(tenant_goodput_fairness(&[]), 1.0);
+        let even = LatencyReport::by_tenant(&[mk(0, 1.0, 8), mk(1, 1.0, 8)], &[]);
+        assert!((tenant_goodput_fairness(&even) - 1.0).abs() < 1e-12);
+        let skewed = LatencyReport::by_tenant(&[mk(0, 1.0, 8), mk(1, 1.0, 0)], &[]);
+        assert!((tenant_goodput_fairness(&skewed) - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -523,6 +523,7 @@ impl<'a> ReplicaSim<'a> {
                     finished: finish[i],
                     decode_len: r.decode_len,
                     priority: r.priority,
+                    tenant: r.tenant,
                     evictions: 0,
                     restart_secs: 0.0,
                 });
@@ -674,6 +675,7 @@ impl<'a> ReplicaSim<'a> {
                             finished: self.t,
                             decode_len: a.req.decode_len,
                             priority: a.req.priority,
+                            tenant: a.req.tenant,
                             evictions: a.evictions,
                             restart_secs: a.restart_secs,
                         });

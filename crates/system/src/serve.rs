@@ -76,6 +76,14 @@ pub struct ServingReport {
     /// entry mirroring `latency` when the trace has one class; empty
     /// for reports produced by the pre-cluster reference loop).
     pub latency_by_priority: Vec<metrics::PriorityLatency>,
+    /// Serving statistics split by tenant, ascending by tenant id: each
+    /// entry carries the tenant's latency report, delivered tokens
+    /// (goodput), and SLO attainment when the run's evaluator carries
+    /// per-tenant TTFT targets ([`Evaluator::with_tenant_slos`], set by
+    /// `system::scenario` specs). A single-tenant run yields one entry
+    /// mirroring `latency`; empty for reports produced by the
+    /// pre-cluster reference loop.
+    pub latency_by_tenant: Vec<metrics::TenantLatency>,
     /// Per-replica totals (busy time, served requests, peak reserved
     /// KV), indexed by replica — makes load-balancer skew observable.
     /// Empty for reports produced by the pre-cluster reference loop.
@@ -89,6 +97,15 @@ impl ServingReport {
     pub fn replica_fairness(&self) -> f64 {
         let busy: Vec<f64> = self.per_replica.iter().map(|b| b.busy_seconds).collect();
         metrics::jain_fairness(&busy)
+    }
+
+    /// Jain's fairness index over per-tenant delivered tokens (goodput):
+    /// 1.0 when every tenant received equal token service, approaching
+    /// `1/tenants` when one tenant monopolized the cluster. 1.0 when
+    /// per-tenant data is absent or all-zero (a run that served nothing
+    /// treated nobody unfairly).
+    pub fn tenant_fairness(&self) -> f64 {
+        metrics::tenant_goodput_fairness(&self.latency_by_tenant)
     }
 }
 
@@ -105,6 +122,11 @@ pub struct Evaluator {
     /// fractions below one model memory pressure without re-sizing the
     /// system, the knob preemption studies sweep.
     kv_capacity_factor: f64,
+    /// Per-tenant TTFT SLO targets in seconds, as `(tenant id, target)`
+    /// pairs — pure reporting metadata consumed by the cluster merge
+    /// (attainment in `ServingReport::latency_by_tenant`); never
+    /// touches scheduling. Normally set by `system::scenario` specs.
+    tenant_slos: Vec<(u8, f64)>,
     kernels: KernelModel,
     energy: EnergyModel,
     /// Recompute the iteration time every `stride` decode steps (the
@@ -125,6 +147,7 @@ impl Evaluator {
             preemption: PreemptionPolicy::None,
             prefill: PrefillConfig::disabled(),
             kv_capacity_factor: 1.0,
+            tenant_slos: Vec::new(),
             kernels: KernelModel::new(pim_sim::Timing::aimx(), model.head_dim),
             energy: EnergyModel::aimx(),
             stride: 64,
@@ -171,6 +194,22 @@ impl Evaluator {
     /// The configured KV-pool scale factor.
     pub fn kv_capacity_factor(&self) -> f64 {
         self.kv_capacity_factor
+    }
+
+    /// Returns this evaluator with per-tenant TTFT SLO targets, as
+    /// `(tenant id, target seconds)` pairs. Reporting metadata only:
+    /// the cluster merge computes each tenant's SLO attainment in
+    /// [`ServingReport::latency_by_tenant`] against these; scheduling
+    /// is untouched, so the default (empty) is bit-exact with every
+    /// historical run.
+    pub fn with_tenant_slos(mut self, slos: Vec<(u8, f64)>) -> Self {
+        self.tenant_slos = slos;
+        self
+    }
+
+    /// The configured per-tenant TTFT SLO targets.
+    pub fn tenant_slos(&self) -> &[(u8, f64)] {
+        &self.tenant_slos
     }
 
     /// Returns this evaluator with an explicit prefill configuration.
@@ -562,6 +601,28 @@ mod tests {
         assert_eq!(r.tokens, 0);
         assert_eq!(r.tokens_per_second, 0.0);
         assert_eq!(r.latency.completed, 0);
+    }
+
+    #[test]
+    fn fairness_helpers_are_guarded_against_empty_and_all_zero() {
+        // Empty per-replica / per-tenant data (the wave-reference loop
+        // and default reports): defined as perfectly fair, never NaN.
+        let empty = ServingReport::default();
+        assert_eq!(empty.replica_fairness(), 1.0);
+        assert_eq!(empty.tenant_fairness(), 1.0);
+        // All-zero loads (a run that served nothing): still 1.0.
+        let mut zeroed = ServingReport {
+            per_replica: vec![metrics::ReplicaBreakdown::default(); 3],
+            latency_by_tenant: vec![metrics::TenantLatency::default(); 2],
+            ..ServingReport::default()
+        };
+        assert_eq!(zeroed.replica_fairness(), 1.0);
+        assert_eq!(zeroed.tenant_fairness(), 1.0);
+        assert!(!zeroed.replica_fairness().is_nan());
+        // Skewed tenant goodput drops below 1 and stays positive.
+        zeroed.latency_by_tenant[0].tokens = 100;
+        let f = zeroed.tenant_fairness();
+        assert!((f - 0.5).abs() < 1e-12, "{f}");
     }
 
     #[test]

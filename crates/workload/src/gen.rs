@@ -39,6 +39,12 @@ pub struct Request {
     /// strictly-lower-priority running requests to claim their KV
     /// reservation.
     pub priority: u8,
+    /// Tenant (traffic-class) id the request belongs to — 0 for
+    /// single-tenant traces. Tenants are the unit of the serving
+    /// report's per-tenant latency/SLO/fairness breakdown; the id is
+    /// purely a label and never influences scheduling (priorities do
+    /// that).
+    pub tenant: u8,
 }
 
 impl Request {
@@ -173,6 +179,37 @@ impl Trace {
         let span = self.last_arrival_secs();
         (span > 0.0).then(|| self.len() as f64 / span)
     }
+
+    /// The distinct tenant ids present, ascending.
+    pub fn tenants(&self) -> Vec<u8> {
+        let mut t: Vec<u8> = self.requests.iter().map(|r| r.tenant).collect();
+        t.sort_unstable();
+        t.dedup();
+        t
+    }
+
+    /// Merges per-tenant traces into one globally arrival-ordered
+    /// trace: ids are offset by the cumulative request count so they
+    /// stay unique across tenants, then the merged stream is sorted by
+    /// `(arrival_us, id)` — the order a shared cluster front-end sees.
+    /// Merging a single trace is the identity (ids untouched; builder
+    /// traces are already arrival-ordered), which is what keeps
+    /// one-tenant scenarios bit-exact with plain [`TraceBuilder`]
+    /// traces.
+    pub fn merge(traces: impl IntoIterator<Item = Trace>) -> Trace {
+        let mut requests = Vec::new();
+        let mut offset = 0u64;
+        for t in traces {
+            let n = t.requests.len() as u64;
+            requests.extend(t.requests.into_iter().map(|mut r| {
+                r.id += offset;
+                r
+            }));
+            offset += n;
+        }
+        requests.sort_by_key(|r| (r.arrival_us, r.id));
+        Trace { requests }
+    }
 }
 
 impl FromIterator<Request> for Trace {
@@ -231,11 +268,27 @@ impl ArrivalProcess {
 }
 
 /// The per-request decode budget specification.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum DecodeSpec {
+///
+/// `Fixed` draws nothing from the RNG; `Uniform` draws one value per
+/// request (even when `lo == hi`), so the two are *not* interchangeable
+/// on seeded traces — scenario specs must preserve which one they mean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DecodeSpec {
+    /// Every request decodes exactly this many tokens.
     Fixed(u64),
-    /// Uniform over the inclusive range.
+    /// Each request's budget is drawn uniformly over the inclusive
+    /// range (requires `1 <= lo <= hi`).
     Uniform(u64, u64),
+}
+
+impl DecodeSpec {
+    /// Whether the spec is well-formed (uniform needs `1 <= lo <= hi`).
+    pub fn is_valid(&self) -> bool {
+        match *self {
+            DecodeSpec::Fixed(_) => true,
+            DecodeSpec::Uniform(lo, hi) => lo >= 1 && lo <= hi,
+        }
+    }
 }
 
 /// Builder for reproducible traces.
@@ -261,6 +314,8 @@ pub struct TraceBuilder {
     sigma_clip: Option<f64>,
     arrivals: ArrivalProcess,
     priority_levels: u8,
+    fixed_priority: Option<u8>,
+    tenant: u8,
 }
 
 impl TraceBuilder {
@@ -280,6 +335,8 @@ impl TraceBuilder {
             sigma_clip: None,
             arrivals: ArrivalProcess::Batch,
             priority_levels: 1,
+            fixed_priority: None,
+            tenant: 0,
         }
     }
 
@@ -305,8 +362,14 @@ impl TraceBuilder {
     /// (inclusive) — response lengths vary in production traffic, which
     /// is what gives continuous batching its refill advantage.
     pub fn decode_range(mut self, lo: u64, hi: u64) -> Self {
-        assert!(lo >= 1 && lo <= hi, "decode_range requires 1 <= lo <= hi");
         self.decode = DecodeSpec::Uniform(lo, hi);
+        self
+    }
+
+    /// Sets the decode budget from an explicit [`DecodeSpec`] (the form
+    /// scenario specs deserialize into).
+    pub fn decode(mut self, spec: DecodeSpec) -> Self {
+        self.decode = spec;
         self
     }
 
@@ -353,6 +416,25 @@ impl TraceBuilder {
         self
     }
 
+    /// Gives every request the same fixed priority class (higher is
+    /// more urgent), drawing nothing from the RNG — the per-tenant form
+    /// of priority: a whole tenant's traffic shares one class. Takes
+    /// precedence over [`Self::priority_levels`]. `priority(0)` is
+    /// bit-identical to the default build.
+    pub fn priority(mut self, priority: u8) -> Self {
+        self.fixed_priority = Some(priority);
+        self
+    }
+
+    /// Labels every request with a tenant id (default 0). Pure
+    /// metadata: it draws nothing from the RNG and never influences
+    /// scheduling, so `tenant(0)` is bit-identical to the default
+    /// build.
+    pub fn tenant(mut self, tenant: u8) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
     /// Generates the trace.
     ///
     /// RNG draw order is: context lengths (one rejection loop per
@@ -360,7 +442,24 @@ impl TraceBuilder {
     /// gaps (only if open-loop), then priorities (only if more than one
     /// level) — so default builds reproduce the exact streams of earlier
     /// versions of this crate.
+    ///
+    /// # Panics
+    ///
+    /// Rejects degenerate configurations instead of silently producing
+    /// an empty or invalid trace: zero requests, or a uniform decode
+    /// range with `lo > hi` or `lo < 1`.
     pub fn build(&self) -> Trace {
+        assert!(
+            self.n > 0,
+            "TraceBuilder: requests must be > 0 (a zero-request build would \
+             silently produce an empty trace; use Trace::new() for an \
+             intentionally empty one)"
+        );
+        assert!(
+            self.decode.is_valid(),
+            "TraceBuilder: decode range requires 1 <= lo <= hi, got {:?}",
+            self.decode
+        );
         let mut rng = StdRng::seed_from_u64(self.seed);
         let (mut lo, mut hi) = (self.stats.min as f64, self.stats.max as f64);
         if let Some(k) = self.sigma_clip {
@@ -380,6 +479,7 @@ impl TraceBuilder {
                 decode_len,
                 arrival_us: 0,
                 priority: 0,
+                tenant: self.tenant,
             });
         }
         if let DecodeSpec::Uniform(dlo, dhi) = self.decode {
@@ -396,7 +496,11 @@ impl TraceBuilder {
                 r.arrival_us = (clock * 1e6).round() as u64;
             }
         }
-        if self.priority_levels > 1 {
+        if let Some(p) = self.fixed_priority {
+            for r in &mut requests {
+                r.priority = p;
+            }
+        } else if self.priority_levels > 1 {
             for r in &mut requests {
                 r.priority = rng.gen_range(0..u64::from(self.priority_levels)) as u8;
             }
@@ -559,6 +663,7 @@ mod tests {
             decode_len: 4,
             arrival_us,
             priority: 0,
+            tenant: 0,
         };
         // Hand-built trace with out-of-order arrivals and a tie.
         let t: Trace = [mk(0, 500), mk(1, 100), mk(2, 100), mk(3, 0)]
@@ -698,6 +803,103 @@ mod tests {
         assert!(tiered.iter().all(|r| r.priority < 3));
         let distinct: std::collections::HashSet<u8> = tiered.iter().map(|r| r.priority).collect();
         assert!(distinct.len() > 1, "uniform draw should spread");
+    }
+
+    #[test]
+    #[should_panic(expected = "requests must be > 0")]
+    fn zero_request_builds_are_rejected() {
+        let _ = TraceBuilder::new(Dataset::QmSum).requests(0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "decode range requires 1 <= lo <= hi")]
+    fn inverted_decode_ranges_are_rejected_at_build() {
+        let _ = TraceBuilder::new(Dataset::QmSum)
+            .requests(4)
+            .decode_range(9, 3)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "decode range requires 1 <= lo <= hi")]
+    fn zero_decode_lower_bound_is_rejected_at_build() {
+        let _ = TraceBuilder::new(Dataset::QmSum)
+            .requests(4)
+            .decode(DecodeSpec::Uniform(0, 8))
+            .build();
+    }
+
+    #[test]
+    fn fixed_priority_and_tenant_tagging_draw_nothing_from_the_rng() {
+        let base = TraceBuilder::new(Dataset::QmSum)
+            .seed(21)
+            .requests(32)
+            .decode_range(4, 32)
+            .poisson(5.0)
+            .build();
+        // priority(0) + tenant(0) is bit-identical to the default build.
+        let tagged_zero = TraceBuilder::new(Dataset::QmSum)
+            .seed(21)
+            .requests(32)
+            .decode_range(4, 32)
+            .poisson(5.0)
+            .priority(0)
+            .tenant(0)
+            .build();
+        assert_eq!(base, tagged_zero);
+        // Nonzero tags change only the labeled fields.
+        let tagged = TraceBuilder::new(Dataset::QmSum)
+            .seed(21)
+            .requests(32)
+            .decode_range(4, 32)
+            .poisson(5.0)
+            .priority(2)
+            .tenant(3)
+            .build();
+        for (a, b) in base.iter().zip(tagged.iter()) {
+            assert_eq!(a.context_len, b.context_len);
+            assert_eq!(a.decode_len, b.decode_len);
+            assert_eq!(a.arrival_us, b.arrival_us);
+            assert_eq!(b.priority, 2);
+            assert_eq!(b.tenant, 3);
+        }
+        assert_eq!(base.tenants(), vec![0]);
+        assert_eq!(tagged.tenants(), vec![3]);
+    }
+
+    #[test]
+    fn merge_is_identity_for_one_trace_and_orders_many() {
+        let one = TraceBuilder::new(Dataset::QmSum)
+            .seed(5)
+            .requests(16)
+            .poisson(4.0)
+            .build();
+        assert_eq!(Trace::merge([one.clone()]), one);
+        let other = TraceBuilder::new(Dataset::Musique)
+            .seed(6)
+            .requests(8)
+            .tenant(1)
+            .poisson(2.0)
+            .build();
+        let merged = Trace::merge([one.clone(), other.clone()]);
+        assert_eq!(merged.len(), 24);
+        assert_eq!(merged.tenants(), vec![0, 1]);
+        // Globally arrival-ordered with unique ids.
+        let reqs = merged.requests();
+        assert!(reqs
+            .windows(2)
+            .all(|w| (w[0].arrival_us, w[0].id) < (w[1].arrival_us, w[1].id)));
+        let mut ids: Vec<u64> = reqs.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 24);
+        // Each tenant's own stream is preserved verbatim (ids offset).
+        let t1: Vec<_> = reqs.iter().filter(|r| r.tenant == 1).collect();
+        for (got, want) in t1.iter().zip(other.iter()) {
+            assert_eq!(got.context_len, want.context_len);
+            assert_eq!(got.arrival_us, want.arrival_us);
+            assert_eq!(got.id, want.id + one.len() as u64);
+        }
     }
 
     #[test]

@@ -19,4 +19,4 @@ pub mod dataset;
 pub mod gen;
 
 pub use dataset::{Dataset, DatasetStats};
-pub use gen::{ArrivalProcess, Request, Trace, TraceBuilder};
+pub use gen::{ArrivalProcess, DecodeSpec, Request, Trace, TraceBuilder};

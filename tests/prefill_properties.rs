@@ -121,6 +121,7 @@ fn ttft_is_monotone_in_prompt_length() {
                 decode_len: 16,
                 arrival_us: id * 1_000_000,
                 priority: 0,
+                tenant: 0,
             })
             .collect()
     };
