@@ -1,0 +1,132 @@
+//! Simulator-throughput bench: how fast the simulator itself runs.
+//!
+//! Times one large checked-in scenario
+//! (`scenarios/perf/sim_speed_100k.json`: 100k requests over a
+//! 100-replica cluster) end-to-end through the cluster layer and
+//! reports **simulated requests per second** — completed requests
+//! divided by the wall-clock seconds of the simulation. Wall-clock
+//! alone would couple the row to the scenario size; simulated-req/s is
+//! the size-independent rate the regression gate can pin.
+//!
+//! Switches beyond the shared set (`--tiny`, `--json`, `--scenario`):
+//!
+//! * `--threads N` — override the spec's simulation thread count
+//!   (results are byte-identical whatever the count; only the wall
+//!   clock moves).
+//! * `--check-determinism` — additionally run the scenario on one
+//!   thread and assert the two [`system::ServingReport`]s are equal,
+//!   the acceptance check for the multi-threaded path.
+//!
+//! `--tiny` divides every tenant's request count by 64 (CI smoke
+//! sizing) and suffixes the row name with `/tiny`, so the full-size
+//! row and the CI row never collide in `BENCH_serving.json`.
+
+use bench::cli::{file_stem, BenchArgs};
+use bench::{header, push_row_field, serving_row, write_bench_json};
+use std::time::Instant;
+use system::{Cluster, Scenario, ServingReport};
+
+const DEFAULT_SCENARIO: &str = "scenarios/perf/sim_speed_100k.json";
+const TINY_DIVISOR: usize = 64;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let path = args
+        .scenario
+        .clone()
+        .unwrap_or_else(|| DEFAULT_SCENARIO.to_string());
+    let mut scenario = Scenario::from_file(&path).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    if args.tiny {
+        for t in &mut scenario.workload {
+            t.requests = (t.requests / TINY_DIVISOR).max(1);
+        }
+    }
+    if let Some(n) = flag_value(&args.rest, "--threads") {
+        scenario.cluster.threads = n;
+    }
+    let check_determinism = args.rest.iter().any(|a| a == "--check-determinism");
+
+    let m = scenario.materialize().unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(1);
+    });
+    let replicas = m.evaluator.system().replicas();
+    header(&format!(
+        "Simulator speed: {} requests over {} replicas ({}, {} router, threads {})",
+        m.trace.len(),
+        replicas,
+        scenario.policies.scheduling,
+        m.router.label(),
+        m.threads,
+    ));
+
+    let (report, wall) = timed_run(&m.evaluator, &m, m.threads);
+    let completed = report.latency.completed;
+    let sim_rps = if wall > 0.0 {
+        completed as f64 / wall
+    } else {
+        0.0
+    };
+    println!(
+        "{completed} requests in {wall:.2}s wall = {sim_rps:.0} simulated req/s \
+         ({:.2} simulated seconds, {:.1} tok/s simulated)",
+        report.seconds, report.tokens_per_second,
+    );
+
+    if check_determinism {
+        let (sequential, seq_wall) = timed_run(&m.evaluator, &m, 1);
+        assert_eq!(
+            sequential, report,
+            "threads=1 and threads={} reports must be byte-identical",
+            m.threads
+        );
+        println!(
+            "determinism: threads=1 ({seq_wall:.2}s) matches threads={} byte-for-byte",
+            m.threads
+        );
+    }
+
+    if let Some(json_path) = &args.json {
+        let stem = file_stem(&path);
+        let name = if args.tiny {
+            format!("{stem}/tiny")
+        } else {
+            stem
+        };
+        let rate = m.trace.offered_rate().unwrap_or(0.0);
+        let mut row = serving_row(&name, rate, &report);
+        push_row_field(&mut row, "wall_seconds", bench::json::Json::num(wall));
+        push_row_field(
+            &mut row,
+            "sim_requests_per_second",
+            bench::json::Json::num(sim_rps),
+        );
+        write_bench_json(json_path, "sim_speed", vec![row]);
+    }
+}
+
+/// Runs the materialized scenario on `threads` threads, timing only the
+/// simulation (trace generation and evaluator compilation are outside
+/// the clock).
+fn timed_run(
+    eval: &system::Evaluator,
+    m: &system::Materialized,
+    threads: usize,
+) -> (ServingReport, f64) {
+    let mut router = m.router.build();
+    let cluster = Cluster::new(eval, eval.scheduling_policy()).with_threads(threads);
+    let t0 = Instant::now();
+    let report = cluster.run(&m.trace, router.as_mut());
+    (report, t0.elapsed().as_secs_f64())
+}
+
+/// The integer following `flag` in the leftover arguments, if present.
+fn flag_value(rest: &[String], flag: &str) -> Option<usize> {
+    rest.iter()
+        .position(|a| a == flag)
+        .and_then(|i| rest.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}

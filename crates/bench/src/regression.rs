@@ -16,6 +16,13 @@ use crate::json::Json;
 pub const MAX_THROUGHPUT_DROP: f64 = 0.05;
 /// Relative p99-TTFT rise that fails the gate (5%).
 pub const MAX_TTFT_RISE: f64 = 0.05;
+/// Relative simulated-requests-per-second drop that fails the gate
+/// (30%). Deliberately generous where the simulated metrics above are
+/// tight: `sim_requests_per_second` measures *wall-clock* simulator
+/// speed (see `bench --bin sim_speed`), which breathes with CI hardware
+/// and load — the gate only catches a hot path growing dramatically
+/// slower, not machine-to-machine jitter.
+pub const MAX_SIM_SPEED_DROP: f64 = 0.30;
 
 /// Merges per-bin bench documents into one snapshot document
 /// (`{"benches": [...]}`), the on-disk format of `BENCH_serving.json`.
@@ -32,6 +39,11 @@ pub struct RowDelta {
     pub tokens_per_second: (f64, f64),
     /// Snapshot vs fresh p99 TTFT seconds.
     pub ttft_p99: (f64, f64),
+    /// Snapshot vs fresh simulated requests per wall-clock second —
+    /// only gated when *both* rows carry the field (it exists on
+    /// `sim_speed` rows alone, and an older snapshot without it must
+    /// not trip on the comparison).
+    pub sim_requests_per_second: Option<(f64, f64)>,
 }
 
 impl RowDelta {
@@ -52,6 +64,16 @@ impl RowDelta {
                 self.key,
                 (ttft_fresh / ttft_snap - 1.0) * 100.0
             ));
+        }
+        if let Some((speed_snap, speed_fresh)) = self.sim_requests_per_second {
+            if speed_snap > 0.0 && speed_fresh < speed_snap * (1.0 - MAX_SIM_SPEED_DROP) {
+                return Some(format!(
+                    "{}: simulator speed dropped {:.1}% \
+                     ({speed_snap:.0} -> {speed_fresh:.0} simulated req/s)",
+                    self.key,
+                    (1.0 - speed_fresh / speed_snap) * 100.0
+                ));
+            }
         }
         None
     }
@@ -107,6 +129,17 @@ pub fn compare(snapshot: &Json, fresh: &[Json]) -> (Vec<RowDelta>, Vec<String>) 
                 metric(fresh_row, "tokens_per_second"),
             ),
             ttft_p99: (metric(snap_row, "ttft_p99"), metric(fresh_row, "ttft_p99")),
+            sim_requests_per_second: match (
+                snap_row
+                    .get("sim_requests_per_second")
+                    .and_then(Json::as_f64),
+                fresh_row
+                    .get("sim_requests_per_second")
+                    .and_then(Json::as_f64),
+            ) {
+                (Some(snap), Some(fresh)) => Some((snap, fresh)),
+                _ => None,
+            },
         };
         if let Some(v) = delta.violation() {
             violations.push(v);
@@ -200,6 +233,63 @@ mod tests {
         // single-bin comparisons are supported).
         let (_, quiet) = compare(&snap, &[bench_doc("other", &[])]);
         assert!(quiet.iter().all(|v| !v.contains("missing from fresh")));
+    }
+
+    fn sim_speed_doc(bench: &str, rows: &[(&str, f64)]) -> Json {
+        Json::obj([
+            ("bench", Json::str(bench)),
+            (
+                "rows",
+                Json::Arr(
+                    rows.iter()
+                        .map(|(name, speed)| {
+                            Json::obj([
+                                ("name", Json::str(*name)),
+                                ("tokens_per_second", Json::num(100.0)),
+                                ("ttft_p99", Json::num(0.5)),
+                                ("sim_requests_per_second", Json::num(*speed)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn sim_speed_gate_is_generous_but_real() {
+        let snap = merge_snapshot(vec![sim_speed_doc("sim_speed", &[("big", 100_000.0)])]);
+        // A 25% slowdown rides inside the 30% allowance (CI jitter)...
+        let (_, ok) = compare(&snap, &[sim_speed_doc("sim_speed", &[("big", 75_000.0)])]);
+        assert!(ok.is_empty(), "{ok:?}");
+        // ...a 40% slowdown does not.
+        let (deltas, bad) = compare(&snap, &[sim_speed_doc("sim_speed", &[("big", 60_000.0)])]);
+        assert_eq!(
+            deltas[0].sim_requests_per_second,
+            Some((100_000.0, 60_000.0))
+        );
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("simulator speed dropped"), "{bad:?}");
+        // Speedups always pass.
+        let (_, up) = compare(&snap, &[sim_speed_doc("sim_speed", &[("big", 500_000.0)])]);
+        assert!(up.is_empty(), "{up:?}");
+    }
+
+    #[test]
+    fn rows_without_sim_speed_field_are_not_gated_on_it() {
+        // Neither side carries the field (every non-sim_speed bench).
+        let snap = merge_snapshot(vec![bench_doc("lc", &[("a", 100.0, 0.5)])]);
+        let fresh = bench_doc("lc", &[("a", 100.0, 0.5)]);
+        let (deltas, violations) = compare(&snap, &[fresh]);
+        assert_eq!(deltas[0].sim_requests_per_second, None);
+        assert!(violations.is_empty(), "{violations:?}");
+        // Field on one side only (snapshot predates the metric): the
+        // comparison must not invent a 100% drop.
+        let snap = merge_snapshot(vec![bench_doc("sim_speed", &[("big", 100.0, 0.5)])]);
+        let fresh = sim_speed_doc("sim_speed", &[("big", 100_000.0)]);
+        let (deltas, violations) = compare(&snap, &[fresh]);
+        assert_eq!(deltas[0].sim_requests_per_second, None);
+        assert!(violations.is_empty(), "{violations:?}");
     }
 
     #[test]

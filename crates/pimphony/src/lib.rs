@@ -462,6 +462,7 @@ mod tests {
             ClusterSpec {
                 tp: 2,
                 pp: 1,
+                modules: 0,
                 threads: 4
             }
         );

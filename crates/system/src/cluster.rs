@@ -19,13 +19,18 @@
 //!   (pending prefill tokens), the TTFT-oriented signal when prefill is
 //!   modeled.
 //!
-//! Replica simulations run on [`std::thread::scope`] threads
-//! ([`Cluster::threads`]). Parallel and sequential runs produce
-//! byte-identical [`ServingReport`]s: routing happens at barrier points
-//! (each replica is advanced to the routing frontier before a decision),
-//! and accounting is replayed from per-replica event logs in
-//! replica-index order, so no float-accumulation order depends on thread
-//! scheduling.
+//! During routing, replicas are advanced to each arrival's frontier
+//! through an **event calendar**: every `ReplicaSim::advance_to` call
+//! returns the replica's next-event bound (the earliest instant its
+//! state can change), and only replicas whose bound the frontier has
+//! passed are touched — next-event dispatch instead of polling every
+//! replica per arrival, bit-exact because advancing a replica below its
+//! bound is a state no-op. The drain then runs on [`std::thread::scope`]
+//! threads ([`Cluster::threads`]). Parallel and sequential runs produce
+//! byte-identical [`ServingReport`]s: routing decisions see identical
+//! load snapshots either way, and accounting is replayed from
+//! per-replica event logs in replica-index order, so no
+//! float-accumulation order depends on thread scheduling.
 
 use crate::metrics::{LatencyReport, ReplicaBreakdown, RequestTiming};
 use crate::policy::SchedulingPolicy;
@@ -33,6 +38,8 @@ use crate::replica::{ReplicaSim, SimEvent};
 use crate::serve::{Evaluator, ServingReport};
 use crate::stage::IterationBreakdown;
 use serde::Serialize;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use workload::{Request, Trace};
 
 pub use crate::replica::ReplicaLoad;
@@ -334,43 +341,64 @@ impl<'a> Cluster<'a> {
             .collect();
 
         // Load-aware routing needs each replica's state at the arrival
-        // instant, so the sims are advanced to the routing frontier
-        // before each decision — sequentially: the work between two
-        // consecutive arrivals is far smaller than a thread spawn, so
-        // fanning out here costs more than it saves (measured ~30%
-        // slower). The wave policy ignores arrival times entirely, and
+        // instant. The wave policy ignores arrival times entirely, and
         // stateless routers never look — both cases skip the
         // interleaved advancing and simulate replicas end-to-end at the
         // drain, where the parallel fan-out genuinely pays.
         let inspects = router.inspects_load();
         let interleave = inspects && self.policy == SchedulingPolicy::Continuous && replicas > 1;
         let mut frontier = 0.0f64;
-        // Routers that never look at load get placeholder snapshots
-        // (index and length only) instead of a per-arrival re-read of
-        // every replica's state.
-        let mut loads: Vec<ReplicaLoad> = (0..replicas)
-            .map(|i| ReplicaLoad {
-                replica: i,
-                in_flight: 0,
-                reserved_kv: 0,
-                pending_prefill: 0,
-                evictions: 0,
-            })
-            .collect();
+        // The load snapshot handed to the router, built once and then
+        // maintained incrementally: advancing a replica refreshes its
+        // entry and an enqueue refreshes the target's — nothing else
+        // changes replica state during routing, so the buffer always
+        // matches what a per-arrival rebuild would produce (the
+        // historical behavior, minus its O(replicas) cost per arrival).
+        // Routers that never look get the initial (all-idle) snapshots.
+        let mut loads: Vec<ReplicaLoad> = sims.iter().enumerate().map(|(i, s)| s.load(i)).collect();
+        // Event calendar for the interleaved advance: a min-heap of
+        // `(next-event time, replica)` entries. Times are nonnegative,
+        // so their IEEE-754 bit patterns order identically to the
+        // floats. A replica is advanced only when the routing frontier
+        // passes its next-event bound — the earliest instant its state
+        // can change (see `ReplicaSim::advance_to`); replicas the
+        // frontier does not reach are skipped, which is bit-exact
+        // because advancing a replica below its bound is a state no-op.
+        // Routing an arrival pulls the target's bound down to the
+        // arrival instant; the superseded heap entry is skipped lazily
+        // (`next_event` holds the authoritative bound per replica).
+        let mut next_event: Vec<f64> = vec![0.0; replicas];
+        let mut calendar: BinaryHeap<Reverse<(u64, usize)>> =
+            (0..replicas).map(|i| Reverse((0u64, i))).collect();
         for r in &arrivals {
-            if interleave {
-                let ta = r.arrival_secs();
-                if ta > frontier {
-                    advance_all(&mut sims, ta);
-                    frontier = ta;
+            let ta = r.arrival_secs();
+            if interleave && ta > frontier {
+                while let Some(&Reverse((bits, i))) = calendar.peek() {
+                    if f64::from_bits(bits) > ta {
+                        break;
+                    }
+                    calendar.pop();
+                    if next_event[i].to_bits() != bits {
+                        continue; // superseded by an earlier bound
+                    }
+                    let bound = sims[i].advance_to(ta);
+                    next_event[i] = bound;
+                    if bound.is_finite() {
+                        calendar.push(Reverse((bound.to_bits(), i)));
+                    }
+                    loads[i] = sims[i].load(i);
                 }
-            }
-            if inspects {
-                loads.clear();
-                loads.extend(sims.iter().enumerate().map(|(i, s)| s.load(i)));
+                frontier = ta;
             }
             let target = router.route(r, &loads).min(replicas - 1);
             sims[target].enqueue(*r);
+            if inspects {
+                loads[target] = sims[target].load(target);
+            }
+            if interleave && ta < next_event[target] {
+                next_event[target] = ta;
+                calendar.push(Reverse((ta.to_bits(), target)));
+            }
         }
         finish_all(&mut sims, self.threads);
         self.merge(&sims, t_max, arrivals.len())
@@ -464,22 +492,20 @@ impl<'a> Cluster<'a> {
     }
 }
 
-/// Advances every sim to `limit`, sequentially (see [`Cluster::run`]:
-/// the inter-arrival work is too small to amortize thread spawns).
-fn advance_all(sims: &mut [ReplicaSim<'_>], limit: f64) {
-    for sim in sims {
-        sim.advance_to(limit);
-    }
-}
-
 /// Runs every sim to completion, fanning out over scoped threads.
 fn finish_all(sims: &mut [ReplicaSim<'_>], threads: usize) {
     for_each_sim(sims, threads, |s| s.finish());
 }
 
-/// Applies `f` to each sim, on up to `threads` scoped threads. Each sim
-/// is touched by exactly one thread, so results cannot depend on the
-/// interleaving.
+/// Applies `f` to each sim, on up to `threads` scoped threads. Replica
+/// drain times are heavily skewed (load-aware routing equalizes load,
+/// but the drain leaves each replica a different backlog), so the work
+/// is distributed dynamically: workers pull the next sim from a shared
+/// iterator instead of receiving a fixed slice, and a thread stuck on a
+/// heavy replica cannot strand the rest of a pre-chunked share. Each sim
+/// is still touched by exactly one thread — and accounting is replayed
+/// from the per-replica logs in replica-index order afterwards — so
+/// results cannot depend on the interleaving.
 fn for_each_sim<F>(sims: &mut [ReplicaSim<'_>], threads: usize, f: F)
 where
     F: Fn(&mut ReplicaSim<'_>) + Sync,
@@ -491,13 +517,15 @@ where
         }
         return;
     }
-    let per = sims.len().div_ceil(workers);
+    let queue = std::sync::Mutex::new(sims.iter_mut());
     std::thread::scope(|scope| {
-        for group in sims.chunks_mut(per) {
-            scope.spawn(|| {
-                for sim in group {
-                    f(sim);
-                }
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                // The guard is a temporary: it drops before `f` runs, so
+                // workers only serialize on *claiming* a sim.
+                let claimed = queue.lock().expect("sim queue poisoned").next();
+                let Some(sim) = claimed else { break };
+                f(sim);
             });
         }
     });

@@ -94,6 +94,31 @@ struct Affine {
     slope: KernelStats,
 }
 
+/// A resolved attention-kernel configuration, usable as a lock-free
+/// evaluator: [`Self::stats`] returns exactly what
+/// [`KernelModel::attention`] would for the same configuration and
+/// token count, without re-taking the memo lock per query. Hot loops
+/// price thousands of token slices per iteration against one fixed
+/// configuration — hoisting the memo lookup out of the slice loop
+/// removes the per-slice lock/hash cost without changing a single
+/// float operation.
+#[derive(Debug, Clone, Copy)]
+pub struct AttentionEval {
+    affine: Affine,
+}
+
+impl AttentionEval {
+    /// Statistics over `tokens` tokens — bit-identical to
+    /// [`KernelModel::attention`] with the configuration this evaluator
+    /// was resolved for.
+    pub fn stats(&self, tokens: u64) -> KernelStats {
+        if tokens == 0 {
+            return KernelStats::default();
+        }
+        KernelStats::axpy(&self.affine.intercept, &self.affine.slope, tokens as f64)
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct GemvKey {
     dout: u32,
@@ -207,6 +232,28 @@ impl KernelModel {
         KernelStats::axpy(&a.intercept, &a.slope, tokens as f64)
     }
 
+    /// Resolves one attention configuration into a lock-free
+    /// [`AttentionEval`] for repeated per-slice queries (one memo
+    /// lookup up front instead of one per slice).
+    pub fn attention_eval(
+        &self,
+        kind: AttentionKind,
+        scheduler: SchedulerKind,
+        pimphony_buffers: bool,
+        group: u32,
+        row_reuse: bool,
+    ) -> AttentionEval {
+        AttentionEval {
+            affine: self.affine(AttnKey {
+                kind,
+                scheduler,
+                group,
+                row_reuse,
+                pimphony_buffers,
+            }),
+        }
+    }
+
     /// Total statistics of one attention kernel summed over a causal
     /// prefill chunk on one channel: query positions
     /// `done+1 ..= done+chunk`, where position `i` attends to its
@@ -308,6 +355,31 @@ mod tests {
                 d.cycles,
                 s.cycles
             );
+        }
+    }
+
+    #[test]
+    fn attention_eval_is_bit_exact_with_attention() {
+        let m = model();
+        for (group, row_reuse) in [(1, false), (4, true)] {
+            let eval = m.attention_eval(
+                AttentionKind::Qkt,
+                SchedulerKind::Dcs,
+                true,
+                group,
+                row_reuse,
+            );
+            for tokens in [0u64, 1, 17, 512, 4096, 100_000] {
+                let direct = m.attention(
+                    AttentionKind::Qkt,
+                    SchedulerKind::Dcs,
+                    true,
+                    group,
+                    row_reuse,
+                    tokens,
+                );
+                assert_eq!(eval.stats(tokens), direct, "tokens {tokens}");
+            }
         }
     }
 

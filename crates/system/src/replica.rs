@@ -206,6 +206,178 @@ impl Queued {
     }
 }
 
+/// The pending queue, indexed by priority class: one FCFS lane per
+/// distinct priority, lanes ordered highest class first. Traces carry a
+/// handful of distinct priorities, so every query below is effectively
+/// O(1) — where the historical single merged `VecDeque` paid an O(n)
+/// scan per admission candidate and an O(n) shift per admission
+/// (`remove(ci)`), the dominant cost of large priority-traffic runs.
+///
+/// # Admission-order invariant
+///
+/// Every continuous-mode lane is in `(arrival_us, id)` order: the
+/// cluster routes arrivals in global `(arrival_us, id)` order
+/// ([`workload::Trace::arrival_ordered`]), so fresh pushes are
+/// nondecreasing (asserted in [`Self::push_back`]), and evictions
+/// reinsert at their sorted position ([`Self::reinsert`]). The invariant
+/// is what lets each lane answer by its *front*: the next admission
+/// candidate is the front of the highest-priority lane whose front has
+/// arrived — the same request a linear scan of the merged queue selects
+/// (cross-checked against that scan under `debug_assertions`, which the
+/// equivalence property tests run under).
+///
+/// The wave policy routes in trace order (not arrival order), drains in
+/// insertion order and ignores priority — a wave queue is therefore a
+/// single insertion-order lane (`fifo`), bit-exact with the historical
+/// `VecDeque`.
+#[derive(Debug)]
+struct PendingQueue {
+    /// `(priority, lane)` pairs, highest priority first; each lane in
+    /// `(arrival_us, id)` order (fifo mode: one lane, insertion order).
+    /// Lanes are never removed — the handful of classes a trace uses is
+    /// allocated once and recycled for the rest of the run.
+    lanes: Vec<(u8, VecDeque<Queued>)>,
+    len: usize,
+    fifo: bool,
+}
+
+impl PendingQueue {
+    fn new(fifo: bool) -> Self {
+        PendingQueue {
+            lanes: Vec::new(),
+            len: 0,
+            fifo,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The lane for `priority`, created on first use.
+    fn lane_mut(&mut self, priority: u8) -> &mut VecDeque<Queued> {
+        let li = self.lanes.partition_point(|(p, _)| *p > priority);
+        if !self.lanes.get(li).is_some_and(|(p, _)| *p == priority) {
+            self.lanes.insert(li, (priority, VecDeque::new()));
+        }
+        &mut self.lanes[li].1
+    }
+
+    /// Appends a routed request. Outside fifo mode the caller must push
+    /// in nondecreasing `(arrival_us, id)` order (the admission-order
+    /// invariant above).
+    fn push_back(&mut self, q: Queued) {
+        let fifo = self.fifo;
+        let lane = self.lane_mut(if fifo { 0 } else { q.req.priority });
+        debug_assert!(
+            fifo || !lane
+                .back()
+                .is_some_and(|b| (b.req.arrival_us, b.req.id) > (q.req.arrival_us, q.req.id)),
+            "pending pushes must be in nondecreasing (arrival_us, id) order"
+        );
+        lane.push_back(q);
+        self.len += 1;
+    }
+
+    /// Reinserts an evicted request at its `(arrival_us, id)` position
+    /// within its priority lane.
+    fn reinsert(&mut self, q: Queued) {
+        debug_assert!(!self.fifo, "waves never evict");
+        let key = (q.req.arrival_us, q.req.id);
+        let lane = self.lane_mut(q.req.priority);
+        let pos = lane.partition_point(|p| (p.req.arrival_us, p.req.id) <= key);
+        lane.insert(pos, q);
+        self.len += 1;
+    }
+
+    /// The earliest-arriving pending request (`(arrival_us, id)` order)
+    /// — the idle-jump target and the FCFS fast-path chunk cut. Each
+    /// lane's front is its earliest, so this is a min over lane fronts.
+    fn earliest(&self) -> Option<&Queued> {
+        self.lanes
+            .iter()
+            .filter_map(|(_, lane)| lane.front())
+            .min_by_key(|q| (q.req.arrival_us, q.req.id))
+    }
+
+    /// The next admission candidate at time `t`: the front of the
+    /// highest-priority lane whose front has arrived. (A lane front that
+    /// has not arrived means nothing in that lane has — fronts are the
+    /// per-lane earliest.)
+    fn peek_candidate(&self, t: f64) -> Option<&Queued> {
+        let cand = self
+            .lanes
+            .iter()
+            .filter_map(|(_, lane)| lane.front())
+            .find(|q| q.req.arrival_secs() <= t);
+        debug_assert_eq!(
+            cand.map(|q| q.req.id),
+            self.linear_scan_candidate(t).map(|q| q.req.id),
+            "lane-front candidate must match the linear-scan reference"
+        );
+        cand
+    }
+
+    /// Linear-scan reference for [`Self::peek_candidate`]: the
+    /// historical selection rule over the merged queue, kept as the
+    /// `debug_assertions` cross-check.
+    fn linear_scan_candidate(&self, t: f64) -> Option<&Queued> {
+        self.lanes
+            .iter()
+            .flat_map(|(_, lane)| lane.iter())
+            .filter(|q| q.req.arrival_secs() <= t)
+            .max_by_key(|q| (q.req.priority, Reverse(q.req.arrival_us), Reverse(q.req.id)))
+    }
+
+    /// Pops the candidate [`Self::peek_candidate`] returned. Still its
+    /// lane's front even after an eviction sweep: victims have strictly
+    /// lower priority, so their reinsertion cannot touch this lane.
+    fn pop_candidate(&mut self, priority: u8) -> Queued {
+        let li = self.lanes.partition_point(|(p, _)| *p > priority);
+        debug_assert_eq!(self.lanes[li].0, priority);
+        let q = self.lanes[li]
+            .1
+            .pop_front()
+            .expect("candidate lane nonempty");
+        self.len -= 1;
+        q
+    }
+
+    /// The earliest pending arrival strictly after `t`, if any — the
+    /// priority-path chunk cut, via per-lane binary search.
+    fn next_arrival_after(&self, t: f64) -> Option<f64> {
+        self.lanes
+            .iter()
+            .filter_map(|(_, lane)| {
+                let i = lane.partition_point(|q| q.req.arrival_secs() <= t);
+                lane.get(i).map(|q| q.req.arrival_secs())
+            })
+            .min_by(f64::total_cmp)
+    }
+
+    /// Drains the queue in insertion order (wave mode only).
+    fn drain_fifo(&mut self) -> VecDeque<Queued> {
+        debug_assert!(self.fifo);
+        self.len = 0;
+        self.lanes.pop().map(|(_, lane)| lane).unwrap_or_default()
+    }
+}
+
+/// One running request in the incrementally maintained victim index,
+/// kept sorted by ascending priority, most-recently-admitted first
+/// within a class — exactly the order [`ReplicaSim::plan_eviction`]
+/// consumes victims in, so planning walks a prefix instead of
+/// re-filtering and re-sorting the running batch per blocked candidate.
+/// Maintained only when the preemption policy can evict.
+#[derive(Debug, Clone, Copy)]
+struct VictimEntry {
+    priority: u8,
+    id: u64,
+    /// The request's KV reservation, cached at admission so planning
+    /// does not re-derive it per victim.
+    reserved: u64,
+}
+
 /// One request resident in a replica's running batch.
 #[derive(Debug, Clone, Copy)]
 struct Active {
@@ -257,9 +429,9 @@ pub(crate) struct ReplicaSim<'a> {
     preempt: PreemptionPolicy,
     prefill: PrefillConfig,
     t_max: u64,
-    /// Routed, not-yet-admitted requests in `(arrival_us, id)` order
+    /// Routed, not-yet-admitted requests, in per-priority FCFS lanes
     /// (evicted requests re-enter at their arrival-order position).
-    pending: VecDeque<Queued>,
+    pending: PendingQueue,
     /// Sum of the pending requests' would-be reservations.
     pending_reserved: u64,
     /// Prompt tokens routed but not yet prefilled (0 with prefill off).
@@ -271,6 +443,12 @@ pub(crate) struct ReplicaSim<'a> {
     saw_priority: bool,
     admitter: ContinuousAdmitter,
     running: Vec<Active>,
+    /// Eviction-order index over `running` (see [`VictimEntry`]); empty
+    /// unless the preemption policy can evict.
+    victim_index: Vec<VictimEntry>,
+    /// Scratch for batch pricing — reused across steps so the hot path
+    /// allocates nothing per priced iteration.
+    batch_buf: Vec<(u64, u64)>,
     /// Admission sequence counter feeding [`Active::seq`].
     admit_seq: u64,
     /// Bumped on every admission, executed step, eviction, and
@@ -301,12 +479,14 @@ impl<'a> ReplicaSim<'a> {
             preempt: eval.preemption_policy(),
             prefill: eval.prefill_config(),
             t_max,
-            pending: VecDeque::new(),
+            pending: PendingQueue::new(policy == SchedulingPolicy::Wave),
             pending_reserved: 0,
             prefill_backlog: 0,
             saw_priority: false,
             admitter: ContinuousAdmitter::new(eval, t_max),
             running: Vec::new(),
+            victim_index: Vec::new(),
+            batch_buf: Vec::new(),
             admit_seq: 0,
             batch_version: 0,
             cached_step: None,
@@ -349,12 +529,21 @@ impl<'a> ReplicaSim<'a> {
         }
     }
 
-    /// Processes every event up to `limit`, deferring any decode chunk
-    /// that would end past it. A no-op under the wave policy, which
-    /// ignores arrival times (all its work happens in [`Self::finish`]).
-    pub(crate) fn advance_to(&mut self, limit: f64) {
+    /// Processes every event up to `limit`, deferring any step that
+    /// would end past it. Returns the replica's **next-event bound**:
+    /// the earliest future instant at which — absent newly routed
+    /// arrivals — its state can change (the deferred step's end, the
+    /// next pending arrival, or `f64::INFINITY` once drained). The bound
+    /// is always strictly greater than `limit`; the cluster's event
+    /// calendar relies on it to skip advancing quiescent replicas
+    /// (advancing below the bound is a state no-op). A no-op returning
+    /// `INFINITY` under the wave policy, which ignores arrival times
+    /// (all its work happens in [`Self::finish`]).
+    pub(crate) fn advance_to(&mut self, limit: f64) -> f64 {
         if self.policy == SchedulingPolicy::Continuous {
-            self.advance_continuous(limit);
+            self.advance_continuous(limit)
+        } else {
+            f64::INFINITY
         }
     }
 
@@ -362,7 +551,9 @@ impl<'a> ReplicaSim<'a> {
     pub(crate) fn finish(&mut self) {
         match self.policy {
             SchedulingPolicy::Wave => self.run_wave(),
-            SchedulingPolicy::Continuous => self.advance_continuous(f64::INFINITY),
+            SchedulingPolicy::Continuous => {
+                self.advance_continuous(f64::INFINITY);
+            }
         }
     }
 
@@ -399,7 +590,12 @@ impl<'a> ReplicaSim<'a> {
     fn run_wave(&mut self) {
         let eval = self.eval;
         let stride = eval.stride();
-        let queue: Vec<Request> = self.pending.drain(..).map(|q| q.req).collect();
+        let queue: Vec<Request> = self
+            .pending
+            .drain_fifo()
+            .into_iter()
+            .map(|q| q.req)
+            .collect();
         self.pending_reserved = 0;
         let mut idx = 0usize;
         while idx < queue.len() {
@@ -543,16 +739,17 @@ impl<'a> ReplicaSim<'a> {
     /// recomputed at execution time so deferral at the routing frontier
     /// is transparent; its *pricing* is cached across frontier visits
     /// (see [`PlannedStep`]).
-    fn advance_continuous(&mut self, limit: f64) {
+    ///
+    /// Returns the next-event bound documented on [`Self::advance_to`].
+    fn advance_continuous(&mut self, limit: f64) -> f64 {
         let eval = self.eval;
 
         loop {
-            // Idle: jump the clock to the next arrival (the queue is in
-            // arrival order, so the front is the earliest).
+            // Idle: jump the clock to the next arrival.
             if self.running.is_empty() {
-                match self.pending.front() {
-                    None => return,
-                    Some(q) if q.req.arrival_secs() > limit => return,
+                match self.pending.earliest() {
+                    None => return f64::INFINITY,
+                    Some(q) if q.req.arrival_secs() > limit => return q.req.arrival_secs(),
                     Some(q) if q.req.arrival_secs() > self.t => self.t = q.req.arrival_secs(),
                     Some(_) => {}
                 }
@@ -564,10 +761,8 @@ impl<'a> ReplicaSim<'a> {
             // the first candidate that neither fits nor can claim room
             // by evicting strictly-lower-priority running requests.
             let mut admitted_now = 0usize;
-            while let Some(ci) = self.best_candidate() {
-                let cand = self.pending[ci].req;
+            while let Some(cand) = self.pending.peek_candidate(self.t).map(|q| q.req) {
                 let need = eval.kv_reservation(cand.final_len(), self.t_max);
-                let mut ci = ci;
                 if !self
                     .admitter
                     .fits_given(need, self.admitter.used(), self.running.len())
@@ -578,15 +773,11 @@ impl<'a> ReplicaSim<'a> {
                     for id in victims {
                         self.evict(id);
                     }
-                    // Victims re-entered the queue at their arrival-order
-                    // position, which may have shifted the candidate.
-                    ci = self
-                        .pending
-                        .iter()
-                        .position(|q| q.req.id == cand.id)
-                        .expect("candidate still pending");
+                    // Victims re-entered strictly-lower-priority lanes,
+                    // so the candidate is still its own lane's front.
                 }
-                let q = self.pending.remove(ci).expect("candidate index in range");
+                let q = self.pending.pop_candidate(cand.priority);
+                debug_assert_eq!(q.req.id, cand.id, "popped the planned candidate");
                 self.pending_reserved = self.pending_reserved.saturating_sub(need);
                 self.admitter.reserve(eval, &q.req, self.t_max);
                 self.peak_reserved = self.peak_reserved.max(self.admitter.used());
@@ -622,6 +813,21 @@ impl<'a> ReplicaSim<'a> {
                     restart_secs: q.restart_secs,
                     seq: self.admit_seq,
                 });
+                if self.preempt.evicts() {
+                    // The new admission has the highest seq, so it leads
+                    // its priority class in eviction order.
+                    let pos = self
+                        .victim_index
+                        .partition_point(|e| e.priority < q.req.priority);
+                    self.victim_index.insert(
+                        pos,
+                        VictimEntry {
+                            priority: q.req.priority,
+                            id: q.req.id,
+                            reserved: need,
+                        },
+                    );
+                }
                 admitted_now += 1;
             }
             // Continuous mean_batch is step-weighted (tokens / steps),
@@ -635,16 +841,17 @@ impl<'a> ReplicaSim<'a> {
             }
 
             // Step event: a mixed prefill step while any prompt is
-            // unprocessed, else a pure decode chunk. Either returns
-            // false when the step would end past the routing frontier —
-            // an arrival not yet routed could still change the batch.
-            let executed = if self.running.iter().any(|a| !a.prompt_ready()) {
+            // unprocessed, else a pure decode chunk. Either defers (with
+            // the step's end time as the next-event bound) when it would
+            // end past the routing frontier — an arrival not yet routed
+            // could still change the batch.
+            let deferred = if self.running.iter().any(|a| !a.prompt_ready()) {
                 self.mixed_step(limit)
             } else {
                 self.decode_chunk(limit)
             };
-            if !executed {
-                return;
+            if let Err(ends_at) = deferred {
+                return ends_at;
             }
 
             // Completion events: retire finished requests, freeing memory.
@@ -658,6 +865,7 @@ impl<'a> ReplicaSim<'a> {
                 if done {
                     let a = self.running.swap_remove(i);
                     retired = true;
+                    self.victim_index_remove(a.req.id);
                     self.admitter.release(eval, &a.req, self.t_max);
                     self.events.push(SimEvent::Retire {
                         final_len: a.req.final_len(),
@@ -690,58 +898,76 @@ impl<'a> ReplicaSim<'a> {
         }
     }
 
-    /// The next admission candidate: the highest-priority arrived
-    /// pending request, FCFS (`(arrival_us, id)`) within a class. While
-    /// every priority is 0 this is exactly the queue front (taken as an
-    /// O(1) fast path — the scan below is O(arrived backlog) and the
-    /// sweep runs at every chunk boundary), preserving the historical
-    /// FCFS admission bit-exactly.
-    fn best_candidate(&self) -> Option<usize> {
-        if !self.saw_priority {
-            return self
-                .pending
-                .front()
-                .filter(|q| q.req.arrival_secs() <= self.t)
-                .map(|_| 0);
-        }
-        self.pending
-            .iter()
-            .enumerate()
-            .take_while(|(_, q)| q.req.arrival_secs() <= self.t)
-            .max_by_key(|(_, q)| (q.req.priority, Reverse(q.req.arrival_us), Reverse(q.req.id)))
-            .map(|(i, _)| i)
-    }
-
     /// Plans which running requests to evict so a blocked candidate
     /// needing `need` reservation bytes fits. Victims must have strictly
     /// lower priority than `priority` (so uniform-priority traces never
     /// evict, and eviction chains strictly descend — no thrashing);
     /// among them, the lowest priority goes first and the most recently
-    /// admitted within it (the least progress is lost). Returns `None` —
-    /// and evicts nobody — when even the full victim set would not make
-    /// the candidate fit.
+    /// admitted within it (the least progress is lost) — a prefix walk
+    /// of the incrementally maintained [`VictimEntry`] index, where the
+    /// historical implementation re-filtered and re-sorted the running
+    /// batch per blocked candidate (cross-checked against that reference
+    /// under `debug_assertions`). Returns `None` — and evicts nobody —
+    /// when even the full victim set would not make the candidate fit.
     fn plan_eviction(&self, need: u64, priority: u8) -> Option<Vec<u64>> {
         if !self.preempt.evicts() {
             return None;
         }
-        let mut victims: Vec<&Active> = self
-            .running
-            .iter()
-            .filter(|a| a.req.priority < priority)
-            .collect();
-        victims.sort_by_key(|a| (a.req.priority, Reverse(a.seq)));
         let mut used = self.admitter.used();
         let mut occupancy = self.running.len();
         let mut chosen = Vec::new();
-        for v in victims {
-            if self.admitter.fits_given(need, used, occupancy) {
+        for e in &self.victim_index {
+            if e.priority >= priority || self.admitter.fits_given(need, used, occupancy) {
                 break;
             }
-            used = used.saturating_sub(self.eval.kv_reservation(v.req.final_len(), self.t_max));
+            used = used.saturating_sub(e.reserved);
             occupancy -= 1;
-            chosen.push(v.req.id);
+            chosen.push(e.id);
         }
-        (!chosen.is_empty() && self.admitter.fits_given(need, used, occupancy)).then_some(chosen)
+        let ok = !chosen.is_empty() && self.admitter.fits_given(need, used, occupancy);
+        debug_assert_eq!(
+            (ok, chosen.clone()),
+            {
+                // Sort-based reference: the historical victim selection.
+                let mut victims: Vec<&Active> = self
+                    .running
+                    .iter()
+                    .filter(|a| a.req.priority < priority)
+                    .collect();
+                victims.sort_by_key(|a| (a.req.priority, Reverse(a.seq)));
+                let mut used_r = self.admitter.used();
+                let mut occ_r = self.running.len();
+                let mut chosen_r = Vec::new();
+                for v in victims {
+                    if self.admitter.fits_given(need, used_r, occ_r) {
+                        break;
+                    }
+                    used_r = used_r
+                        .saturating_sub(self.eval.kv_reservation(v.req.final_len(), self.t_max));
+                    occ_r -= 1;
+                    chosen_r.push(v.req.id);
+                }
+                let ok_r = !chosen_r.is_empty() && self.admitter.fits_given(need, used_r, occ_r);
+                (ok_r, chosen_r)
+            },
+            "victim index must match the sort-based reference"
+        );
+        ok.then_some(chosen)
+    }
+
+    /// Drops a no-longer-running request from the victim index (no-op
+    /// when the preemption policy cannot evict — the index is then never
+    /// populated).
+    fn victim_index_remove(&mut self, id: u64) {
+        if !self.preempt.evicts() {
+            return;
+        }
+        let pos = self
+            .victim_index
+            .iter()
+            .position(|e| e.id == id)
+            .expect("every running request is indexed");
+        self.victim_index.remove(pos);
     }
 
     /// Evicts one running request: releases its KV reservation, records
@@ -755,6 +981,7 @@ impl<'a> ReplicaSim<'a> {
             .position(|a| a.req.id == id)
             .expect("victim is running");
         let a = self.running.swap_remove(idx);
+        self.victim_index_remove(a.req.id);
         self.admitter.release(self.eval, &a.req, self.t_max);
         self.evictions += 1;
         self.batch_version += 1;
@@ -798,20 +1025,17 @@ impl<'a> ReplicaSim<'a> {
                 .saturating_add(q.prefill_target())
                 .saturating_sub(remainder);
         }
-        let key = (q.req.arrival_us, q.req.id);
-        let pos = self
-            .pending
-            .partition_point(|p| (p.req.arrival_us, p.req.id) <= key);
-        self.pending.insert(pos, q);
+        self.pending.reinsert(q);
     }
 
     /// Executes one mixed prefill step: the highest-priority (then
     /// FCFS-oldest) prefilling request advances one prompt chunk while
     /// the decoding batch (if any) advances one token. The prompt chunk
     /// runs first within the step, so a prompt completed mid-step starts
-    /// decoding at the *next* step. Returns false if the step would end
-    /// past `limit` (deferred; pricing stays cached for the revisit).
-    fn mixed_step(&mut self, limit: f64) -> bool {
+    /// decoding at the *next* step. Defers — `Err` carrying the step's
+    /// end time as the next-event bound — if the step would end past
+    /// `limit` (pricing stays cached for the revisit).
+    fn mixed_step(&mut self, limit: f64) -> Result<(), f64> {
         let pi = self
             .running
             .iter()
@@ -837,18 +1061,21 @@ impl<'a> ReplicaSim<'a> {
                     .chunk_tokens
                     .min(a.prefill_target - a.prefilled);
                 let pre = self.stage.prefill_chunk(a.req.id, a.prefilled, pchunk);
-                let batch: Vec<(u64, u64)> = self
-                    .running
-                    .iter()
-                    .filter(|a| a.prompt_ready() && a.done < a.req.decode_len)
-                    .map(|a| (a.req.id, a.req.context_len + a.done))
-                    .collect();
+                let mut batch = std::mem::take(&mut self.batch_buf);
+                batch.clear();
+                batch.extend(
+                    self.running
+                        .iter()
+                        .filter(|a| a.prompt_ready() && a.done < a.req.decode_len)
+                        .map(|a| (a.req.id, a.req.context_len + a.done)),
+                );
                 let it = if batch.is_empty() {
                     None
                 } else {
                     Some(self.stage.iteration(&batch))
                 };
                 let batch_len = batch.len();
+                self.batch_buf = batch;
                 self.cached_step = Some((
                     self.batch_version,
                     PlannedStep::Mixed {
@@ -863,7 +1090,7 @@ impl<'a> ReplicaSim<'a> {
         };
         let secs = pre.seconds + it.map_or(0.0, |it| it.seconds);
         if self.t + secs > limit {
-            return false;
+            return Err(self.t + secs);
         }
         let step_start = self.t;
         // The leading `owed` tokens of a post-eviction prefill pass are
@@ -908,16 +1135,17 @@ impl<'a> ReplicaSim<'a> {
         self.t += secs;
         self.busy += secs;
         self.batch_version += 1;
-        true
+        Ok(())
     }
 
     /// Executes one pure decode chunk with a constant batch, cut at the
     /// earliest completion and at the next admissible arrival, and
     /// priced at its midpoint step — per-step exact under the affine
-    /// kernel model, the same rule as the wave policy. Returns false if
-    /// the chunk would end past `limit` (deferred; the stride-bounded
-    /// pricing stays cached for the revisit).
-    fn decode_chunk(&mut self, limit: f64) -> bool {
+    /// kernel model, the same rule as the wave policy. Defers — `Err`
+    /// carrying the chunk's end time as the next-event bound — if the
+    /// chunk would end past `limit` (the stride-bounded pricing stays
+    /// cached for the revisit).
+    fn decode_chunk(&mut self, limit: f64) -> Result<(), f64> {
         let eval = self.eval;
         let stride = eval.stride();
         let min_remaining = self
@@ -932,12 +1160,15 @@ impl<'a> ReplicaSim<'a> {
                 it
             }
             _ => {
-                let batch: Vec<(u64, u64)> = self
-                    .running
-                    .iter()
-                    .map(|a| (a.req.id, a.req.context_len + a.done + (c0 - 1) / 2))
-                    .collect();
+                let mut batch = std::mem::take(&mut self.batch_buf);
+                batch.clear();
+                batch.extend(
+                    self.running
+                        .iter()
+                        .map(|a| (a.req.id, a.req.context_len + a.done + (c0 - 1) / 2)),
+                );
                 let it = self.stage.iteration(&batch);
+                self.batch_buf = batch;
                 self.cached_step = Some((self.batch_version, PlannedStep::Decode { it, c0 }));
                 it
             }
@@ -955,12 +1186,9 @@ impl<'a> ReplicaSim<'a> {
         // the admission sweep decide.
         if per_step > 0.0 {
             let cut_arrival = if self.saw_priority {
-                self.pending
-                    .iter()
-                    .map(|q| q.req.arrival_secs())
-                    .find(|&a| a > self.t)
+                self.pending.next_arrival_after(self.t)
             } else {
-                self.pending.front().and_then(|front| {
+                self.pending.earliest().and_then(|front| {
                     let arr = front.req.arrival_secs();
                     (arr > self.t
                         && self
@@ -981,18 +1209,22 @@ impl<'a> ReplicaSim<'a> {
         } else {
             // An arrival cut shortened the chunk: re-price at the
             // shorter chunk's own midpoint.
-            let batch: Vec<(u64, u64)> = self
-                .running
-                .iter()
-                .map(|a| (a.req.id, a.req.context_len + a.done + (chunk - 1) / 2))
-                .collect();
-            self.stage.iteration(&batch)
+            let mut batch = std::mem::take(&mut self.batch_buf);
+            batch.clear();
+            batch.extend(
+                self.running
+                    .iter()
+                    .map(|a| (a.req.id, a.req.context_len + a.done + (chunk - 1) / 2)),
+            );
+            let it = self.stage.iteration(&batch);
+            self.batch_buf = batch;
+            it
         };
         let secs = it.seconds * chunk as f64;
         // Defer chunks ending past the routing frontier: an arrival
         // not yet routed to this replica could still cut them.
         if self.t + secs > limit {
-            return false;
+            return Err(self.t + secs);
         }
         let batch_len = self.running.len();
         self.events.push(SimEvent::Chunk {
@@ -1011,6 +1243,100 @@ impl<'a> ReplicaSim<'a> {
         self.t += secs;
         self.busy += secs;
         self.batch_version += 1;
-        true
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, arrival_us: u64, priority: u8) -> Request {
+        Request {
+            id,
+            context_len: 100,
+            decode_len: 10,
+            arrival_us,
+            priority,
+            tenant: 0,
+        }
+    }
+
+    #[test]
+    fn lanes_admit_in_priority_then_fcfs_order() {
+        let mut q = PendingQueue::new(false);
+        // Arrival order (the only legal push order): interleaves classes.
+        q.push_back(Queued::fresh(req(0, 100, 0)));
+        q.push_back(Queued::fresh(req(1, 200, 2)));
+        q.push_back(Queued::fresh(req(2, 300, 0)));
+        q.push_back(Queued::fresh(req(3, 400, 2)));
+        q.push_back(Queued::fresh(req(4, 500, 1)));
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.earliest().unwrap().req.id, 0);
+        // Nothing arrived yet.
+        assert!(q.peek_candidate(50e-6).is_none());
+        // Everything arrived: highest class first, FCFS within it.
+        let mut order = Vec::new();
+        while let Some(c) = q.peek_candidate(1.0).copied() {
+            assert_eq!(q.pop_candidate(c.req.priority).req.id, c.req.id);
+            order.push(c.req.id);
+        }
+        assert_eq!(order, vec![1, 3, 4, 0, 2]);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn candidate_respects_arrival_cutoff_across_lanes() {
+        let mut q = PendingQueue::new(false);
+        q.push_back(Queued::fresh(req(0, 1_000_000, 0))); // t = 1.0s
+        q.push_back(Queued::fresh(req(1, 2_000_000, 5))); // t = 2.0s
+                                                          // Only the low-priority request has arrived at t=1.5s.
+        assert_eq!(q.peek_candidate(1.5).unwrap().req.id, 0);
+        // Both arrived: the high-priority one wins.
+        assert_eq!(q.peek_candidate(2.5).unwrap().req.id, 1);
+        // Next strictly-future arrival from t=1.0 is the 2.0s request.
+        assert_eq!(q.next_arrival_after(1.0), Some(2.0));
+        assert_eq!(q.next_arrival_after(2.0), None);
+    }
+
+    #[test]
+    fn reinsert_restores_arrival_order_within_class() {
+        let mut q = PendingQueue::new(false);
+        q.push_back(Queued::fresh(req(0, 100, 1)));
+        q.push_back(Queued::fresh(req(2, 300, 1)));
+        // An eviction re-enqueues an older arrival mid-class.
+        q.reinsert(Queued::fresh(req(1, 200, 1)));
+        let mut order = Vec::new();
+        while let Some(c) = q.peek_candidate(1.0).copied() {
+            order.push(q.pop_candidate(c.req.priority).req.id);
+        }
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn fifo_mode_drains_in_insertion_order_ignoring_priority() {
+        let mut q = PendingQueue::new(true);
+        // Wave routing is trace order: arrivals may be out of order and
+        // priorities are ignored.
+        q.push_back(Queued::fresh(req(0, 900, 0)));
+        q.push_back(Queued::fresh(req(1, 100, 7)));
+        q.push_back(Queued::fresh(req(2, 500, 3)));
+        let ids: Vec<u64> = q.drain_fifo().into_iter().map(|p| p.req.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(q.len(), 0);
+    }
+
+    /// The admission-order invariant the lane queue relies on (see the
+    /// [`PendingQueue`] docs): continuous-mode pushes must arrive in
+    /// nondecreasing `(arrival_us, id)` order — the order
+    /// [`workload::Trace::arrival_ordered`] routes in. Violating it is a
+    /// debug-assertion failure, not silent misordering.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "nondecreasing (arrival_us, id) order")]
+    fn out_of_order_push_trips_the_invariant_assert() {
+        let mut q = PendingQueue::new(false);
+        q.push_back(Queued::fresh(req(0, 500, 0)));
+        q.push_back(Queued::fresh(req(1, 100, 0)));
     }
 }

@@ -191,6 +191,12 @@ pub struct ClusterSpec {
     pub tp: u32,
     /// Pipeline-parallel degree of one replica.
     pub pp: u32,
+    /// Total PIM modules in the node; 0 (the default) keeps the system
+    /// preset's sizing. Overriding it scales the *cluster*: with the
+    /// TP/PP override set, the replica count is
+    /// `modules / (tp * pp)` — e.g. `modules: 200, tp: 2` simulates a
+    /// 100-replica fleet of 2-module replicas.
+    pub modules: u32,
     /// Replica-simulation threads (0 = one per available CPU; results
     /// are byte-identical whatever the count).
     pub threads: usize,
@@ -201,6 +207,7 @@ impl Default for ClusterSpec {
         ClusterSpec {
             tp: 0,
             pp: 1,
+            modules: 0,
             threads: 1,
         }
     }
@@ -296,10 +303,13 @@ impl Scenario {
     /// The system configuration this scenario describes for `model`
     /// (the preset sizing, with the cluster's TP/PP override applied).
     pub fn system_config_for(&self, model: &ModelConfig) -> SystemConfig {
-        let sys = match self.system {
+        let mut sys = match self.system {
             SystemKind::PimOnly => SystemConfig::cent_for(model),
             SystemKind::XpuPim => SystemConfig::neupims_for(model),
         };
+        if self.cluster.modules > 0 {
+            sys.modules = self.cluster.modules;
+        }
         if self.cluster.tp > 0 {
             sys.with_parallel(ParallelConfig::new(self.cluster.tp, self.cluster.pp.max(1)))
         } else {
@@ -397,6 +407,7 @@ impl Scenario {
                 Json::obj([
                     ("tp", Json::num(self.cluster.tp as f64)),
                     ("pp", Json::num(self.cluster.pp as f64)),
+                    ("modules", Json::num(self.cluster.modules as f64)),
                     ("threads", Json::num(self.cluster.threads as f64)),
                 ]),
             ),
@@ -472,6 +483,7 @@ impl Scenario {
             Some(c) => ClusterSpec {
                 tp: get_u64(c, "tp", defaults.tp as u64)? as u32,
                 pp: get_u64(c, "pp", defaults.pp as u64)? as u32,
+                modules: get_u64(c, "modules", defaults.modules as u64)? as u32,
                 threads: get_u64(c, "threads", defaults.threads as u64)? as usize,
             },
         };
@@ -921,5 +933,27 @@ mod tests {
         tp2.cluster.tp = 2;
         assert_eq!(tp2.system_config_for(&model).parallel.tp, 2);
         assert_eq!(tp2.system_config_for(&model).replicas(), 4);
+    }
+
+    #[test]
+    fn modules_override_scales_the_replica_count() {
+        let s =
+            Scenario::new("LLM-7B-32K").tenant(TenantSpec::new("t", Dataset::QmSum).requests(4));
+        let model = s.resolve_model().unwrap();
+        let mut big = s.clone();
+        big.cluster.tp = 2;
+        big.cluster.modules = 200;
+        let sys = big.system_config_for(&model);
+        assert_eq!(sys.modules, 200);
+        assert_eq!(sys.replicas(), 100);
+        // modules: 0 keeps the preset sizing.
+        assert_eq!(
+            s.system_config_for(&model).modules,
+            SystemConfig::cent_for(&model).modules
+        );
+        // And the knob survives the JSON round trip.
+        let back = Scenario::parse(&big.to_pretty()).expect("parse back");
+        assert_eq!(back.cluster.modules, 200);
+        assert_eq!(back, big);
     }
 }

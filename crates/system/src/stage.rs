@@ -124,12 +124,6 @@ impl<'a> StageModel<'a> {
             return AttentionStage::default();
         }
         let channels = self.system.module.channels;
-        let partition = ModulePartition::assign(
-            self.partitioning(),
-            channels,
-            self.kv_instances_per_module(),
-            batch_tokens,
-        );
         let sched = self.scheduler();
         let buffers = self.techniques.dcs;
         let group = self.effective_group();
@@ -143,26 +137,49 @@ impl<'a> StageModel<'a> {
             0.0
         };
 
+        // This is the simulator's innermost loop: one slice per
+        // (request, head, channel) under TCP, priced at every simulated
+        // iteration. The affine fit is resolved once per kernel up
+        // front (no per-slice memo lock) and the partition is visited
+        // without materializing it (no per-call Vec churn); the float
+        // accumulation sequence is identical to looping the
+        // materialized partition, so results are bit-exact.
+        let qkt_eval =
+            self.kernels
+                .attention_eval(AttentionKind::Qkt, sched, buffers, group, row_reuse);
+        let sv_eval =
+            self.kernels
+                .attention_eval(AttentionKind::Sv, sched, buffers, group, row_reuse);
         let mut makespan: f64 = 0.0;
         let mut totals = KernelStats::default();
         let mut busy_sum = 0.0;
-        for ch in partition.channels() {
-            let mut cycles = 0.0;
-            for slice in &ch.slices {
-                let t = slice.tokens();
-                let qkt =
-                    self.kernels
-                        .attention(AttentionKind::Qkt, sched, buffers, group, row_reuse, t);
-                let sv =
-                    self.kernels
-                        .attention(AttentionKind::Sv, sched, buffers, group, row_reuse, t);
+        let mut cycles = 0.0;
+        let mut cur_ch = 0u32;
+        let mut channel_has_work = false;
+        let mut active_channels = 0u32;
+        ModulePartition::for_each_slice(
+            self.partitioning(),
+            channels,
+            self.kv_instances_per_module(),
+            batch_tokens,
+            |ch, t| {
+                if ch != cur_ch {
+                    makespan = makespan.max(cycles);
+                    cycles = 0.0;
+                    active_channels += u32::from(channel_has_work);
+                    cur_ch = ch;
+                }
+                channel_has_work = true;
+                let qkt = qkt_eval.stats(t);
+                let sv = sv_eval.stats(t);
                 cycles += qkt.cycles + sv.cycles + reduction;
                 totals.accumulate(&qkt);
                 totals.accumulate(&sv);
                 busy_sum += qkt.mac_busy + sv.mac_busy;
-            }
-            makespan = makespan.max(cycles);
-        }
+            },
+        );
+        makespan = makespan.max(cycles);
+        active_channels += u32::from(channel_has_work);
         // Softmax on the EPU between QKT and SV, per (request, head);
         // pipelined with PIM execution, it adds only its serial tail.
         let softmax: f64 = batch_tokens
@@ -181,7 +198,7 @@ impl<'a> StageModel<'a> {
             cycles: makespan,
             utilization,
             totals,
-            active_channels: partition.active_channels(),
+            active_channels,
         }
     }
 
@@ -410,17 +427,12 @@ impl<'a> StageModel<'a> {
         let pp = self.system.parallel.pp as usize;
         let layers_per_stage = (self.model.layers as usize).div_ceil(pp);
         let m = b.min(pp).max(1);
-        // Round-robin micro-batch split.
-        let mut micros: Vec<Vec<(u64, u64)>> = vec![Vec::new(); m];
-        for (i, &req) in batch.iter().enumerate() {
-            micros[i % m].push(req);
-        }
 
         let clock = self.system.module.clock_hz;
         let mut out = IterationBreakdown::default();
         let mut stage_secs_sum = 0.0;
         let mut util_weighted = 0.0;
-        for micro in &micros {
+        let mut step = |micro: &[(u64, u64)]| {
             let attn = self.attention_layer(micro);
             let (fc_secs, fc_flops, fc_stats) = self.fc_layer(micro.len());
             let sync = self.sync_layer(micro.len());
@@ -437,6 +449,20 @@ impl<'a> StageModel<'a> {
             out.fc_totals
                 .accumulate(&fc_stats.scaled(layers_per_stage as f64 * pp as f64));
             util_weighted += attn.utilization * stage;
+        };
+        if m == 1 {
+            // The common no-pipeline case: the single micro-batch is
+            // the whole batch in order — price it in place.
+            step(batch);
+        } else {
+            // Round-robin micro-batch split.
+            let mut micros: Vec<Vec<(u64, u64)>> = vec![Vec::new(); m];
+            for (i, &req) in batch.iter().enumerate() {
+                micros[i % m].push(req);
+            }
+            for micro in &micros {
+                step(micro);
+            }
         }
         let mean_stage = stage_secs_sum / m as f64;
         out.bubble_seconds = (pp.saturating_sub(m)) as f64 * mean_stage;

@@ -293,6 +293,57 @@ fn ample_kv_capacity_eliminates_evictions() {
     }
 }
 
+/// Equivalence property for the indexed hot-path structures: the
+/// priority-lane pending queue and the incrementally maintained victim
+/// index must be *behavior-identical* to the linear-scan / sort-based
+/// implementations they replaced. Unoptimized builds cross-check every
+/// admission candidate and every eviction plan in place against the
+/// linear reference (`debug_assert`s in `system::replica`), so driving
+/// randomized multi-priority traces through the continuous path *is*
+/// the old-vs-new property — `cargo test` without `--release` panics on
+/// the first divergence; byte-identical reports across thread counts
+/// close the loop in optimized builds too.
+#[test]
+fn indexed_queues_match_linear_scan_reference_on_randomized_traces() {
+    for seed in [1, 9, 23, 2026] {
+        for levels in [1, 2, 4] {
+            let trace = TraceBuilder::new(Dataset::QmSum)
+                .seed(seed)
+                .requests(64)
+                .decode_range(8, 64)
+                .bursty(12.0, 2.5)
+                .priority_levels(levels)
+                .build();
+            for policy in PreemptionPolicy::ALL {
+                let eval = pressure_eval(policy, PRESSURE_FACTOR);
+                let sequential = run(&eval, &trace, RouterKind::JoinShortestQueue, 1);
+                let parallel = run(&eval, &trace, RouterKind::JoinShortestQueue, 4);
+                assert_eq!(
+                    sequential, parallel,
+                    "seed {seed} levels {levels} {policy}: thread count changed the report"
+                );
+                assert_eq!(
+                    sequential.latency.completed,
+                    trace.len() as u64,
+                    "seed {seed} levels {levels} {policy}"
+                );
+            }
+        }
+    }
+    // The sweep above stays light on memory pressure; make sure the
+    // victim index's eviction walk is exercised too, not just built.
+    let pressured = run(
+        &pressure_eval(PreemptionPolicy::EvictRestart, PRESSURE_FACTOR),
+        &priority_trace(),
+        RouterKind::JoinShortestQueue,
+        4,
+    );
+    assert!(
+        pressured.evictions > 0,
+        "the equivalence property must cover the eviction path"
+    );
+}
+
 /// The headline seeded regression (ISSUE 4 acceptance): on the bursty
 /// two-class trace at a KV capacity where admission blocks, eviction
 /// buys the interactive class a much better p99 TTFT than `None` —
