@@ -151,7 +151,28 @@ pub fn print_scenario_report(m: &Materialized, r: &ServingReport) {
 /// attainment) — the rows the regression gate pins.
 pub fn scenario_rows(stem: &str, m: &Materialized, r: &ServingReport) -> Vec<Json> {
     let rate = m.trace.offered_rate().unwrap_or(0.0);
-    let mut rows = vec![serving_row(stem, rate, r)];
+    let mut aggregate = serving_row(stem, rate, r);
+    // Prefix-cache counters ride along only when the scenario exercises
+    // them, so rows of cache-less scenarios stay byte-identical to the
+    // pre-paged-KV snapshot.
+    if r.prefix_cache_hits > 0 || r.pages_evicted > 0 {
+        crate::push_row_field(
+            &mut aggregate,
+            "prefix_cache_hits",
+            Json::num(r.prefix_cache_hits as f64),
+        );
+        crate::push_row_field(
+            &mut aggregate,
+            "prefix_hit_tokens",
+            Json::num(r.prefix_hit_tokens as f64),
+        );
+        crate::push_row_field(
+            &mut aggregate,
+            "pages_evicted",
+            Json::num(r.pages_evicted as f64),
+        );
+    }
+    let mut rows = vec![aggregate];
     for t in &r.latency_by_tenant {
         rows.push(tenant_row(
             &format!("{stem}/{}", m.tenant_name(t.tenant)),

@@ -23,6 +23,11 @@ pub const MAX_TTFT_RISE: f64 = 0.05;
 /// and load — the gate only catches a hot path growing dramatically
 /// slower, not machine-to-machine jitter.
 pub const MAX_SIM_SPEED_DROP: f64 = 0.30;
+/// Relative prefix-cache hit-token drop that fails the gate (5%). The
+/// simulator is deterministic, so like throughput this only moves when
+/// the paged-KV/prefix-tree logic itself changes — a shrinking hit rate
+/// means admissions stopped mapping pages they used to share.
+pub const MAX_PREFIX_HIT_DROP: f64 = 0.05;
 
 /// Merges per-bin bench documents into one snapshot document
 /// (`{"benches": [...]}`), the on-disk format of `BENCH_serving.json`.
@@ -44,6 +49,9 @@ pub struct RowDelta {
     /// `sim_speed` rows alone, and an older snapshot without it must
     /// not trip on the comparison).
     pub sim_requests_per_second: Option<(f64, f64)>,
+    /// Snapshot vs fresh prefix-cache hit tokens — only gated when both
+    /// rows carry the field (prefix-caching benches and scenarios).
+    pub prefix_hit_tokens: Option<(f64, f64)>,
 }
 
 impl RowDelta {
@@ -72,6 +80,15 @@ impl RowDelta {
                      ({speed_snap:.0} -> {speed_fresh:.0} simulated req/s)",
                     self.key,
                     (1.0 - speed_fresh / speed_snap) * 100.0
+                ));
+            }
+        }
+        if let Some((hit_snap, hit_fresh)) = self.prefix_hit_tokens {
+            if hit_snap > 0.0 && hit_fresh < hit_snap * (1.0 - MAX_PREFIX_HIT_DROP) {
+                return Some(format!(
+                    "{}: prefix-cache hit tokens dropped {:.1}% ({hit_snap:.0} -> {hit_fresh:.0})",
+                    self.key,
+                    (1.0 - hit_fresh / hit_snap) * 100.0
                 ));
             }
         }
@@ -136,6 +153,13 @@ pub fn compare(snapshot: &Json, fresh: &[Json]) -> (Vec<RowDelta>, Vec<String>) 
                 fresh_row
                     .get("sim_requests_per_second")
                     .and_then(Json::as_f64),
+            ) {
+                (Some(snap), Some(fresh)) => Some((snap, fresh)),
+                _ => None,
+            },
+            prefix_hit_tokens: match (
+                snap_row.get("prefix_hit_tokens").and_then(Json::as_f64),
+                fresh_row.get("prefix_hit_tokens").and_then(Json::as_f64),
             ) {
                 (Some(snap), Some(fresh)) => Some((snap, fresh)),
                 _ => None,
@@ -290,6 +314,47 @@ mod tests {
         let (deltas, violations) = compare(&snap, &[fresh]);
         assert_eq!(deltas[0].sim_requests_per_second, None);
         assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    fn prefix_doc(bench: &str, rows: &[(&str, f64)]) -> Json {
+        Json::obj([
+            ("bench", Json::str(bench)),
+            (
+                "rows",
+                Json::Arr(
+                    rows.iter()
+                        .map(|(name, hits)| {
+                            Json::obj([
+                                ("name", Json::str(*name)),
+                                ("tokens_per_second", Json::num(100.0)),
+                                ("ttft_p99", Json::num(0.5)),
+                                ("prefix_hit_tokens", Json::num(*hits)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn prefix_hit_gate_trips_on_real_drops_only() {
+        let snap = merge_snapshot(vec![prefix_doc("pc", &[("on", 10_000.0)])]);
+        // Within tolerance and improvements pass.
+        let (_, ok) = compare(&snap, &[prefix_doc("pc", &[("on", 9_600.0)])]);
+        assert!(ok.is_empty(), "{ok:?}");
+        let (_, up) = compare(&snap, &[prefix_doc("pc", &[("on", 20_000.0)])]);
+        assert!(up.is_empty(), "{up:?}");
+        // A real drop fails.
+        let (deltas, bad) = compare(&snap, &[prefix_doc("pc", &[("on", 8_000.0)])]);
+        assert_eq!(deltas[0].prefix_hit_tokens, Some((10_000.0, 8_000.0)));
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("prefix-cache hit tokens"), "{bad:?}");
+        // Field on one side only (older snapshot) is not gated.
+        let old = merge_snapshot(vec![bench_doc("pc", &[("on", 100.0, 0.5)])]);
+        let (deltas, quiet) = compare(&old, &[prefix_doc("pc", &[("on", 10_000.0)])]);
+        assert_eq!(deltas[0].prefix_hit_tokens, None);
+        assert!(quiet.is_empty(), "{quiet:?}");
     }
 
     #[test]

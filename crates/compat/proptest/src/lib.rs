@@ -1,6 +1,7 @@
 //! Offline mini property-testing harness exposing the subset of the
 //! `proptest` surface this repository uses: the [`proptest!`] macro with
 //! `#![proptest_config(..)]`, range strategies over primitive numerics,
+//! tuple strategies, [`any`] over [`Arbitrary`] types,
 //! `prop::collection::vec`, and the `prop_assert*` macros.
 //!
 //! Compared to upstream proptest there is no shrinking and no failure
@@ -75,6 +76,53 @@ macro_rules! impl_range_strategy {
 
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
 
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $i:tt),+)),*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!(
+    (S0 / 0, S1 / 1),
+    (S0 / 0, S1 / 1, S2 / 2),
+    (S0 / 0, S1 / 1, S2 / 2, S3 / 3)
+);
+
+/// Types with a canonical strategy, usable via [`any`] (mirrors
+/// `proptest::arbitrary::Arbitrary` for the subset the repo needs).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.rng().gen_range(0u32..2) == 1
+    }
+}
+
+/// The canonical strategy of an [`Arbitrary`] type (`any::<bool>()`).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Strategy drawing arbitrary values of `T` (mirrors upstream
+/// `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
 /// Collection strategies (`prop::collection`).
 pub mod collection {
     use super::{Strategy, TestRng};
@@ -106,8 +154,8 @@ pub mod collection {
 /// Everything a property-test file needs, mirroring
 /// `proptest::prelude::*`.
 pub mod prelude {
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
-    pub use crate::{ProptestConfig, Strategy, TestRng};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Arbitrary, ProptestConfig, Strategy, TestRng};
 
     /// Mirror of the upstream `prop` module alias.
     pub mod prop {

@@ -9,6 +9,8 @@
 //!
 //! * [`static_alloc`] — the baseline `T_max` reservation scheme.
 //! * [`chunk`] — the chunked physical allocator with a free list.
+//! * [`page`] — refcounted fixed-size KV pages with a prefix tree over
+//!   shared prompt pages and page-granular LRU reclamation.
 //! * [`va2pa`] — per-request virtual→physical chunk translation.
 //! * [`dispatcher`] — the on-module dispatcher that expands DPA-encoded
 //!   instruction streams against per-request state (`T_cur`) and resolves
@@ -19,11 +21,13 @@
 
 pub mod chunk;
 pub mod dispatcher;
+pub mod page;
 pub mod static_alloc;
 pub mod va2pa;
 
 pub use chunk::{ChunkAllocator, ChunkId, DEFAULT_CHUNK_BYTES};
 pub use dispatcher::{Dispatcher, RequestContext};
+pub use page::{Admission, PagePool, PrefixHit, Released};
 pub use static_alloc::StaticAllocator;
 pub use va2pa::Va2PaTable;
 

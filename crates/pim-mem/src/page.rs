@@ -1,0 +1,574 @@
+//! Paged KV cache: fixed-size, reference-counted pages with a
+//! radix-style prefix tree over prompt pages and page-granular LRU
+//! reclamation (the vLLM/PagedAttention line).
+//!
+//! Physical KV memory is carved into fixed-size **pages**. Pages that
+//! hold a request's *shared prompt prefix* (system prompts, few-shot
+//! templates) live in a prefix tree keyed by caller-supplied content
+//! labels: a new request whose prompt shares a prefix with a cached
+//! sequence maps the shared pages (refcount++) and can skip their
+//! prefill entirely. Pages past the shared prefix — the private tail of
+//! the prompt and everything the decode phase appends — are plain
+//! refcounted allocations that return to the free list on release.
+//!
+//! When a sequence releases its pages, shared-prefix pages whose
+//! refcount drops to zero are **not** freed: they stay in the tree as
+//! *cached* pages, reclaimable page-by-page in LRU order (childless
+//! nodes first, so a chain is consumed tail-first) only when a later
+//! admission needs room. This replaces all-or-nothing per-request
+//! eviction with page-granular reclamation.
+//!
+//! Page states and the conservation invariant:
+//!
+//! ```text
+//! total = free + cached + referenced
+//!
+//!   free        on the free list, content-less
+//!   cached      in the prefix tree, refcount == 0 (reclaimable, LRU)
+//!   referenced  refcount >= 1 (tree pages) or owned privately by a
+//!               live sequence — never reclaimed
+//! ```
+//!
+//! The pool also attributes **recompute waste**: when a cached page is
+//! reclaimed and a later admission misses on exactly that label, the
+//! page was computed once, thrown away, and must be prefilled again —
+//! [`Admission::recompute_pages`] counts those pages so the serving
+//! layer can extend its `wasted_prefill_tokens` accounting to page
+//! granularity.
+
+use crate::{MemError, RequestId};
+use std::collections::{HashMap, HashSet};
+
+/// One node of the prefix tree — one shared-prefix page.
+#[derive(Debug, Clone)]
+struct Node {
+    /// Caller-supplied content label (identifies the page's tokens).
+    label: u64,
+    /// Parent node slot (`None` for first-page nodes hanging off the
+    /// conceptual root).
+    parent: Option<usize>,
+    /// Children keyed by content label.
+    children: HashMap<u64, usize>,
+    /// Live sequences whose prompt maps this page.
+    refcount: u64,
+    /// Logical timestamp of the last admission that touched this page
+    /// (monotonic counter, not wall clock — keeps runs deterministic).
+    last_use: u64,
+}
+
+/// A live sequence's page accounting.
+#[derive(Debug, Clone)]
+struct Seq {
+    /// Prefix-tree nodes on the sequence's path, shallowest first.
+    path: Vec<usize>,
+    /// Pages owned privately (prompt tail + decode growth), never shared.
+    private_pages: u64,
+}
+
+/// Result of a non-mutating prefix lookup ([`PagePool::lookup`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrefixHit {
+    /// Pages of the query already resident in the prefix tree.
+    pub hit_pages: u64,
+    /// Of those, pages currently *cached* (refcount 0) — admitting the
+    /// query re-references them, so they stop being reclaimable.
+    pub hit_cached_pages: u64,
+}
+
+/// Result of admitting a sequence ([`PagePool::admit`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Admission {
+    /// Shared-prefix pages mapped from the tree (prefill skippable).
+    pub hit_pages: u64,
+    /// Pages newly allocated (missed prefix pages + private pages).
+    pub new_pages: u64,
+    /// Cached pages reclaimed (LRU) to satisfy this allocation.
+    pub reclaimed_pages: u64,
+    /// Of the newly allocated prefix pages, how many were computed by an
+    /// earlier sequence and then reclaimed — work that must be redone.
+    pub recompute_pages: u64,
+}
+
+/// Result of releasing a sequence ([`PagePool::release`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Released {
+    /// Drop in referenced pages: freed private pages plus prefix pages
+    /// whose refcount reached zero (these stay cached, not freed).
+    pub released_pages: u64,
+    /// Prefix pages that transitioned referenced → cached.
+    pub newly_cached_pages: u64,
+    /// Private pages returned to the free list.
+    pub freed_pages: u64,
+}
+
+/// A per-replica pool of fixed-size, reference-counted KV pages with a
+/// prefix tree over shared prompt pages and LRU page reclamation.
+#[derive(Debug, Clone)]
+pub struct PagePool {
+    page_bytes: u64,
+    total_pages: u64,
+    free_pages: u64,
+    cached_pages: u64,
+    referenced_pages: u64,
+    /// Monotonic logical clock, bumped once per admission.
+    tick: u64,
+    /// Slab of tree nodes; freed slots are reused via `free_slots`.
+    slots: Vec<Option<Node>>,
+    free_slots: Vec<usize>,
+    /// First-page nodes (children of the conceptual root), by label.
+    roots: HashMap<u64, usize>,
+    /// Live sequences by request id.
+    seqs: HashMap<u64, Seq>,
+    /// Labels of reclaimed prefix pages, for recompute attribution.
+    evicted_labels: HashSet<u64>,
+}
+
+impl PagePool {
+    /// Creates a pool over `capacity_bytes` carved into `page_bytes`
+    /// pages (any remainder is unusable slack, as with chunks).
+    ///
+    /// # Panics
+    /// Panics if `page_bytes` is zero.
+    pub fn new(capacity_bytes: u64, page_bytes: u64) -> Self {
+        assert!(page_bytes > 0, "page size must be nonzero");
+        let total_pages = capacity_bytes / page_bytes;
+        PagePool {
+            page_bytes,
+            total_pages,
+            free_pages: total_pages,
+            cached_pages: 0,
+            referenced_pages: 0,
+            tick: 0,
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            roots: HashMap::new(),
+            seqs: HashMap::new(),
+            evicted_labels: HashSet::new(),
+        }
+    }
+
+    /// Page size in bytes.
+    pub fn page_bytes(&self) -> u64 {
+        self.page_bytes
+    }
+
+    /// Total pages in the pool.
+    pub fn total_pages(&self) -> u64 {
+        self.total_pages
+    }
+
+    /// Pages on the free list.
+    pub fn free_pages(&self) -> u64 {
+        self.free_pages
+    }
+
+    /// Zero-refcount prefix pages kept warm in the tree (reclaimable).
+    pub fn cached_pages(&self) -> u64 {
+        self.cached_pages
+    }
+
+    /// Pages pinned by live sequences (shared refcount ≥ 1 + private).
+    pub fn referenced_pages(&self) -> u64 {
+        self.referenced_pages
+    }
+
+    /// Number of live (admitted, unreleased) sequences.
+    pub fn registered(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Walks the prefix tree for `labels` without mutating anything:
+    /// how many leading pages are resident, and how many of those are
+    /// cached (would stop being reclaimable if admitted).
+    pub fn lookup(&self, labels: &[u64]) -> PrefixHit {
+        let mut hit = PrefixHit::default();
+        let mut cur: Option<usize> = None;
+        for &label in labels {
+            let next = match cur {
+                None => self.roots.get(&label),
+                Some(i) => self.node(i).children.get(&label),
+            };
+            match next {
+                Some(&n) => {
+                    hit.hit_pages += 1;
+                    if self.node(n).refcount == 0 {
+                        hit.hit_cached_pages += 1;
+                    }
+                    cur = Some(n);
+                }
+                None => break,
+            }
+        }
+        hit
+    }
+
+    /// Admits a sequence: maps the longest resident prefix of `labels`
+    /// (refcount++ on each hit page), allocates the missed prefix pages
+    /// plus `private_pages`, reclaiming cached pages LRU-first when the
+    /// free list runs dry. Atomic: on error nothing is allocated.
+    ///
+    /// # Errors
+    /// [`MemError::DuplicateRequest`] if `id` is already admitted;
+    /// [`MemError::OutOfMemory`] if the allocation cannot be satisfied
+    /// even after reclaiming every reclaimable cached page.
+    pub fn admit(
+        &mut self,
+        id: RequestId,
+        labels: &[u64],
+        private_pages: u64,
+    ) -> Result<Admission, MemError> {
+        if self.seqs.contains_key(&id.0) {
+            return Err(MemError::DuplicateRequest(id));
+        }
+        // Walk first (read-only) to price the admission atomically.
+        let hit = self.lookup(labels);
+        let missing = labels.len() as u64 - hit.hit_pages;
+        let new_pages = missing + private_pages;
+        let available = self.free_pages + self.cached_pages - hit.hit_cached_pages;
+        if new_pages > available {
+            return Err(MemError::OutOfMemory {
+                requested: new_pages * self.page_bytes,
+                available: available * self.page_bytes,
+            });
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let mut path = Vec::with_capacity(labels.len());
+        let mut cur: Option<usize> = None;
+        // Re-reference the hit prefix.
+        for &label in &labels[..hit.hit_pages as usize] {
+            let n = match cur {
+                None => self.roots[&label],
+                Some(i) => self.node(i).children[&label],
+            };
+            let node = self.slots[n].as_mut().expect("hit node is live");
+            if node.refcount == 0 {
+                self.cached_pages -= 1;
+                self.referenced_pages += 1;
+            }
+            node.refcount += 1;
+            node.last_use = tick;
+            path.push(n);
+            cur = Some(n);
+        }
+        let mut adm = Admission {
+            hit_pages: hit.hit_pages,
+            new_pages,
+            ..Admission::default()
+        };
+        // Allocate and insert the missed prefix pages.
+        for &label in &labels[hit.hit_pages as usize..] {
+            self.take_page(&mut adm.reclaimed_pages);
+            if self.evicted_labels.remove(&label) {
+                adm.recompute_pages += 1;
+            }
+            let node = Node {
+                label,
+                parent: cur,
+                children: HashMap::new(),
+                refcount: 1,
+                last_use: tick,
+            };
+            let slot = match self.free_slots.pop() {
+                Some(s) => {
+                    self.slots[s] = Some(node);
+                    s
+                }
+                None => {
+                    self.slots.push(Some(node));
+                    self.slots.len() - 1
+                }
+            };
+            match cur {
+                None => {
+                    self.roots.insert(label, slot);
+                }
+                Some(p) => {
+                    self.slots[p]
+                        .as_mut()
+                        .expect("parent is live")
+                        .children
+                        .insert(label, slot);
+                }
+            }
+            self.referenced_pages += 1;
+            path.push(slot);
+            cur = Some(slot);
+        }
+        // Allocate the private pages.
+        for _ in 0..private_pages {
+            self.take_page(&mut adm.reclaimed_pages);
+            self.referenced_pages += 1;
+        }
+        self.seqs.insert(
+            id.0,
+            Seq {
+                path,
+                private_pages,
+            },
+        );
+        self.debug_check();
+        Ok(adm)
+    }
+
+    /// Releases a sequence: private pages return to the free list;
+    /// shared-prefix pages drop one reference, and those reaching zero
+    /// stay in the tree as cached (reclaimable) pages.
+    ///
+    /// # Errors
+    /// [`MemError::UnknownRequest`] if `id` is not admitted.
+    pub fn release(&mut self, id: RequestId) -> Result<Released, MemError> {
+        let seq = self
+            .seqs
+            .remove(&id.0)
+            .ok_or(MemError::UnknownRequest(id))?;
+        let mut rel = Released {
+            freed_pages: seq.private_pages,
+            ..Released::default()
+        };
+        for &n in seq.path.iter().rev() {
+            let node = self.slots[n].as_mut().expect("path node is live");
+            debug_assert!(node.refcount > 0, "page refcount underflow");
+            node.refcount -= 1;
+            if node.refcount == 0 {
+                rel.newly_cached_pages += 1;
+                self.cached_pages += 1;
+                self.referenced_pages -= 1;
+            }
+        }
+        self.free_pages += seq.private_pages;
+        self.referenced_pages -= seq.private_pages;
+        rel.released_pages = rel.freed_pages + rel.newly_cached_pages;
+        self.debug_check();
+        Ok(rel)
+    }
+
+    /// Consumes one page: from the free list if possible, otherwise by
+    /// reclaiming the LRU cached page (bumping `reclaimed`).
+    fn take_page(&mut self, reclaimed: &mut u64) {
+        if self.free_pages == 0 {
+            self.reclaim_lru();
+            *reclaimed += 1;
+        }
+        debug_assert!(self.free_pages > 0, "admit feasibility was checked");
+        self.free_pages -= 1;
+    }
+
+    /// Reclaims the least-recently-used cached page. Only childless
+    /// zero-refcount nodes are candidates, so a cold chain is consumed
+    /// tail (deepest page) first; ties break on slot index, keeping
+    /// reclamation deterministic.
+    fn reclaim_lru(&mut self) {
+        let victim = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|n| (i, n)))
+            .filter(|(_, n)| n.refcount == 0 && n.children.is_empty())
+            .min_by_key(|&(i, n)| (n.last_use, i))
+            .map(|(i, _)| i)
+            .expect("cached page exists (admit feasibility was checked)");
+        let node = self.slots[victim].take().expect("victim is live");
+        match node.parent {
+            None => {
+                self.roots.remove(&node.label);
+            }
+            Some(p) => {
+                self.slots[p]
+                    .as_mut()
+                    .expect("parent outlives child")
+                    .children
+                    .remove(&node.label);
+            }
+        }
+        self.free_slots.push(victim);
+        self.evicted_labels.insert(node.label);
+        self.cached_pages -= 1;
+        self.free_pages += 1;
+    }
+
+    fn node(&self, i: usize) -> &Node {
+        self.slots[i].as_ref().expect("node index is live")
+    }
+
+    /// Conservation invariant (debug builds only).
+    fn debug_check(&self) {
+        debug_assert_eq!(
+            self.free_pages + self.cached_pages + self.referenced_pages,
+            self.total_pages,
+            "page conservation violated"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Labels for tenant `g`, pages `0..n` — the serving layer's scheme.
+    fn labels(g: u64, n: u64) -> Vec<u64> {
+        (0..n).map(|i| (g << 32) | i).collect()
+    }
+
+    #[test]
+    fn first_admit_misses_then_prefix_hits() {
+        let mut p = PagePool::new(64 * 1024, 1024);
+        let a = p.admit(RequestId(1), &labels(0, 4), 2).unwrap();
+        assert_eq!(a.hit_pages, 0);
+        assert_eq!(a.new_pages, 6);
+        assert_eq!(p.referenced_pages(), 6);
+        // Second sequence shares the 4-page prefix: only private pages
+        // are new.
+        let b = p.admit(RequestId(2), &labels(0, 4), 3).unwrap();
+        assert_eq!(b.hit_pages, 4);
+        assert_eq!(b.new_pages, 3);
+        assert_eq!(p.referenced_pages(), 9);
+        // A shorter prefix of the same chain also hits.
+        assert_eq!(
+            p.lookup(&labels(0, 2)),
+            PrefixHit {
+                hit_pages: 2,
+                hit_cached_pages: 0
+            }
+        );
+        // A different tenant's labels miss entirely.
+        assert_eq!(p.lookup(&labels(1, 4)).hit_pages, 0);
+    }
+
+    #[test]
+    fn release_caches_shared_pages_and_frees_private() {
+        let mut p = PagePool::new(16 * 1024, 1024);
+        p.admit(RequestId(1), &labels(0, 4), 2).unwrap();
+        let r = p.release(RequestId(1)).unwrap();
+        assert_eq!(r.freed_pages, 2);
+        assert_eq!(r.newly_cached_pages, 4);
+        assert_eq!(r.released_pages, 6);
+        assert_eq!(p.cached_pages(), 4);
+        assert_eq!(p.referenced_pages(), 0);
+        assert_eq!(p.free_pages(), 12);
+        // The cached prefix is still hittable — and flagged cached.
+        let h = p.lookup(&labels(0, 4));
+        assert_eq!(h.hit_pages, 4);
+        assert_eq!(h.hit_cached_pages, 4);
+        // Re-admitting re-references it without allocating.
+        let a = p.admit(RequestId(2), &labels(0, 4), 0).unwrap();
+        assert_eq!(a.hit_pages, 4);
+        assert_eq!(a.new_pages, 0);
+        assert_eq!(p.cached_pages(), 0);
+    }
+
+    #[test]
+    fn refcount_tracks_multiple_sharers() {
+        let mut p = PagePool::new(16 * 1024, 1024);
+        p.admit(RequestId(1), &labels(0, 3), 0).unwrap();
+        p.admit(RequestId(2), &labels(0, 3), 0).unwrap();
+        // First release keeps the pages referenced (the sharer lives).
+        let r = p.release(RequestId(1)).unwrap();
+        assert_eq!(r.newly_cached_pages, 0);
+        assert_eq!(p.referenced_pages(), 3);
+        let r = p.release(RequestId(2)).unwrap();
+        assert_eq!(r.newly_cached_pages, 3);
+        assert_eq!(p.cached_pages(), 3);
+    }
+
+    #[test]
+    fn lru_reclaims_cold_tail_first() {
+        let mut p = PagePool::new(8 * 1024, 1024);
+        // Fill the pool with two released chains: tenant 0 (older) and
+        // tenant 1 (newer), 4 pages each.
+        p.admit(RequestId(1), &labels(0, 4), 0).unwrap();
+        p.admit(RequestId(2), &labels(1, 4), 0).unwrap();
+        p.release(RequestId(1)).unwrap();
+        p.release(RequestId(2)).unwrap();
+        assert_eq!(p.free_pages(), 0);
+        assert_eq!(p.cached_pages(), 8);
+        // A 3-page private admission must reclaim 3 pages — from the
+        // *older* chain, tail-first, leaving its first page cached.
+        let a = p.admit(RequestId(3), &[], 3).unwrap();
+        assert_eq!(a.reclaimed_pages, 3);
+        let h0 = p.lookup(&labels(0, 4));
+        assert_eq!(h0.hit_pages, 1, "older chain consumed tail-first");
+        assert_eq!(p.lookup(&labels(1, 4)).hit_pages, 4, "newer chain intact");
+    }
+
+    #[test]
+    fn referenced_pages_are_never_reclaimed() {
+        let mut p = PagePool::new(4 * 1024, 1024);
+        p.admit(RequestId(1), &labels(0, 3), 0).unwrap();
+        // 1 free page left; asking for 3 private pages must fail —
+        // the 3 referenced pages are not reclaimable.
+        let err = p.admit(RequestId(2), &[], 3).unwrap_err();
+        assert!(matches!(err, MemError::OutOfMemory { .. }));
+        // Atomic: nothing changed.
+        assert_eq!(p.free_pages(), 1);
+        assert_eq!(p.referenced_pages(), 3);
+        assert_eq!(p.registered(), 1);
+    }
+
+    #[test]
+    fn admit_accounts_hit_cached_pages_in_feasibility() {
+        let mut p = PagePool::new(4 * 1024, 1024);
+        p.admit(RequestId(1), &labels(0, 4), 0).unwrap();
+        p.release(RequestId(1)).unwrap();
+        // All 4 pages cached. Re-admitting the chain plus 1 private page
+        // needs 1 page, but re-referencing the chain removes all 4 from
+        // the reclaimable set — infeasible.
+        let err = p.admit(RequestId(2), &labels(0, 4), 1).unwrap_err();
+        assert!(matches!(err, MemError::OutOfMemory { .. }));
+        // Without the private page it fits.
+        p.admit(RequestId(3), &labels(0, 4), 0).unwrap();
+    }
+
+    #[test]
+    fn recompute_attribution_counts_reclaimed_labels_once() {
+        let mut p = PagePool::new(4 * 1024, 1024);
+        p.admit(RequestId(1), &labels(0, 4), 0).unwrap();
+        p.release(RequestId(1)).unwrap();
+        // Reclaim the whole chain for a private allocation.
+        let a = p.admit(RequestId(2), &[], 4).unwrap();
+        assert_eq!(a.reclaimed_pages, 4);
+        p.release(RequestId(2)).unwrap();
+        // Re-admitting the chain must recompute all 4 pages.
+        let b = p.admit(RequestId(3), &labels(0, 4), 0).unwrap();
+        assert_eq!(b.hit_pages, 0);
+        assert_eq!(b.recompute_pages, 4);
+        p.release(RequestId(3)).unwrap();
+        // ... but only once: the labels are resident again, so a fresh
+        // admission hits instead of recomputing.
+        let c = p.admit(RequestId(4), &labels(0, 4), 0).unwrap();
+        assert_eq!(c.hit_pages, 4);
+        assert_eq!(c.recompute_pages, 0);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_ids_error() {
+        let mut p = PagePool::new(4 * 1024, 1024);
+        p.admit(RequestId(1), &[], 1).unwrap();
+        assert!(matches!(
+            p.admit(RequestId(1), &[], 1),
+            Err(MemError::DuplicateRequest(_))
+        ));
+        assert!(matches!(
+            p.release(RequestId(9)),
+            Err(MemError::UnknownRequest(_))
+        ));
+    }
+
+    #[test]
+    fn diverging_prefixes_branch_in_the_tree() {
+        let mut p = PagePool::new(16 * 1024, 1024);
+        // Two chains sharing the first 2 pages, diverging after.
+        let mut a = labels(0, 2);
+        a.extend([7u64 << 32, (7 << 32) | 1]);
+        let mut b = labels(0, 2);
+        b.extend([8u64 << 32]);
+        p.admit(RequestId(1), &a, 0).unwrap();
+        let adm = p.admit(RequestId(2), &b, 0).unwrap();
+        assert_eq!(adm.hit_pages, 2, "shared stem hits");
+        assert_eq!(adm.new_pages, 1, "divergent tail allocates");
+        assert_eq!(p.referenced_pages(), 5);
+        p.release(RequestId(1)).unwrap();
+        p.release(RequestId(2)).unwrap();
+        assert_eq!(p.cached_pages(), 5);
+    }
+}

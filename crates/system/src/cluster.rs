@@ -438,6 +438,20 @@ impl<'a> Cluster<'a> {
                         redecode,
                     } => acc.evict(reprefill, redecode),
                     SimEvent::Retire { final_len } => acc.retire(eval, final_len, t_max),
+                    SimEvent::PrefixAdmit {
+                        hit_tokens,
+                        recompute_tokens,
+                    } => {
+                        if hit_tokens > 0 {
+                            acc.report.prefix_cache_hits += 1;
+                            acc.report.prefix_hit_tokens += hit_tokens;
+                        }
+                        // Pages reclaimed out of the prefix cache before
+                        // re-use force a partial re-prefill: recomputed
+                        // work, billed as waste alongside evictions.
+                        acc.report.wasted_prefill_tokens += recompute_tokens;
+                    }
+                    SimEvent::PageReclaim { pages } => acc.report.pages_evicted += pages,
                 }
             }
             timings.extend_from_slice(&sim.timings);
@@ -564,6 +578,9 @@ mod tests {
                 reserved_kv: 0,
                 pending_prefill: 0,
                 evictions: 0,
+                prefix_cache_hits: 0,
+                prefix_hit_tokens: 0,
+                pages_evicted: 0,
             })
             .collect();
         let req = Request {
@@ -573,6 +590,7 @@ mod tests {
             arrival_us: 0,
             priority: 0,
             tenant: 0,
+            shared_prefix: 0,
         };
         let mut rr = RoundRobin::default();
         let picks: Vec<usize> = (0..5).map(|_| rr.route(&req, &loads)).collect();
@@ -588,6 +606,9 @@ mod tests {
                 reserved_kv: 100,
                 pending_prefill: 40_000,
                 evictions: 0,
+                prefix_cache_hits: 0,
+                prefix_hit_tokens: 0,
+                pages_evicted: 0,
             },
             ReplicaLoad {
                 replica: 1,
@@ -595,6 +616,9 @@ mod tests {
                 reserved_kv: 900,
                 pending_prefill: 2_000,
                 evictions: 0,
+                prefix_cache_hits: 0,
+                prefix_hit_tokens: 0,
+                pages_evicted: 0,
             },
             ReplicaLoad {
                 replica: 2,
@@ -602,6 +626,9 @@ mod tests {
                 reserved_kv: 50,
                 pending_prefill: 9_000,
                 evictions: 0,
+                prefix_cache_hits: 0,
+                prefix_hit_tokens: 0,
+                pages_evicted: 0,
             },
         ];
         let req = Request {
@@ -611,6 +638,7 @@ mod tests {
             arrival_us: 0,
             priority: 0,
             tenant: 0,
+            shared_prefix: 0,
         };
         assert_eq!(JoinShortestQueue.route(&req, &loads), 1); // tie 1 vs 2 → lowest index
         assert_eq!(LeastLoaded.route(&req, &loads), 2);

@@ -109,7 +109,7 @@ pub use metrics::{
     jain_fairness, tenant_goodput_fairness, LatencyReport, LatencySummary, PriorityLatency,
     ReplicaBreakdown, RequestTiming, TenantLatency,
 };
-pub use policy::{PreemptionPolicy, PrefillConfig, SchedulingPolicy};
+pub use policy::{PagedKvConfig, PreemptionPolicy, PrefillConfig, SchedulingPolicy};
 pub use replica::ReplicaLoad;
 pub use scenario::{ClusterSpec, Materialized, PolicySpec, Scenario, TenantSpec};
 pub use serve::{Evaluator, ServingReport};

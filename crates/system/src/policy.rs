@@ -162,6 +162,59 @@ impl Default for PrefillConfig {
     }
 }
 
+/// Paged KV cache configuration for the serving engine.
+///
+/// Disabled by default: KV admission then uses the historical
+/// whole-request reservation (`kv_reservation(final_len, t_max)`) and
+/// eviction is all-or-nothing per request — bit-exact with every run
+/// before this knob existed. When enabled (continuous policy only), each
+/// replica manages a [`pim_mem::PagePool`]: admission reserves
+/// page-rounded footprints, requests whose prompt shares a prefix with a
+/// cached sequence map the shared pages and skip their prefill (TTFT
+/// drops by the shared prefill cost), released shared pages stay warm as
+/// reclaimable cache, and memory pressure reclaims cold pages LRU-first
+/// before falling back to whole-request eviction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct PagedKvConfig {
+    /// Whether the paged KV pool (and with it prefix caching) is on.
+    pub prefix_caching: bool,
+    /// Page size in bytes (≥ 1; the reservation and reclamation
+    /// granularity).
+    pub page_bytes: u64,
+}
+
+impl PagedKvConfig {
+    /// The default page size in bytes (8 MB ≈ 16 tokens of 7B-class
+    /// MHA KV at 512 KB/token — the vLLM-style block granularity). A
+    /// page must hold at least one token of KV or the pool would
+    /// under-account memory; Table I's densest model (72B MHA,
+    /// ~5 MB/token) still fits one.
+    pub const DEFAULT_PAGE_BYTES: u64 = 8 << 20;
+
+    /// Paged KV disabled — whole-request reservations (the historical
+    /// default).
+    pub fn disabled() -> Self {
+        PagedKvConfig {
+            prefix_caching: false,
+            page_bytes: Self::DEFAULT_PAGE_BYTES,
+        }
+    }
+
+    /// Paged KV with prefix caching at `page_bytes` granularity.
+    pub fn paged(page_bytes: u64) -> Self {
+        PagedKvConfig {
+            prefix_caching: true,
+            page_bytes: page_bytes.max(1),
+        }
+    }
+}
+
+impl Default for PagedKvConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
 /// Greedy admission of a wave from `pending` under the memory policy.
 /// Returns how many of the leading requests are admitted (at least one —
 /// a single request that cannot fit is admitted alone and truncated to
@@ -218,12 +271,6 @@ impl ContinuousAdmitter {
         }
     }
 
-    /// Whether `r` would fit alongside `occupancy` running requests.
-    pub(crate) fn fits(&self, eval: &Evaluator, r: &Request, occupancy: usize, t_max: u64) -> bool {
-        let need = eval.kv_reservation(r.final_len(), t_max);
-        self.fits_given(need, self.used, occupancy)
-    }
-
     /// The raw admission predicate against a *hypothetical* batch state
     /// (`used` reserved bytes, `occupancy` running requests) — used by
     /// eviction planning, which must know whether removing a victim set
@@ -253,6 +300,17 @@ impl ContinuousAdmitter {
         self.used = self
             .used
             .saturating_sub(eval.kv_reservation(r.final_len(), t_max));
+    }
+
+    /// Reserves an explicit byte amount (the paged-KV path, where the
+    /// page pool prices admissions instead of `kv_reservation`).
+    pub(crate) fn reserve_bytes(&mut self, bytes: u64) {
+        self.used = self.used.saturating_add(bytes);
+    }
+
+    /// Releases an explicit byte amount (paged-KV path).
+    pub(crate) fn release_bytes(&mut self, bytes: u64) {
+        self.used = self.used.saturating_sub(bytes);
     }
 
     /// Reservation bytes currently held by the running batch.
@@ -308,6 +366,19 @@ mod tests {
     }
 
     #[test]
+    fn paged_kv_config_defaults_and_clamps() {
+        assert_eq!(PagedKvConfig::default(), PagedKvConfig::disabled());
+        assert!(!PagedKvConfig::default().prefix_caching);
+        let c = PagedKvConfig::paged(0);
+        assert!(c.prefix_caching);
+        assert_eq!(c.page_bytes, 1, "page size clamps to >= 1");
+        assert_eq!(
+            PagedKvConfig::paged(PagedKvConfig::DEFAULT_PAGE_BYTES).page_bytes,
+            8 << 20
+        );
+    }
+
+    #[test]
     fn continuous_admitter_mirrors_wave_greedy_count() {
         let e = eval();
         let trace = TraceBuilder::new(Dataset::QmSum)
@@ -322,7 +393,8 @@ mod tests {
         let mut adm = ContinuousAdmitter::new(&e, t_max);
         let mut n = 0usize;
         for r in reqs {
-            if !adm.fits(&e, r, n, t_max) {
+            let need = e.kv_reservation(r.final_len(), t_max);
+            if !adm.fits_given(need, adm.used(), n) {
                 break;
             }
             adm.reserve(&e, r, t_max);

@@ -53,8 +53,9 @@ use crate::metrics::{ReplicaBreakdown, RequestTiming};
 use crate::policy::{self, ContinuousAdmitter, PreemptionPolicy, PrefillConfig, SchedulingPolicy};
 use crate::serve::Evaluator;
 use crate::stage::{IterationBreakdown, StageModel};
+use pim_mem::{PagePool, RequestId};
 use std::cmp::Reverse;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use workload::Request;
 
 /// The priced-but-not-yet-executed step of a continuous replica, cached
@@ -136,6 +137,23 @@ pub(crate) enum SimEvent {
         /// The request's context + decode length at completion.
         final_len: u64,
     },
+    /// A paged-KV admission outcome worth accounting (emitted only when
+    /// prefix caching is on, so historical event logs are unchanged).
+    PrefixAdmit {
+        /// Prompt tokens whose pages were already resident — their
+        /// prefill is skipped entirely.
+        hit_tokens: u64,
+        /// Prompt tokens whose pages were computed by an earlier
+        /// sequence, reclaimed under pressure, and must now be prefilled
+        /// again — page-granular wasted prefill work.
+        recompute_tokens: u64,
+    },
+    /// Cached (zero-refcount) KV pages reclaimed page-by-page to make
+    /// room for an admission (prefix caching only).
+    PageReclaim {
+        /// Pages reclaimed from the prefix cache.
+        pages: u64,
+    },
 }
 
 /// Instantaneous load of one replica, as seen by a [`crate::cluster::Router`]
@@ -161,6 +179,16 @@ pub struct ReplicaLoad {
     /// signal: a replica that keeps evicting is thrashing its KV pool,
     /// and routing more work to it multiplies the wasted re-prefill.
     pub evictions: u64,
+    /// Admissions that mapped at least one resident shared-prefix page
+    /// (0 unless prefix caching is on) — a replica with a warm prefix
+    /// cache serves shared-prompt traffic cheaper than a cold one.
+    pub prefix_cache_hits: u64,
+    /// Prompt tokens whose prefill this replica skipped via the prefix
+    /// cache (0 unless prefix caching is on).
+    pub prefix_hit_tokens: u64,
+    /// Cached KV pages this replica reclaimed page-by-page under
+    /// memory pressure (0 unless prefix caching is on).
+    pub pages_evicted: u64,
 }
 
 /// A routed request waiting for (re-)admission, with the state an
@@ -378,6 +406,51 @@ struct VictimEntry {
     reserved: u64,
 }
 
+/// Per-replica paged-KV state: the page pool plus the token/byte
+/// geometry needed to translate requests into pages. Present only when
+/// [`crate::policy::PagedKvConfig::prefix_caching`] is on under the
+/// continuous policy; `None` keeps every historical code path bit-exact.
+#[derive(Debug)]
+struct PagedKv {
+    pool: PagePool,
+    /// Tokens one page holds ([`Evaluator::page_tokens`], ≥ 1).
+    page_tokens: u64,
+    page_bytes: u64,
+    /// Re-prefill discounts granted at eviction, by request id: shared
+    /// pages left resident in the pool let the victim's `reprefill`
+    /// accounting shrink, but if the pool reclaims those pages before
+    /// the request is re-admitted, the shortfall must be recomputed —
+    /// and is billed back to `wasted_prefill_tokens` at re-admission.
+    discounted: HashMap<u64, u64>,
+}
+
+impl PagedKv {
+    /// Whole pages of `r`'s prompt covered by its tenant-shared prefix
+    /// (partial trailing pages are private — sharing them would alias
+    /// unrelated tokens into one page).
+    fn shared_pages(&self, r: &Request) -> u64 {
+        r.shared_prefix.min(r.context_len) / self.page_tokens
+    }
+
+    /// Prompt tokens of `r` living on shared (prefix-tree) pages.
+    fn shared_tokens(&self, r: &Request) -> u64 {
+        self.shared_pages(r) * self.page_tokens
+    }
+
+    /// Content labels of `r`'s shared-prefix pages: requests of one
+    /// tenant share one system prompt, so `(tenant, page index)`
+    /// identifies the page content.
+    fn labels_for(&self, r: &Request) -> Vec<u64> {
+        let tenant = u64::from(r.tenant) << 32;
+        (0..self.shared_pages(r)).map(|i| tenant | i).collect()
+    }
+
+    /// Page-rounded whole-request footprint (prompt + decode budget).
+    fn footprint_pages(&self, r: &Request) -> u64 {
+        r.final_len().div_ceil(self.page_tokens).max(1)
+    }
+}
+
 /// One request resident in a replica's running batch.
 #[derive(Debug, Clone, Copy)]
 struct Active {
@@ -442,6 +515,9 @@ pub(crate) struct ReplicaSim<'a> {
     /// impossible, so every preemption policy coincides with `None`).
     saw_priority: bool,
     admitter: ContinuousAdmitter,
+    /// Paged-KV state (pool + page geometry); `None` — the default —
+    /// keeps whole-request reservations bit-exactly.
+    paged: Option<PagedKv>,
     running: Vec<Active>,
     /// Eviction-order index over `running` (see [`VictimEntry`]); empty
     /// unless the preemption policy can evict.
@@ -464,6 +540,9 @@ pub(crate) struct ReplicaSim<'a> {
     served: u64,
     tokens: u64,
     evictions: u64,
+    prefix_cache_hits: u64,
+    prefix_hit_tokens: u64,
+    pages_evicted: u64,
     peak_reserved: u64,
     pub(crate) events: Vec<SimEvent>,
     pub(crate) timings: Vec<RequestTiming>,
@@ -472,6 +551,17 @@ pub(crate) struct ReplicaSim<'a> {
 impl<'a> ReplicaSim<'a> {
     /// Creates an idle replica for a run compiled for worst case `t_max`.
     pub(crate) fn new(eval: &'a Evaluator, policy: SchedulingPolicy, t_max: u64) -> Self {
+        let paged_cfg = eval.paged_kv_config();
+        // Paged KV is a continuous-policy feature: the closed-world wave
+        // loop admits and retires whole waves, so there is nothing for a
+        // page cache to share across admissions.
+        let paged =
+            (paged_cfg.prefix_caching && policy == SchedulingPolicy::Continuous).then(|| PagedKv {
+                pool: PagePool::new(eval.replica_kv_capacity(), paged_cfg.page_bytes),
+                page_tokens: eval.page_tokens(),
+                page_bytes: paged_cfg.page_bytes,
+                discounted: HashMap::new(),
+            });
         ReplicaSim {
             eval,
             stage: eval.stage_model(),
@@ -484,6 +574,7 @@ impl<'a> ReplicaSim<'a> {
             prefill_backlog: 0,
             saw_priority: false,
             admitter: ContinuousAdmitter::new(eval, t_max),
+            paged,
             running: Vec::new(),
             victim_index: Vec::new(),
             batch_buf: Vec::new(),
@@ -496,9 +587,136 @@ impl<'a> ReplicaSim<'a> {
             served: 0,
             tokens: 0,
             evictions: 0,
+            prefix_cache_hits: 0,
+            prefix_hit_tokens: 0,
+            pages_evicted: 0,
             peak_reserved: 0,
             events: Vec::new(),
             timings: Vec::new(),
+        }
+    }
+
+    /// The reservation a request holds while queued (and the full
+    /// amount it returns to the queue on eviction) — the single point
+    /// of change for per-request KV accounting, deduplicating what used
+    /// to be five scattered `kv_reservation(final_len, t_max)` calls:
+    /// the whole-request reservation under the historical policy, the
+    /// page-rounded footprint under paged KV (admission itself may then
+    /// reserve less — resident shared pages are discounted by
+    /// [`Self::admission_need`]).
+    fn queue_reservation(&self, r: &Request) -> u64 {
+        match &self.paged {
+            Some(p) => p.footprint_pages(r) * p.page_bytes,
+            None => self.eval.kv_reservation(r.final_len(), self.t_max),
+        }
+    }
+
+    /// Bytes the admitter must find for `r` right now: equal to
+    /// [`Self::queue_reservation`] under whole-request accounting; under
+    /// paged KV, resident shared-prefix pages are free (refcount++) but
+    /// re-referencing a *cached* page removes it from the reclaimable
+    /// set, so those count (`new + hit_cached` pages — exactly the page
+    /// pool's own feasibility rule).
+    fn admission_need(&self, r: &Request) -> u64 {
+        match &self.paged {
+            Some(p) => {
+                let hit = p.pool.lookup(&p.labels_for(r));
+                (p.footprint_pages(r) - hit.hit_pages + hit.hit_cached_pages) * p.page_bytes
+            }
+            None => self.eval.kv_reservation(r.final_len(), self.t_max),
+        }
+    }
+
+    /// Whether the FCFS queue front could join the running batch now —
+    /// the decode-chunk cut predicate.
+    fn front_fits(&self, r: &Request) -> bool {
+        self.admitter.fits_given(
+            self.admission_need(r),
+            self.admitter.used(),
+            self.running.len(),
+        )
+    }
+
+    /// Takes `r`'s memory at admission. Non-paged: reserves the
+    /// whole-request bytes. Paged: admits `r` into the page pool —
+    /// mapping any resident shared prefix, allocating the rest,
+    /// reclaiming cached pages LRU-first under pressure — and reserves
+    /// the actual referenced-page delta. Returns the prompt tokens whose
+    /// prefill the prefix cache skips plus the bytes reserved.
+    fn admit_memory(&mut self, r: &Request) -> (u64, u64) {
+        let Some(p) = &mut self.paged else {
+            let need = self.eval.kv_reservation(r.final_len(), self.t_max);
+            self.admitter.reserve(self.eval, r, self.t_max);
+            return (0, need);
+        };
+        let labels = p.labels_for(r);
+        let private = p.footprint_pages(r) - labels.len() as u64;
+        let before = p.pool.referenced_pages();
+        let adm = match p.pool.admit(RequestId(r.id), &labels, private) {
+            Ok(a) => a,
+            Err(_) => {
+                // Mirror the admitter's empty-batch guarantee (a first
+                // request always admits, truncated to capacity by
+                // construction of the workloads): clamp the footprint to
+                // the pool rather than deadlock.
+                debug_assert!(
+                    self.running.is_empty(),
+                    "pool admission can only fail for an oversized first request"
+                );
+                let keep = (labels.len() as u64).min(p.pool.total_pages()) as usize;
+                let private = private.min(p.pool.total_pages() - keep as u64);
+                p.pool
+                    .admit(RequestId(r.id), &labels[..keep], private)
+                    .expect("clamped admission fits an empty pool")
+            }
+        };
+        let reserved = (p.pool.referenced_pages() - before) * p.page_bytes;
+        self.admitter.reserve_bytes(reserved);
+        let hit_tokens = adm.hit_pages * p.page_tokens;
+        // Recompute attribution: tokens whose re-prefill was waived at
+        // this request's eviction (shared pages then resident) that the
+        // cache no longer covers — the pool reclaimed them in between,
+        // so the prefill really happens again and counts as waste.
+        let recompute_tokens = p
+            .discounted
+            .remove(&r.id)
+            .unwrap_or(0)
+            .saturating_sub(hit_tokens);
+        if hit_tokens > 0 {
+            self.prefix_cache_hits += 1;
+            self.prefix_hit_tokens += hit_tokens;
+        }
+        if hit_tokens > 0 || recompute_tokens > 0 {
+            self.events.push(SimEvent::PrefixAdmit {
+                hit_tokens,
+                recompute_tokens,
+            });
+        }
+        if adm.reclaimed_pages > 0 {
+            self.pages_evicted += adm.reclaimed_pages;
+            self.events.push(SimEvent::PageReclaim {
+                pages: adm.reclaimed_pages,
+            });
+        }
+        (hit_tokens, reserved)
+    }
+
+    /// Returns `r`'s memory when it leaves the running batch (retire or
+    /// eviction). Paged: shared pages another live sequence still maps
+    /// stay referenced; newly zero-refcount shared pages stay *cached*
+    /// in the pool (the prefix cache), so only the actual
+    /// referenced-page drop is released.
+    fn release_memory(&mut self, r: &Request) {
+        match &mut self.paged {
+            Some(p) => {
+                let rel = p
+                    .pool
+                    .release(RequestId(r.id))
+                    .expect("running request owns pool pages");
+                self.admitter
+                    .release_bytes(rel.released_pages * p.page_bytes);
+            }
+            None => self.admitter.release(self.eval, r, self.t_max),
         }
     }
 
@@ -509,7 +727,7 @@ impl<'a> ReplicaSim<'a> {
     pub(crate) fn enqueue(&mut self, r: Request) {
         self.pending_reserved = self
             .pending_reserved
-            .saturating_add(self.eval.kv_reservation(r.final_len(), self.t_max));
+            .saturating_add(self.queue_reservation(&r));
         if self.prefill.enabled {
             self.prefill_backlog = self.prefill_backlog.saturating_add(r.context_len);
         }
@@ -526,6 +744,9 @@ impl<'a> ReplicaSim<'a> {
             reserved_kv: self.admitter.used().saturating_add(self.pending_reserved),
             pending_prefill: self.prefill_backlog,
             evictions: self.evictions,
+            prefix_cache_hits: self.prefix_cache_hits,
+            prefix_hit_tokens: self.prefix_hit_tokens,
+            pages_evicted: self.pages_evicted,
         }
     }
 
@@ -605,10 +826,7 @@ impl<'a> ReplicaSim<'a> {
             self.events.push(SimEvent::Admit {
                 batch: admitted as f64,
             });
-            let wave_reserved: u64 = wave
-                .iter()
-                .map(|r| eval.kv_reservation(r.final_len(), self.t_max))
-                .sum();
+            let wave_reserved: u64 = wave.iter().map(|r| self.queue_reservation(r)).sum();
             self.peak_reserved = self.peak_reserved.max(wave_reserved);
 
             let wave_start = self.t;
@@ -742,8 +960,6 @@ impl<'a> ReplicaSim<'a> {
     ///
     /// Returns the next-event bound documented on [`Self::advance_to`].
     fn advance_continuous(&mut self, limit: f64) -> f64 {
-        let eval = self.eval;
-
         loop {
             // Idle: jump the clock to the next arrival.
             if self.running.is_empty() {
@@ -762,7 +978,7 @@ impl<'a> ReplicaSim<'a> {
             // by evicting strictly-lower-priority running requests.
             let mut admitted_now = 0usize;
             while let Some(cand) = self.pending.peek_candidate(self.t).map(|q| q.req) {
-                let need = eval.kv_reservation(cand.final_len(), self.t_max);
+                let mut need = self.admission_need(&cand);
                 if !self
                     .admitter
                     .fits_given(need, self.admitter.used(), self.running.len())
@@ -775,19 +991,45 @@ impl<'a> ReplicaSim<'a> {
                     }
                     // Victims re-entered strictly-lower-priority lanes,
                     // so the candidate is still its own lane's front.
+                    if self.paged.is_some() {
+                        // Page sharing means eviction can free fewer
+                        // bytes than the victims' nominal reservations
+                        // (shared pages stay referenced by survivors or
+                        // cached), so re-derive the candidate's need and
+                        // re-check before admitting.
+                        need = self.admission_need(&cand);
+                        if !self
+                            .admitter
+                            .fits_given(need, self.admitter.used(), self.running.len())
+                        {
+                            break;
+                        }
+                    }
                 }
                 let q = self.pending.pop_candidate(cand.priority);
                 debug_assert_eq!(q.req.id, cand.id, "popped the planned candidate");
-                self.pending_reserved = self.pending_reserved.saturating_sub(need);
-                self.admitter.reserve(eval, &q.req, self.t_max);
+                self.pending_reserved = self
+                    .pending_reserved
+                    .saturating_sub(self.queue_reservation(&cand));
+                let (hit_tokens, reserved) = self.admit_memory(&q.req);
                 self.peak_reserved = self.peak_reserved.max(self.admitter.used());
                 let target = q.prefill_target();
-                let must_prefill = self.prefill.enabled && target > 0;
+                // Prefix-cached prompt pages are already resident:
+                // prefill starts at the first non-cached token.
+                let skip = if self.prefill.enabled {
+                    hit_tokens.min(target)
+                } else {
+                    0
+                };
+                if skip > 0 {
+                    self.prefill_backlog = self.prefill_backlog.saturating_sub(skip);
+                }
+                let must_prefill = self.prefill.enabled && target > skip;
                 if q.req.decode_len == 0 && !must_prefill {
                     // Nothing to generate or prefill: completes at
                     // admission — with no emitted token, so no timing
                     // sample (see the metrics module docs).
-                    self.admitter.release(eval, &q.req, self.t_max);
+                    self.release_memory(&q.req);
                     self.events.push(SimEvent::Retire {
                         final_len: q.req.final_len(),
                     });
@@ -798,7 +1040,7 @@ impl<'a> ReplicaSim<'a> {
                 self.running.push(Active {
                     req: q.req,
                     done: q.resume_done,
-                    prefilled: if must_prefill { 0 } else { target },
+                    prefilled: if must_prefill { skip } else { target },
                     prefill_target: target,
                     resume_done: q.resume_done,
                     admitted: q.first_admitted.unwrap_or(self.t),
@@ -808,7 +1050,7 @@ impl<'a> ReplicaSim<'a> {
                         Some(q.prefill_end.unwrap_or(self.t))
                     },
                     first_token: q.first_token,
-                    owed: q.owed.min(target),
+                    owed: q.owed.min(target - skip),
                     evictions: q.evictions,
                     restart_secs: q.restart_secs,
                     seq: self.admit_seq,
@@ -824,7 +1066,7 @@ impl<'a> ReplicaSim<'a> {
                         VictimEntry {
                             priority: q.req.priority,
                             id: q.req.id,
-                            reserved: need,
+                            reserved,
                         },
                     );
                 }
@@ -866,7 +1108,7 @@ impl<'a> ReplicaSim<'a> {
                     let a = self.running.swap_remove(i);
                     retired = true;
                     self.victim_index_remove(a.req.id);
-                    self.admitter.release(eval, &a.req, self.t_max);
+                    self.release_memory(&a.req);
                     self.events.push(SimEvent::Retire {
                         final_len: a.req.final_len(),
                     });
@@ -942,8 +1184,21 @@ impl<'a> ReplicaSim<'a> {
                     if self.admitter.fits_given(need, used_r, occ_r) {
                         break;
                     }
-                    used_r = used_r
-                        .saturating_sub(self.eval.kv_reservation(v.req.final_len(), self.t_max));
+                    // Under paged KV a victim's reservation is its
+                    // admission-time referenced-page delta, not a pure
+                    // function of its lengths — read it off the index
+                    // entry (what the walk above consumed, too).
+                    let reserved_r = match &self.paged {
+                        Some(_) => {
+                            self.victim_index
+                                .iter()
+                                .find(|e| e.id == v.req.id)
+                                .expect("every running request is indexed")
+                                .reserved
+                        }
+                        None => self.eval.kv_reservation(v.req.final_len(), self.t_max),
+                    };
+                    used_r = used_r.saturating_sub(reserved_r);
                     occ_r -= 1;
                     chosen_r.push(v.req.id);
                 }
@@ -982,7 +1237,7 @@ impl<'a> ReplicaSim<'a> {
             .expect("victim is running");
         let a = self.running.swap_remove(idx);
         self.victim_index_remove(a.req.id);
-        self.admitter.release(self.eval, &a.req, self.t_max);
+        self.release_memory(&a.req);
         self.evictions += 1;
         self.batch_version += 1;
 
@@ -990,15 +1245,36 @@ impl<'a> ReplicaSim<'a> {
         // (restart); fresh-this-residency generation separates kept
         // tokens from ones already re-prefilled once.
         let fresh_decode = a.done - a.resume_done;
+        // Page-granular reclamation: the victim's shared-prefix pages
+        // stay resident (referenced by other sequences or newly cached),
+        // so that part of its prompt is not re-prefill work. Should the
+        // pool later reclaim those pages before re-use, the recompute
+        // attribution at re-admission restores the waste.
+        let preserved = self
+            .paged
+            .as_ref()
+            .map_or(0, |p| p.shared_tokens(&a.req).min(a.prefilled));
         let (keep, reprefill, redecode) = match self.preempt {
-            PreemptionPolicy::EvictPause => (a.done, a.prefilled + fresh_decode, 0),
-            PreemptionPolicy::EvictRestart => (0, a.prefilled, a.done),
+            PreemptionPolicy::EvictPause => (
+                a.done,
+                (a.prefilled + fresh_decode).saturating_sub(preserved),
+                0,
+            ),
+            PreemptionPolicy::EvictRestart => (0, a.prefilled.saturating_sub(preserved), a.done),
             PreemptionPolicy::None => unreachable!("plan_eviction never evicts under None"),
         };
         self.events.push(SimEvent::Evict {
             reprefill,
             redecode,
         });
+        if preserved > 0 {
+            if let Some(p) = &mut self.paged {
+                // Remember the waived re-prefill: if the pool reclaims
+                // the shared pages before this request is readmitted,
+                // the shortfall is billed as wasted prefill then.
+                p.discounted.insert(a.req.id, preserved);
+            }
+        }
 
         let q = Queued {
             req: a.req,
@@ -1014,7 +1290,7 @@ impl<'a> ReplicaSim<'a> {
         };
         self.pending_reserved = self
             .pending_reserved
-            .saturating_add(self.eval.kv_reservation(a.req.final_len(), self.t_max));
+            .saturating_add(self.queue_reservation(&a.req));
         if self.prefill.enabled {
             // The backlog still carried this request's unprocessed
             // remainder; after the eviction its whole new target must be
@@ -1190,11 +1466,7 @@ impl<'a> ReplicaSim<'a> {
             } else {
                 self.pending.earliest().and_then(|front| {
                     let arr = front.req.arrival_secs();
-                    (arr > self.t
-                        && self
-                            .admitter
-                            .fits(eval, &front.req, self.running.len(), self.t_max))
-                    .then_some(arr)
+                    (arr > self.t && self.front_fits(&front.req)).then_some(arr)
                 })
             };
             if let Some(arr) = cut_arrival {
@@ -1259,6 +1531,7 @@ mod tests {
             arrival_us,
             priority,
             tenant: 0,
+            shared_prefix: 0,
         }
     }
 
@@ -1338,5 +1611,107 @@ mod tests {
         let mut q = PendingQueue::new(false);
         q.push_back(Queued::fresh(req(0, 500, 0)));
         q.push_back(Queued::fresh(req(1, 100, 0)));
+    }
+
+    /// The recompute-attribution contract of satellite waste accounting:
+    /// an eviction waives the re-prefill of the victim's still-resident
+    /// shared pages (discounted from the `Evict` event), but if the pool
+    /// reclaims those pages before the victim is readmitted, the
+    /// readmission bills the shortfall — `PrefixAdmit::recompute_tokens`
+    /// — so `wasted_prefill_tokens` still counts every prompt token that
+    /// is genuinely prefilled twice.
+    #[test]
+    fn reclaimed_prefix_pages_bill_recompute_on_readmission() {
+        use crate::config::{SystemConfig, Techniques};
+        use crate::PagedKvConfig;
+        use llm_model::LLM_7B_32K;
+
+        let page_bytes = PagedKvConfig::DEFAULT_PAGE_BYTES;
+        let base = Evaluator::new(
+            SystemConfig::cent_for(&LLM_7B_32K),
+            LLM_7B_32K,
+            Techniques::pimphony(),
+        );
+        // Exactly a 12-page pool: the interactive burst (11 pages) must
+        // both evict the worker (8 pages) and then reclaim 3 of its 4
+        // cached prefix pages to fit.
+        let factor = 12.5 * page_bytes as f64 / base.replica_kv_capacity() as f64;
+        let eval = base
+            .with_chunked_prefill(512)
+            .with_preemption(PreemptionPolicy::EvictRestart)
+            .with_prefix_caching(page_bytes)
+            .with_kv_capacity_factor(factor);
+        let pt = eval.page_tokens();
+        let worker = |arrival_us: u64| Request {
+            id: 0,
+            context_len: 4 * pt,
+            decode_len: 4 * pt,
+            arrival_us,
+            priority: 0,
+            tenant: 0,
+            shared_prefix: 4 * pt, // the whole prompt is shared pages
+        };
+        // Calibrate the burst arrival to the middle of the worker's
+        // solo run, comfortably inside its decode phase.
+        let solo_end = {
+            let mut sim = ReplicaSim::new(&eval, SchedulingPolicy::Continuous, 4 * pt);
+            sim.enqueue(worker(0));
+            sim.finish();
+            sim.end_time()
+        };
+        let mut sim = ReplicaSim::new(&eval, SchedulingPolicy::Continuous, 4 * pt);
+        sim.enqueue(worker(0));
+        sim.enqueue(Request {
+            id: 1,
+            context_len: 10 * pt,
+            decode_len: pt,
+            arrival_us: (solo_end * 0.75 * 1e6) as u64,
+            priority: 1,
+            tenant: 1,
+            shared_prefix: 0,
+        });
+        sim.finish();
+
+        // The worker was evicted once — with its entire prefilled
+        // prompt discounted (the 4 shared pages were still resident).
+        let evicts: Vec<(u64, u64)> = sim
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                SimEvent::Evict {
+                    reprefill,
+                    redecode,
+                } => Some((*reprefill, *redecode)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(evicts.len(), 1, "exactly one eviction");
+        assert_eq!(evicts[0].0, 0, "resident shared pages waive re-prefill");
+        assert!(evicts[0].1 > 0, "restart regenerates decoded tokens");
+        // The burst reclaimed the worker's cached chain tail-first,
+        // leaving one page resident.
+        let reclaimed: u64 = sim
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                SimEvent::PageReclaim { pages } => Some(*pages),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(reclaimed, 3, "burst reclaims 3 of the 4 cached pages");
+        // Readmission hits the surviving page and bills the 3 reclaimed
+        // pages' tokens as recompute — the discount that did not hold.
+        let admits: Vec<(u64, u64)> = sim
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                SimEvent::PrefixAdmit {
+                    hit_tokens,
+                    recompute_tokens,
+                } => Some((*hit_tokens, *recompute_tokens)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(admits, vec![(pt, 3 * pt)]);
     }
 }

@@ -33,7 +33,7 @@
 
 use crate::cluster::{Cluster, RouterKind};
 use crate::config::{SystemConfig, SystemKind, Techniques};
-use crate::policy::{PreemptionPolicy, PrefillConfig, SchedulingPolicy};
+use crate::policy::{PagedKvConfig, PreemptionPolicy, PrefillConfig, SchedulingPolicy};
 use crate::serve::{Evaluator, ServingReport};
 use jsonio::Json;
 use llm_model::ModelConfig;
@@ -63,6 +63,12 @@ pub struct TenantSpec {
     /// Optional TTFT SLO target in seconds — the report's per-tenant
     /// attainment is the fraction of completed requests meeting it.
     pub slo_ttft_p99: Option<f64>,
+    /// Leading prompt tokens every request of this tenant shares (a
+    /// common system prompt), clamped per request to its context
+    /// length. 0 (the default) means no sharing; with
+    /// `policies.prefix_caching` on, shared tokens hit the page-level
+    /// prefix cache after the tenant's first admission.
+    pub shared_prefix: u64,
 }
 
 impl TenantSpec {
@@ -79,6 +85,7 @@ impl TenantSpec {
             arrivals: ArrivalProcess::Batch,
             priority: 0,
             slo_ttft_p99: None,
+            shared_prefix: 0,
         }
     }
 
@@ -118,6 +125,12 @@ impl TenantSpec {
         self
     }
 
+    /// Sets the shared leading-prompt length in tokens.
+    pub fn shared_prefix(mut self, tokens: u64) -> Self {
+        self.shared_prefix = tokens;
+        self
+    }
+
     /// Builds this tenant's trace, tagged with `tenant`.
     fn build_trace(&self, tenant: u8) -> Trace {
         TraceBuilder::new(self.dataset)
@@ -127,6 +140,7 @@ impl TenantSpec {
             .arrivals(self.arrivals)
             .priority(self.priority)
             .tenant(tenant)
+            .shared_prefix(self.shared_prefix)
             .build()
     }
 
@@ -229,6 +243,10 @@ pub struct PolicySpec {
     pub kv_capacity_factor: f64,
     /// Decode chunk-pricing stride.
     pub stride: u64,
+    /// Paged KV cache with prefix caching and page-granular eviction
+    /// (continuous scheduling only; off is bit-exact with whole-request
+    /// reservations).
+    pub paged_kv: PagedKvConfig,
 }
 
 impl Default for PolicySpec {
@@ -240,6 +258,7 @@ impl Default for PolicySpec {
             prefill: PrefillConfig::disabled(),
             kv_capacity_factor: 1.0,
             stride: 64,
+            paged_kv: PagedKvConfig::disabled(),
         }
     }
 }
@@ -334,6 +353,7 @@ impl Scenario {
             .with_prefill(p.prefill)
             .with_kv_capacity_factor(p.kv_capacity_factor)
             .with_stride(p.stride)
+            .with_paged_kv(p.paged_kv)
             .with_tenant_slos(slos)
     }
 
@@ -355,6 +375,9 @@ impl Scenario {
         if !(self.policies.kv_capacity_factor > 0.0 && self.policies.kv_capacity_factor.is_finite())
         {
             return Err("policies.kv_capacity_factor must be positive and finite".to_string());
+        }
+        if self.policies.paged_kv.page_bytes == 0 {
+            return Err("policies.page_bytes must be > 0".to_string());
         }
         Ok(())
     }
@@ -427,6 +450,8 @@ impl Scenario {
                     ),
                     ("kv_capacity_factor", Json::num(p.kv_capacity_factor)),
                     ("stride", Json::num(p.stride as f64)),
+                    ("prefix_caching", Json::Bool(p.paged_kv.prefix_caching)),
+                    ("page_bytes", Json::num(p.paged_kv.page_bytes as f64)),
                 ]),
             ),
             (
@@ -508,6 +533,10 @@ impl Scenario {
                 },
                 kv_capacity_factor: get_f64(p, "kv_capacity_factor", 1.0)?,
                 stride: get_u64(p, "stride", pdefaults.stride)?,
+                paged_kv: PagedKvConfig {
+                    prefix_caching: get_bool(p, "prefix_caching", false)?,
+                    page_bytes: get_u64(p, "page_bytes", PagedKvConfig::DEFAULT_PAGE_BYTES)?,
+                },
             },
         };
         let workload = doc
@@ -602,6 +631,7 @@ fn tenant_to_json(t: &TenantSpec) -> Json {
             "slo_ttft_p99",
             t.slo_ttft_p99.map(Json::num).unwrap_or(Json::Null),
         ),
+        ("shared_prefix", Json::num(t.shared_prefix as f64)),
     ])
 }
 
@@ -669,6 +699,7 @@ fn tenant_from_json(t: &Json) -> Result<TenantSpec, String> {
         arrivals,
         priority: get_u64(t, "priority", 0)? as u8,
         slo_ttft_p99: slo,
+        shared_prefix: get_u64(t, "shared_prefix", 0)?,
     })
 }
 

@@ -13,7 +13,7 @@ use crate::energy::{EnergyBreakdown, EnergyModel};
 use crate::engine::Engine;
 use crate::kernel::KernelModel;
 use crate::metrics::{self, LatencyReport, ReplicaBreakdown};
-use crate::policy::{self, PreemptionPolicy, PrefillConfig, SchedulingPolicy};
+use crate::policy::{self, PagedKvConfig, PreemptionPolicy, PrefillConfig, SchedulingPolicy};
 use crate::stage::{IterationBreakdown, StageModel};
 use llm_model::ModelConfig;
 use pim_mem::DEFAULT_CHUNK_BYTES;
@@ -53,6 +53,17 @@ pub struct ServingReport {
     /// `prefill_seconds`; the per-request distribution is
     /// `latency.restart`).
     pub restart_seconds: f64,
+    /// Admissions that mapped at least one already-resident
+    /// shared-prefix page from the paged KV cache (0 unless
+    /// `prefix_caching` is on and the trace carries shared prefixes).
+    pub prefix_cache_hits: u64,
+    /// Prompt tokens whose prefill was skipped because their pages were
+    /// already resident in the prefix cache at admission.
+    pub prefix_hit_tokens: u64,
+    /// Cached (zero-refcount) KV pages reclaimed page-by-page under
+    /// memory pressure — the page-granular replacement for whole-request
+    /// eviction (0 unless `prefix_caching` is on).
+    pub pages_evicted: u64,
     /// Mean batch size: per admitted wave under the wave policy,
     /// per executed decode step under the continuous policy.
     pub mean_batch: f64,
@@ -118,6 +129,7 @@ pub struct Evaluator {
     policy: SchedulingPolicy,
     preemption: PreemptionPolicy,
     prefill: PrefillConfig,
+    paged_kv: PagedKvConfig,
     /// Scales the replica's KV pool (1.0 = the hardware capacity);
     /// fractions below one model memory pressure without re-sizing the
     /// system, the knob preemption studies sweep.
@@ -146,6 +158,7 @@ impl Evaluator {
             policy: SchedulingPolicy::Wave,
             preemption: PreemptionPolicy::None,
             prefill: PrefillConfig::disabled(),
+            paged_kv: PagedKvConfig::disabled(),
             kv_capacity_factor: 1.0,
             tenant_slos: Vec::new(),
             kernels: KernelModel::new(pim_sim::Timing::aimx(), model.head_dim),
@@ -228,6 +241,37 @@ impl Evaluator {
     /// The active prefill configuration.
     pub fn prefill_config(&self) -> PrefillConfig {
         self.prefill
+    }
+
+    /// Returns this evaluator with an explicit paged-KV configuration
+    /// (see [`PagedKvConfig`]). The default `disabled()` keeps the
+    /// historical whole-request reservations bit-exactly; enabling it
+    /// gives each replica a refcounted page pool with prefix caching
+    /// and page-granular reclamation (continuous policy only — the
+    /// closed-world wave policy ignores this knob).
+    pub fn with_paged_kv(mut self, paged_kv: PagedKvConfig) -> Self {
+        self.paged_kv = paged_kv;
+        self
+    }
+
+    /// Returns this evaluator with paged KV + prefix caching enabled at
+    /// `page_bytes` granularity.
+    pub fn with_prefix_caching(self, page_bytes: u64) -> Self {
+        self.with_paged_kv(PagedKvConfig::paged(page_bytes))
+    }
+
+    /// The active paged-KV configuration.
+    pub fn paged_kv_config(&self) -> PagedKvConfig {
+        self.paged_kv
+    }
+
+    /// Prompt/decode tokens one KV page holds under the active paged-KV
+    /// configuration (≥ 1): `page_bytes` over the per-token KV footprint
+    /// including any TP-driven KV-head replication.
+    pub fn page_tokens(&self) -> u64 {
+        let replication = u64::from((self.system.parallel.tp / self.model.kv_heads()).max(1));
+        let per_token = (replication * self.model.kv_bytes(1)).max(1);
+        (self.paged_kv.page_bytes / per_token).max(1)
     }
 
     /// Returns this evaluator with a different chunk-pricing stride

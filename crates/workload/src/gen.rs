@@ -45,6 +45,14 @@ pub struct Request {
     /// purely a label and never influences scheduling (priorities do
     /// that).
     pub tenant: u8,
+    /// Leading prompt tokens shared verbatim with every other request
+    /// of the same tenant (a common system prompt / few-shot template).
+    /// Always `<= context_len`. Pure metadata for the serving stack's
+    /// prefix cache: with paged KV + prefix caching enabled, these
+    /// tokens can map already-computed pages and skip their prefill; 0
+    /// (the default) means no sharing and is bit-identical to traces
+    /// generated before this field existed.
+    pub shared_prefix: u64,
 }
 
 impl Request {
@@ -316,6 +324,7 @@ pub struct TraceBuilder {
     priority_levels: u8,
     fixed_priority: Option<u8>,
     tenant: u8,
+    shared_prefix: u64,
 }
 
 impl TraceBuilder {
@@ -337,6 +346,7 @@ impl TraceBuilder {
             priority_levels: 1,
             fixed_priority: None,
             tenant: 0,
+            shared_prefix: 0,
         }
     }
 
@@ -435,6 +445,17 @@ impl TraceBuilder {
         self
     }
 
+    /// Marks the first `tokens` prompt tokens of every request as a
+    /// prefix shared across the tenant's traffic (system prompt /
+    /// few-shot template), clamped per request to its sampled context
+    /// length. Pure metadata: it draws nothing from the RNG and never
+    /// changes contexts, budgets or arrivals, so `shared_prefix(0)`
+    /// (the default) is bit-identical to the default build.
+    pub fn shared_prefix(mut self, tokens: u64) -> Self {
+        self.shared_prefix = tokens;
+        self
+    }
+
     /// Generates the trace.
     ///
     /// RNG draw order is: context lengths (one rejection loop per
@@ -473,13 +494,15 @@ impl TraceBuilder {
                 DecodeSpec::Fixed(d) => d,
                 DecodeSpec::Uniform(_, _) => 0, // filled below, after all context draws
             };
+            let context_len = len.round().max(1.0) as u64;
             requests.push(Request {
                 id,
-                context_len: len.round().max(1.0) as u64,
+                context_len,
                 decode_len,
                 arrival_us: 0,
                 priority: 0,
                 tenant: self.tenant,
+                shared_prefix: self.shared_prefix.min(context_len),
             });
         }
         if let DecodeSpec::Uniform(dlo, dhi) = self.decode {
@@ -664,6 +687,7 @@ mod tests {
             arrival_us,
             priority: 0,
             tenant: 0,
+            shared_prefix: 0,
         };
         // Hand-built trace with out-of-order arrivals and a tie.
         let t: Trace = [mk(0, 500), mk(1, 100), mk(2, 100), mk(3, 0)]
@@ -865,6 +889,50 @@ mod tests {
         }
         assert_eq!(base.tenants(), vec![0]);
         assert_eq!(tagged.tenants(), vec![3]);
+    }
+
+    #[test]
+    fn shared_prefix_is_clamped_and_draws_nothing_from_the_rng() {
+        let base = TraceBuilder::new(Dataset::QmSum)
+            .seed(23)
+            .requests(64)
+            .decode_range(4, 32)
+            .poisson(5.0)
+            .build();
+        // shared_prefix(0) is bit-identical to the default build.
+        let zero = TraceBuilder::new(Dataset::QmSum)
+            .seed(23)
+            .requests(64)
+            .decode_range(4, 32)
+            .poisson(5.0)
+            .shared_prefix(0)
+            .build();
+        assert_eq!(base, zero);
+        assert!(base.iter().all(|r| r.shared_prefix == 0));
+        // A huge shared prefix clamps to each context; everything else
+        // is untouched.
+        let shared = TraceBuilder::new(Dataset::QmSum)
+            .seed(23)
+            .requests(64)
+            .decode_range(4, 32)
+            .poisson(5.0)
+            .shared_prefix(u64::MAX)
+            .build();
+        for (a, b) in base.iter().zip(shared.iter()) {
+            assert_eq!(a.context_len, b.context_len);
+            assert_eq!(a.decode_len, b.decode_len);
+            assert_eq!(a.arrival_us, b.arrival_us);
+            assert_eq!(b.shared_prefix, b.context_len);
+        }
+        // A modest prefix sits below every sampled context.
+        let modest = TraceBuilder::new(Dataset::QmSum)
+            .seed(23)
+            .requests(64)
+            .shared_prefix(5)
+            .build();
+        assert!(modest
+            .iter()
+            .all(|r| r.shared_prefix == 5.min(r.context_len)));
     }
 
     #[test]

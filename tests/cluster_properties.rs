@@ -103,6 +103,7 @@ fn wave_round_robin_matches_reference_on_out_of_order_traces() {
         arrival_us,
         priority: 0,
         tenant: 0,
+        shared_prefix: 0,
     };
     // Arrival times and ids deliberately disagree with trace order.
     let trace: Trace = [

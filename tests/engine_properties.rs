@@ -66,6 +66,7 @@ fn zero_emission_requests_produce_no_latency_sample() {
         arrival_us,
         priority: 0,
         tenant: 0,
+        shared_prefix: 0,
     };
     let trace: pimphony::workload::Trace = [mk(0, 16, 0), mk(1, 0, 0), mk(2, 16, 100)]
         .into_iter()

@@ -4,7 +4,10 @@ use pimphony::pim_isa::dpa::{
     DpaInstruction, DpaProgram, DynLoop, DynModi, LoopBound, OperandField,
 };
 use pimphony::pim_isa::{ChannelMask, PimInstruction};
-use pimphony::pim_mem::{ChunkAllocator, Dispatcher, RequestId, StaticAllocator, Va2PaTable};
+use pimphony::pim_mem::{
+    ChunkAllocator, Dispatcher, MemError, PagePool, PrefixHit, RequestId, StaticAllocator,
+    Va2PaTable,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -94,5 +97,124 @@ proptest! {
         d.register(RequestId(1), t_cur, table).expect("fresh");
         let decoded = d.decode(RequestId(1)).expect("mapped");
         prop_assert_eq!(decoded.len(), expect);
+    }
+}
+
+/// Labels of tenant `g`'s shared prompt pages `0..n` — the serving
+/// layer's label scheme (`crates/system/src/replica.rs`).
+fn chain_labels(g: u64, n: u64) -> Vec<u64> {
+    (0..n).map(|i| (g << 32) | i).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Page conservation (`total = free + cached + referenced`) holds
+    /// after every page-pool operation, including admissions that
+    /// trigger LRU reclamation and admissions the pool rejects; after
+    /// releasing every live sequence no page is leaked as referenced.
+    #[test]
+    fn page_pool_conserves_pages_under_pressure(
+        ops in prop::collection::vec((0u64..4, 1u64..12, 0u64..6), 1..40),
+        total_pages in 8u64..40,
+    ) {
+        let page = 1024u64;
+        let mut p = PagePool::new(total_pages * page, page);
+        let mut live: Vec<u64> = vec![];
+        for (i, &(tenant, chain, private)) in ops.iter().enumerate() {
+            let labels = chain_labels(tenant, chain);
+            match p.admit(RequestId(i as u64), &labels, private) {
+                Ok(a) => {
+                    // hit + missing = chain, new = missing + private.
+                    prop_assert_eq!(a.hit_pages + a.new_pages, chain + private);
+                    live.push(i as u64);
+                }
+                // Over-capacity admissions must be atomic no-ops; make
+                // room by retiring the most recent sequence and move on.
+                Err(MemError::OutOfMemory { .. }) => {
+                    if let Some(id) = live.pop() {
+                        p.release(RequestId(id)).expect("live id releases");
+                    }
+                }
+                Err(e) => prop_assert!(false, "unexpected admit error: {e}"),
+            }
+            prop_assert_eq!(
+                p.free_pages() + p.cached_pages() + p.referenced_pages(),
+                p.total_pages()
+            );
+        }
+        for id in live {
+            p.release(RequestId(id)).expect("live id releases");
+        }
+        prop_assert_eq!(p.referenced_pages(), 0);
+        prop_assert_eq!(p.free_pages() + p.cached_pages(), p.total_pages());
+    }
+
+    /// Shared-page refcounts never underflow: releasing `k` sharers of
+    /// one chain caches the chain exactly once (on the last release),
+    /// and releasing an already-released sequence errors instead of
+    /// double-decrementing.
+    #[test]
+    fn page_pool_refcounts_never_underflow(
+        sharers in 1u64..6,
+        chain in 1u64..10,
+    ) {
+        let page = 1024u64;
+        let mut p = PagePool::new(128 * page, page);
+        for s in 0..sharers {
+            p.admit(RequestId(s), &chain_labels(0, chain), 1).expect("fits");
+        }
+        for s in 0..sharers {
+            let r = p.release(RequestId(s)).expect("live sharer");
+            prop_assert_eq!(r.freed_pages, 1, "private page frees every time");
+            let expect_cached = if s + 1 == sharers { chain } else { 0 };
+            prop_assert_eq!(r.newly_cached_pages, expect_cached);
+        }
+        prop_assert!(p.release(RequestId(0)).is_err(), "double release rejected");
+        prop_assert_eq!(p.referenced_pages(), 0);
+        prop_assert_eq!(p.cached_pages(), chain);
+    }
+
+    /// Prefix-tree lookup agrees with a brute-force longest-common-
+    /// prefix reference over the admitted chains: in an ample pool (no
+    /// reclamation) a query's hit depth is the longest LCP with any
+    /// admitted chain, and a hit page is cached iff no *live* chain
+    /// still covers it.
+    #[test]
+    fn prefix_lookup_matches_brute_force_lcp(
+        chains in prop::collection::vec((0u64..4, 1u64..12), 1..10),
+        released in prop::collection::vec(any::<bool>(), 10..11),
+        query in (0u64..5, 0u64..16),
+    ) {
+        let page = 1024u64;
+        let mut p = PagePool::new(4096 * page, page);
+        for (i, &(g, n)) in chains.iter().enumerate() {
+            p.admit(RequestId(i as u64), &chain_labels(g, n), 0).expect("ample pool");
+        }
+        let mut resident: Vec<(u64, u64, bool)> = Vec::new();
+        for (i, &(g, n)) in chains.iter().enumerate() {
+            let live = !released[i];
+            if !live {
+                p.release(RequestId(i as u64)).expect("live id releases");
+            }
+            resident.push((g, n, live));
+        }
+        let (qg, qn) = query;
+        let got = p.lookup(&chain_labels(qg, qn));
+        // Chains are contiguous from the root, so residency at depth d
+        // means some admitted chain of the query's tenant is longer
+        // than d; the page is still referenced iff a live one is.
+        let mut hit = 0u64;
+        for d in 0..qn {
+            if resident.iter().any(|&(g, n, _)| g == qg && n > d) {
+                hit = d + 1;
+            } else {
+                break;
+            }
+        }
+        let cached = (0..hit)
+            .filter(|&d| !resident.iter().any(|&(g, n, live)| live && g == qg && n > d))
+            .count() as u64;
+        prop_assert_eq!(got, PrefixHit { hit_pages: hit, hit_cached_pages: cached });
     }
 }

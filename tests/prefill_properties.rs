@@ -122,6 +122,7 @@ fn ttft_is_monotone_in_prompt_length() {
                 arrival_us: id * 1_000_000,
                 priority: 0,
                 tenant: 0,
+                shared_prefix: 0,
             })
             .collect()
     };
