@@ -69,6 +69,8 @@ fn compare(eval: &Evaluator, trace: &Trace) -> Vec<(RouterKind, ServingReport, f
     let mut reports = Vec::new();
     for kind in RouterKind::ALL {
         let mut router = kind.build();
+        // Wall-clock timing of the simulator itself, not sim time.
+        #[allow(clippy::disallowed_methods)]
         let t0 = Instant::now();
         let r = Cluster::new(eval, SchedulingPolicy::Continuous)
             .with_threads(0)

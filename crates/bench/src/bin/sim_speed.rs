@@ -118,6 +118,8 @@ fn timed_run(
 ) -> (ServingReport, f64) {
     let mut router = m.router.build();
     let cluster = Cluster::new(eval, eval.scheduling_policy()).with_threads(threads);
+    // Wall-clock timing is this binary's whole purpose.
+    #[allow(clippy::disallowed_methods)]
     let t0 = Instant::now();
     let report = cluster.run(&m.trace, router.as_mut());
     (report, t0.elapsed().as_secs_f64())

@@ -8,7 +8,7 @@
 
 use crate::{MemError, RequestId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Default chunk size: 1 MB (paper §VI-C).
 pub const DEFAULT_CHUNK_BYTES: u64 = 1 << 20;
@@ -25,7 +25,7 @@ pub struct ChunkAllocator {
     free: Vec<ChunkId>,
     /// Per-request: allocated chunks (ordered by virtual index) and the
     /// actual KV bytes stored.
-    requests: HashMap<u64, Owned>,
+    requests: BTreeMap<u64, Owned>,
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -48,7 +48,7 @@ impl ChunkAllocator {
             chunk_bytes,
             total_chunks,
             free,
-            requests: HashMap::new(),
+            requests: BTreeMap::new(),
         }
     }
 
@@ -117,7 +117,10 @@ impl ChunkAllocator {
             });
         }
         let mut new_maps = Vec::with_capacity(extra as usize);
-        let owned = self.requests.get_mut(&id.0).expect("checked above");
+        let owned = self
+            .requests
+            .get_mut(&id.0)
+            .expect("request registered before growth; ids are never reused");
         for k in 0..extra {
             let pc = self.free.pop().expect("free list length checked");
             new_maps.push((have + k, pc));

@@ -17,7 +17,7 @@ use crate::va2pa::Va2PaTable;
 use crate::{MemError, RequestId};
 use pim_isa::dpa::DpaProgram;
 use pim_isa::PimInstruction;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-request state in the configuration buffer.
 #[derive(Debug, Clone)]
@@ -34,7 +34,7 @@ pub struct RequestContext {
 #[derive(Debug, Clone, Default)]
 pub struct Dispatcher {
     program: DpaProgram,
-    contexts: HashMap<u64, RequestContext>,
+    contexts: BTreeMap<u64, RequestContext>,
     rows_per_chunk: u64,
     host_messages: u64,
     decoded_instructions: u64,
@@ -50,7 +50,7 @@ impl Dispatcher {
         assert!(rows_per_chunk > 0, "rows_per_chunk must be nonzero");
         Dispatcher {
             program,
-            contexts: HashMap::new(),
+            contexts: BTreeMap::new(),
             rows_per_chunk,
             host_messages: 0,
             decoded_instructions: 0,

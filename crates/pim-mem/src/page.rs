@@ -37,7 +37,7 @@
 //! granularity.
 
 use crate::{MemError, RequestId};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One node of the prefix tree — one shared-prefix page.
 #[derive(Debug, Clone)]
@@ -48,7 +48,7 @@ struct Node {
     /// conceptual root).
     parent: Option<usize>,
     /// Children keyed by content label.
-    children: HashMap<u64, usize>,
+    children: BTreeMap<u64, usize>,
     /// Live sequences whose prompt maps this page.
     refcount: u64,
     /// Logical timestamp of the last admission that touched this page
@@ -116,11 +116,11 @@ pub struct PagePool {
     slots: Vec<Option<Node>>,
     free_slots: Vec<usize>,
     /// First-page nodes (children of the conceptual root), by label.
-    roots: HashMap<u64, usize>,
+    roots: BTreeMap<u64, usize>,
     /// Live sequences by request id.
-    seqs: HashMap<u64, Seq>,
+    seqs: BTreeMap<u64, Seq>,
     /// Labels of reclaimed prefix pages, for recompute attribution.
-    evicted_labels: HashSet<u64>,
+    evicted_labels: BTreeSet<u64>,
 }
 
 impl PagePool {
@@ -141,9 +141,9 @@ impl PagePool {
             tick: 0,
             slots: Vec::new(),
             free_slots: Vec::new(),
-            roots: HashMap::new(),
-            seqs: HashMap::new(),
-            evicted_labels: HashSet::new(),
+            roots: BTreeMap::new(),
+            seqs: BTreeMap::new(),
+            evicted_labels: BTreeSet::new(),
         }
     }
 
@@ -265,7 +265,7 @@ impl PagePool {
             let node = Node {
                 label,
                 parent: cur,
-                children: HashMap::new(),
+                children: BTreeMap::new(),
                 refcount: 1,
                 last_use: tick,
             };

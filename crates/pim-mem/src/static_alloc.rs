@@ -8,14 +8,14 @@
 
 use crate::{MemError, RequestId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A static, `T_max`-reservation allocator for one PIM module.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StaticAllocator {
     capacity_bytes: u64,
     reservation_bytes: u64,
-    requests: HashMap<u64, u64>, // request id -> used bytes
+    requests: BTreeMap<u64, u64>, // request id -> used bytes
 }
 
 impl StaticAllocator {
@@ -29,7 +29,7 @@ impl StaticAllocator {
         StaticAllocator {
             capacity_bytes,
             reservation_bytes,
-            requests: HashMap::new(),
+            requests: BTreeMap::new(),
         }
     }
 

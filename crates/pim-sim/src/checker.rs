@@ -8,7 +8,7 @@
 use crate::report::ExecutionReport;
 use pim_isa::command::{CommandKind, CommandStream};
 use pim_isa::CommandId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// One detected hazard violation.
@@ -43,7 +43,7 @@ impl fmt::Display for Violation {
 ///
 /// Returns all violations (empty = schedule is hazard-free).
 pub fn check_schedule(stream: &CommandStream, report: &ExecutionReport) -> Vec<Violation> {
-    let timing: HashMap<CommandId, (u64, u64)> = report
+    let timing: BTreeMap<CommandId, (u64, u64)> = report
         .timings
         .iter()
         .map(|t| (t.id, (t.issue, t.complete)))
@@ -64,8 +64,8 @@ pub fn check_schedule(stream: &CommandStream, report: &ExecutionReport) -> Vec<V
         Drain,
     }
 
-    let mut gbuf: HashMap<u16, Access> = HashMap::new();
-    let mut obuf: HashMap<u16, Access> = HashMap::new();
+    let mut gbuf: BTreeMap<u16, Access> = BTreeMap::new();
+    let mut obuf: BTreeMap<u16, Access> = BTreeMap::new();
 
     let push = |violations: &mut Vec<Violation>,
                 first: CommandId,

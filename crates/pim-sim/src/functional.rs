@@ -12,14 +12,14 @@
 use crate::geometry::Geometry;
 use pim_isa::command::{CommandKind, CommandStream};
 use pim_isa::CommandId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Functional state of one PIM channel.
 #[derive(Debug, Clone)]
 pub struct FunctionalChannel {
     geometry: Geometry,
     /// Per-bank DRAM tiles: `(row, col) -> tile`.
-    banks: Vec<HashMap<(u32, u16), Vec<f32>>>,
+    banks: Vec<BTreeMap<(u32, u16), Vec<f32>>>,
     /// Global Buffer tiles.
     gbuf: Vec<Vec<f32>>,
     /// Output accumulators: `[out_entry][bank]`.
@@ -34,7 +34,7 @@ impl FunctionalChannel {
         let lanes = geometry.elems_per_tile as usize;
         FunctionalChannel {
             geometry,
-            banks: vec![HashMap::new(); geometry.banks as usize],
+            banks: vec![BTreeMap::new(); geometry.banks as usize],
             gbuf: vec![vec![0.0; lanes]; geometry.gbuf_entries as usize],
             obuf: vec![vec![0.0; geometry.banks as usize]; geometry.out_entries as usize],
             drained: Vec::new(),

@@ -1,0 +1,13 @@
+//! Fixture: the same constructs *outside* the simulation crates.
+//! `nondet-iter` and `float-key` are scoped to sim crates, so only the
+//! universal rules may fire here.
+
+use std::collections::HashMap; // clean: jsonio is not a sim crate
+
+fn keyed() {
+    let m: HashMap<u64, u64> = HashMap::new();
+    let mut v = vec![2.0f64, 1.0];
+    v.sort_by(f64::total_cmp); // clean: total order
+    let x = m.get(&0).expect("fixture: key inserted above");
+    let _ = (x, v);
+}

@@ -1,0 +1,46 @@
+//! Seeded violations for every simlint rule, laid out as if this file
+//! lived at `crates/system/src/violations.rs` (the fixture tree mirrors
+//! the workspace so path-scoped rules apply). `fixtures/` directories
+//! are exempt from workspace walks — this file is linted only by
+//! pointing simlint at it explicitly (see `tests/selfcheck.rs`), and it
+//! is never compiled.
+
+use std::collections::HashMap; // finding: nondet-iter
+use std::time::Instant;
+
+fn violations() {
+    let m: HashMap<u64, u64> = HashMap::new(); // findings: nondet-iter
+    let t0 = Instant::now(); // finding: wall-clock
+    let mut rng = rand::thread_rng(); // finding: unseeded-rng
+    let mut v = vec![2.0f64, 1.0];
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap()); // findings: float-key + unwrap-in-lib
+    let x = m.get(&0).unwrap(); // finding: unwrap-in-lib
+    let y = m.get(&1).expect(""); // finding: unwrap-in-lib
+    println!("{t0:?} {x} {y}"); // finding: stray-debug
+    dbg!(v); // finding: stray-debug
+}
+
+fn waived() {
+    // The scrubber must not let strings or comments trip rules:
+    let s = "HashMap Instant::now() thread_rng dbg!"; // HashMap in prose
+    let _ = s;
+    // Inline waivers silence their own line and the next:
+    let m = HashMap::new(); // simlint: allow(nondet-iter): fixture keyed-only site
+    // simlint: allow(unwrap-in-lib): fixture invariant documented here
+    let x = m.get(&0).unwrap();
+    let _ = x;
+}
+
+// simlint: allow(nondet-iter) <- finding: waiver-syntax (missing reason)
+
+#[cfg(test)]
+mod tests {
+    // Exempt: test code may use all of it.
+    use std::collections::HashSet;
+    #[test]
+    fn t() {
+        let s: HashSet<u64> = HashSet::new();
+        assert!(s.get(&0).is_none());
+        println!("{:?}", std::time::Instant::now());
+    }
+}

@@ -1,0 +1,163 @@
+//! `simlint.toml`: the path-scoped waiver list.
+//!
+//! The config is a sequence of `[[allow]]` entries, each silencing one
+//! rule under one workspace-relative path prefix with a written reason:
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "nondet-iter"
+//! path = "crates/system/src/kernel.rs"
+//! reason = "memo caches are keyed get/insert only; never iterated"
+//! ```
+//!
+//! The parser covers exactly this shape (array-of-tables with string
+//! values, `#` comments) — the workspace builds offline, so no TOML
+//! crate is available — and rejects anything else loudly rather than
+//! guessing: an allowlist that silently drops entries would be worse
+//! than none.
+
+use crate::rules::rule_by_id;
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// Rule identifier (must exist in [`crate::rules::RULES`]).
+    pub rule: String,
+    /// Workspace-relative path prefix the waiver covers.
+    pub path: String,
+    /// Written justification (mandatory, non-empty).
+    pub reason: String,
+}
+
+/// Parsed configuration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Config {
+    /// Path-scoped waivers, in file order.
+    pub allows: Vec<Allow>,
+}
+
+impl Config {
+    /// Whether `(rule, path)` is silenced by an `[[allow]]` entry.
+    pub fn allows(&self, rule: &str, rel_path: &str) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && rel_path.starts_with(&a.path))
+    }
+}
+
+/// Parses `simlint.toml` text.
+///
+/// # Errors
+/// Returns a human-readable message (with a line number) for any
+/// construct outside the supported subset, an unknown rule id, or an
+/// incomplete entry.
+pub fn parse(text: &str) -> Result<Config, String> {
+    let mut allows: Vec<Allow> = Vec::new();
+    // Fields of the entry currently being filled.
+    let mut current: Option<(Option<String>, Option<String>, Option<String>)> = None;
+    let finish = |entry: (Option<String>, Option<String>, Option<String>),
+                  line_no: usize|
+     -> Result<Allow, String> {
+        let (rule, path, reason) = entry;
+        let rule = rule.ok_or(format!("line {line_no}: [[allow]] entry missing `rule`"))?;
+        let path = path.ok_or(format!("line {line_no}: [[allow]] entry missing `path`"))?;
+        let reason = reason.ok_or(format!("line {line_no}: [[allow]] entry missing `reason`"))?;
+        if rule_by_id(&rule).is_none() {
+            return Err(format!("line {line_no}: unknown rule `{rule}`"));
+        }
+        if reason.trim().is_empty() {
+            return Err(format!("line {line_no}: empty `reason`"));
+        }
+        Ok(Allow { rule, path, reason })
+    };
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(entry) = current.take() {
+                allows.push(finish(entry, line_no)?);
+            }
+            current = Some((None, None, None));
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "line {line_no}: expected `key = \"value\"`, got `{line}`"
+            ));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let value = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or(format!(
+                "line {line_no}: `{key}` value must be a quoted string"
+            ))?
+            .to_string();
+        let Some(entry) = current.as_mut() else {
+            return Err(format!(
+                "line {line_no}: `{key}` outside an [[allow]] entry"
+            ));
+        };
+        let slot = match key {
+            "rule" => &mut entry.0,
+            "path" => &mut entry.1,
+            "reason" => &mut entry.2,
+            other => return Err(format!("line {line_no}: unknown key `{other}`")),
+        };
+        if slot.is_some() {
+            return Err(format!("line {line_no}: duplicate key `{key}`"));
+        }
+        *slot = Some(value);
+    }
+    if let Some(entry) = current.take() {
+        let last = text.lines().count();
+        allows.push(finish(entry, last)?);
+    }
+    Ok(Config { allows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_scopes_by_prefix() {
+        let cfg = parse(
+            "# comment\n\n[[allow]]\nrule = \"nondet-iter\"\npath = \"crates/system/src/kernel.rs\"\nreason = \"keyed only\"\n\n[[allow]]\nrule = \"stray-debug\"\npath = \"crates/pimphony/\"\nreason = \"demo prints\"\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.allows.len(), 2);
+        assert!(cfg.allows("nondet-iter", "crates/system/src/kernel.rs"));
+        assert!(!cfg.allows("nondet-iter", "crates/system/src/replica.rs"));
+        assert!(cfg.allows("stray-debug", "crates/pimphony/src/lib.rs"));
+        assert!(!cfg.allows("unwrap-in-lib", "crates/pimphony/src/lib.rs"));
+    }
+
+    #[test]
+    fn rejects_unknown_rules_and_missing_fields() {
+        assert!(
+            parse("[[allow]]\nrule = \"no-such-rule\"\npath = \"x\"\nreason = \"r\"\n")
+                .unwrap_err()
+                .contains("unknown rule")
+        );
+        assert!(parse("[[allow]]\nrule = \"nondet-iter\"\npath = \"x\"\n")
+            .unwrap_err()
+            .contains("missing `reason`"));
+        assert!(parse("rule = \"nondet-iter\"\n")
+            .unwrap_err()
+            .contains("outside an [[allow]]"));
+        assert!(parse("[[allow]]\nrule = nondet-iter\n")
+            .unwrap_err()
+            .contains("quoted string"));
+    }
+
+    #[test]
+    fn empty_config_allows_nothing() {
+        let cfg = parse("").unwrap();
+        assert!(!cfg.allows("nondet-iter", "crates/system/src/replica.rs"));
+    }
+}

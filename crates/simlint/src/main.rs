@@ -1,0 +1,115 @@
+//! `simlint` CLI.
+//!
+//! ```text
+//! simlint [--check] [--root DIR] [--config FILE] [--list-rules] [PATH...]
+//! ```
+//!
+//! * `--check`      exit 1 when findings survive the waivers (CI mode).
+//! * `--root DIR`   workspace root (default `.`): paths are scoped and
+//!   reported relative to it, and `DIR/simlint.toml` is loaded if present.
+//! * `--config F`   explicit allowlist file (overrides root discovery).
+//! * `--list-rules` print the rule table and exit.
+//! * `PATH...`      lint only these files/directories (still relative to
+//!   the root for scoping); default: walk the whole root.
+//!
+//! Findings print to stdout as `file:line: rule: message`, sorted.
+
+use simlint::{config::Config, lint_paths, load_config, rules::RULES, Finding};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut check = false;
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+    let mut targets: Vec<PathBuf> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check" => check = true,
+            "--list-rules" => {
+                for rule in RULES {
+                    println!(
+                        "{:14} {}",
+                        rule.id,
+                        rule.summary
+                            .split_whitespace()
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    );
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => root = PathBuf::from(v),
+                    None => return usage("--root needs a directory"),
+                }
+            }
+            "--config" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => config_path = Some(PathBuf::from(v)),
+                    None => return usage("--config needs a file"),
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: simlint [--check] [--root DIR] [--config FILE] [--list-rules] [PATH...]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown flag `{other}`"));
+            }
+            path => targets.push(PathBuf::from(path)),
+        }
+        i += 1;
+    }
+
+    let cfg: Config = match &config_path {
+        Some(p) => match std::fs::read_to_string(p)
+            .map_err(|e| format!("{}: {e}", p.display()))
+            .and_then(|t| simlint::config::parse(&t).map_err(|e| format!("{}: {e}", p.display())))
+        {
+            Ok(c) => c,
+            Err(e) => return fail(&e),
+        },
+        None => match load_config(&root) {
+            Ok(c) => c,
+            Err(e) => return fail(&e),
+        },
+    };
+
+    let findings: Vec<Finding> = match lint_paths(&root, &targets, &cfg) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        eprintln!("simlint: clean ({} rules)", RULES.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("simlint: {} finding(s)", findings.len());
+        if check {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("simlint: {msg}");
+    eprintln!("usage: simlint [--check] [--root DIR] [--config FILE] [--list-rules] [PATH...]");
+    ExitCode::from(2)
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("simlint: {msg}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,345 @@
+//! The rule table: repo-specific determinism and safety rules.
+//!
+//! Every rule is a per-line matcher over scrubbed code (see
+//! [`crate::scan`]) plus a path scope. Scopes are expressed on
+//! workspace-relative, forward-slash paths; test code (`#[cfg(test)]`
+//! regions, `tests/`, `benches/`, `examples/` trees) is exempt from
+//! every rule, and *bin* code (`src/bin/`, `src/main.rs`) is exempt
+//! from the library-only rules.
+
+/// The simulation crates whose iteration order feeds simulated state —
+/// the blast radius of a `HashMap` walk reaching an event order.
+const SIM_CRATES: [&str; 4] = [
+    "crates/system/",
+    "crates/pim-mem/",
+    "crates/pim-sim/",
+    "crates/workload/",
+];
+
+/// Crates exempt from the wall-clock/safety rules: `bench` *measures*
+/// wall time by design, and `compat` mirrors upstream crate APIs.
+const TOOLING_CRATES: [&str; 2] = ["crates/bench/", "crates/compat/"];
+
+/// Path scope of one rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Only the simulation crates (`SIM_CRATES`:
+    /// system, pim-mem, pim-sim, workload).
+    SimCrates,
+    /// Everywhere except the tooling crates (bench, compat).
+    NonTooling,
+    /// Everywhere except the tooling crates and bin code
+    /// (`src/bin/`, `src/main.rs`) — "library code".
+    LibraryCode,
+}
+
+impl Scope {
+    /// Whether `rel` (workspace-relative, forward slashes) is in scope.
+    pub fn contains(self, rel: &str) -> bool {
+        let is_tooling = TOOLING_CRATES.iter().any(|p| rel.starts_with(p));
+        match self {
+            Scope::SimCrates => SIM_CRATES.iter().any(|p| rel.starts_with(p)),
+            Scope::NonTooling => !is_tooling,
+            Scope::LibraryCode => {
+                !is_tooling && !rel.contains("/src/bin/") && !rel.ends_with("src/main.rs")
+            }
+        }
+    }
+}
+
+/// One lint rule.
+pub struct Rule {
+    /// Stable identifier (used in waivers and `simlint.toml`).
+    pub id: &'static str,
+    /// One-line description for `--list-rules` and the README.
+    pub summary: &'static str,
+    /// Path scope.
+    pub scope: Scope,
+    /// Matcher: scrubbed code line → finding message (None = clean).
+    pub check: fn(&str) -> Option<String>,
+}
+
+/// The rule table, in reporting order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "nondet-iter",
+        summary: "HashMap/HashSet in simulation crates: iteration order is \
+                  nondeterministic; use BTreeMap/BTreeSet, sorted keys, or waive \
+                  a keyed-only site with a reason",
+        scope: Scope::SimCrates,
+        check: check_nondet_iter,
+    },
+    Rule {
+        id: "wall-clock",
+        summary: "Instant::now/SystemTime outside bench/compat: wall time must \
+                  never reach simulated time",
+        scope: Scope::NonTooling,
+        check: check_wall_clock,
+    },
+    Rule {
+        id: "unseeded-rng",
+        summary: "entropy-seeded RNG (thread_rng/from_entropy/OsRng): every \
+                  stream must derive from an explicit u64 seed",
+        scope: Scope::NonTooling,
+        check: check_unseeded_rng,
+    },
+    Rule {
+        id: "float-key",
+        summary: "float ordering without a total order: use f64::total_cmp or \
+                  to_bits keys (the event-calendar pattern)",
+        scope: Scope::SimCrates,
+        check: check_float_key,
+    },
+    Rule {
+        id: "unwrap-in-lib",
+        summary: "unwrap()/expect(\"\") in library code: name the violated \
+                  invariant in an expect message or restructure",
+        scope: Scope::LibraryCode,
+        check: check_unwrap_in_lib,
+    },
+    Rule {
+        id: "stray-debug",
+        summary: "dbg!/todo!/unimplemented!/println! in library code",
+        scope: Scope::LibraryCode,
+        check: check_stray_debug,
+    },
+];
+
+/// Looks up a rule by id.
+pub fn rule_by_id(id: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Whether `code[i..]` starts the identifier `word` on identifier
+/// boundaries (`HashMap` does not match inside `MyHashMapExt`).
+fn token_at(code: &str, i: usize, word: &str) -> bool {
+    if !code[i..].starts_with(word) {
+        return false;
+    }
+    let before_ok = i == 0
+        || !code[..i]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    let after = code[i + word.len()..].chars().next();
+    let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
+    before_ok && after_ok
+}
+
+/// Whether `code` contains `word` as a standalone identifier.
+pub fn has_token(code: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(word) {
+        let i = start + pos;
+        if token_at(code, i, word) {
+            return true;
+        }
+        start = i + 1;
+    }
+    false
+}
+
+fn check_nondet_iter(code: &str) -> Option<String> {
+    for ty in ["HashMap", "HashSet"] {
+        if has_token(code, ty) {
+            return Some(format!(
+                "{ty} in a simulation crate: iteration order is nondeterministic \
+                 and can leak into replay order; use BTreeMap/BTreeSet or a \
+                 sorted-key walk, or waive a keyed-only site"
+            ));
+        }
+    }
+    None
+}
+
+fn check_wall_clock(code: &str) -> Option<String> {
+    if code.contains("Instant::now") {
+        return Some(
+            "Instant::now() reads the wall clock; simulated time must come from \
+             the virtual clock"
+                .to_string(),
+        );
+    }
+    if has_token(code, "SystemTime") {
+        return Some(
+            "SystemTime reads the wall clock; simulated time must come from the \
+             virtual clock"
+                .to_string(),
+        );
+    }
+    None
+}
+
+fn check_unseeded_rng(code: &str) -> Option<String> {
+    for tok in ["thread_rng", "from_entropy", "OsRng", "getrandom"] {
+        if has_token(code, tok) {
+            return Some(format!(
+                "{tok} seeds randomness from process entropy; derive every \
+                 stream from an explicit u64 seed (SeedableRng::seed_from_u64)"
+            ));
+        }
+    }
+    if code.contains("rand::random") {
+        return Some(
+            "rand::random draws from the entropy-seeded thread RNG; derive \
+             every stream from an explicit u64 seed"
+                .to_string(),
+        );
+    }
+    None
+}
+
+fn check_float_key(code: &str) -> Option<String> {
+    if has_token(code, "partial_cmp") {
+        return Some(
+            "partial_cmp is not a total order (NaN); order floats with \
+             f64::total_cmp or compare to_bits keys"
+                .to_string(),
+        );
+    }
+    if code.contains("total_cmp") || code.contains("to_bits") {
+        return None;
+    }
+    for call in [".sort_by(", ".min_by(", ".max_by(", ".binary_search_by("] {
+        if code.contains(call) {
+            return Some(format!(
+                "{} takes a comparator (usually written for floats); if the key \
+                 is a float, order with f64::total_cmp or to_bits",
+                &call[1..call.len() - 1]
+            ));
+        }
+    }
+    None
+}
+
+fn check_unwrap_in_lib(code: &str) -> Option<String> {
+    // `.unwrap()` — allow whitespace between the token and the parens.
+    let mut start = 0;
+    while let Some(pos) = code[start..].find("unwrap") {
+        let i = start + pos;
+        if token_at(code, i, "unwrap") {
+            let rest = code[i + "unwrap".len()..].trim_start();
+            if rest.starts_with("()") {
+                return Some(
+                    "bare unwrap() in library code; use expect(\"<violated \
+                     invariant>\") or restructure to avoid the panic"
+                        .to_string(),
+                );
+            }
+        }
+        start = i + 1;
+    }
+    // `expect("")` — an empty message is a bare unwrap in disguise.
+    let mut start = 0;
+    while let Some(pos) = code[start..].find("expect") {
+        let i = start + pos;
+        if token_at(code, i, "expect") {
+            let rest = code[i + "expect".len()..].trim_start();
+            // Scrubbing blanks string contents but keeps the quotes,
+            // so only a truly empty message still reads `""` here.
+            let inner = rest.strip_prefix('(').map(str::trim_start);
+            if inner.is_some_and(|s| s.starts_with("\"\")")) {
+                return Some(
+                    "expect(\"\") carries no invariant; name what was violated".to_string(),
+                );
+            }
+        }
+        start = i + 1;
+    }
+    None
+}
+
+fn check_stray_debug(code: &str) -> Option<String> {
+    for mac in [
+        "dbg!",
+        "todo!",
+        "unimplemented!",
+        "println!",
+        "eprintln!",
+        "print!",
+        "eprint!",
+    ] {
+        let word = &mac[..mac.len() - 1];
+        let mut start = 0;
+        while let Some(pos) = code[start..].find(word) {
+            let i = start + pos;
+            if token_at(code, i, word) && code[i + word.len()..].starts_with('!') {
+                return Some(format!(
+                    "{mac} in library code; route output through return values \
+                     or the bench binaries"
+                ));
+            }
+            start = i + 1;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_partition_the_tree() {
+        assert!(Scope::SimCrates.contains("crates/system/src/replica.rs"));
+        assert!(Scope::SimCrates.contains("crates/pim-mem/src/page.rs"));
+        assert!(!Scope::SimCrates.contains("crates/bench/src/lib.rs"));
+        assert!(!Scope::SimCrates.contains("crates/jsonio/src/lib.rs"));
+        assert!(Scope::NonTooling.contains("crates/system/src/lib.rs"));
+        assert!(!Scope::NonTooling.contains("crates/bench/src/bin/sim_speed.rs"));
+        assert!(!Scope::NonTooling.contains("crates/compat/rand/src/lib.rs"));
+        assert!(Scope::LibraryCode.contains("crates/jsonio/src/lib.rs"));
+        assert!(!Scope::LibraryCode.contains("crates/simlint/src/main.rs"));
+        assert!(!Scope::LibraryCode.contains("crates/bench/src/bin/sim_speed.rs"));
+    }
+
+    #[test]
+    fn nondet_iter_matches_types_not_substrings() {
+        assert!(check_nondet_iter("let m: HashMap<u64, u64> = HashMap::new();").is_some());
+        assert!(check_nondet_iter("use std::collections::HashSet;").is_some());
+        assert!(check_nondet_iter("let m = MyHashMapExt::new();").is_none());
+        assert!(check_nondet_iter("let m: BTreeMap<u64, u64> = BTreeMap::new();").is_none());
+    }
+
+    #[test]
+    fn wall_clock_matches_both_clocks() {
+        assert!(check_wall_clock("let t0 = Instant::now();").is_some());
+        assert!(check_wall_clock("let t = SystemTime::now();").is_some());
+        assert!(check_wall_clock("let instant = make_instant();").is_none());
+    }
+
+    #[test]
+    fn unseeded_rng_matches_entropy_sources() {
+        assert!(check_unseeded_rng("let mut rng = rand::thread_rng();").is_some());
+        assert!(check_unseeded_rng("let rng = StdRng::from_entropy();").is_some());
+        assert!(check_unseeded_rng("let x: u64 = rand::random();").is_some());
+        assert!(check_unseeded_rng("let rng = StdRng::seed_from_u64(42);").is_none());
+    }
+
+    #[test]
+    fn float_key_flags_partial_cmp_and_comparators_without_total_cmp() {
+        assert!(check_float_key("v.sort_by(|a, b| a.partial_cmp(b).unwrap());").is_some());
+        assert!(check_float_key("v.sort_by(|a, b| custom(a, b));").is_some());
+        assert!(check_float_key("v.sort_by(f64::total_cmp);").is_none());
+        assert!(check_float_key("heap.push(Reverse((t.to_bits(), i)));").is_none());
+        assert!(check_float_key("v.sort_by_key(|r| (r.arrival_us, r.id));").is_none());
+    }
+
+    #[test]
+    fn unwrap_in_lib_flags_bare_unwrap_and_empty_expect() {
+        assert!(check_unwrap_in_lib("let x = m.get(&k).unwrap();").is_some());
+        assert!(check_unwrap_in_lib("let x = m.get(&k).expect(\"\");").is_some());
+        assert!(check_unwrap_in_lib("let x = m.get(&k).expect(\"key was inserted\");").is_none());
+        assert!(check_unwrap_in_lib("let x = m.unwrap_or(0);").is_none());
+        assert!(check_unwrap_in_lib("let x = r.unwrap_err();").is_none());
+    }
+
+    #[test]
+    fn stray_debug_flags_debug_macros_only() {
+        assert!(check_stray_debug("dbg!(x);").is_some());
+        assert!(check_stray_debug("todo!()").is_some());
+        assert!(check_stray_debug("println!(\"x\");").is_some());
+        assert!(check_stray_debug("writeln!(f, \"x\")?;").is_none());
+        assert!(check_stray_debug("self.print_report();").is_none());
+    }
+}

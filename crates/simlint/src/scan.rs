@@ -1,0 +1,446 @@
+//! Source model: a comment- and string-aware line scrubber.
+//!
+//! `simlint` deliberately avoids a full Rust parser (the workspace
+//! builds offline; `syn` is unavailable), so every rule matches against
+//! a *scrubbed* view of each line in which the contents of string
+//! literals, character literals, and comments are blanked out —
+//! `let s = "HashMap";` cannot trip `nondet-iter`, and a rule name in a
+//! doc comment cannot trip anything. Comment *text* is kept separately
+//! because that is where waivers (`// simlint: allow(rule): reason`)
+//! live.
+//!
+//! A second pass marks **test regions**: `#[cfg(test)]` / `#[test]` /
+//! `#[bench]` items (tracked by brace depth) are exempt from every
+//! rule, matching the repo convention that unit tests live in
+//! `mod tests` inside the file they test.
+
+/// One scrubbed source line.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Line content with string/char-literal interiors and comments
+    /// replaced by spaces. Quote characters themselves are kept, so
+    /// `expect("")` remains distinguishable from `expect("msg")`.
+    pub code: String,
+    /// Concatenated comment text on the line (line + block comments),
+    /// searched for waiver annotations.
+    pub comment: String,
+    /// Whether the line lies inside a `#[cfg(test)]`/`#[test]` item.
+    pub in_test: bool,
+}
+
+/// A whole scrubbed file (1-indexed lines via `lines[i - 1]`).
+#[derive(Debug, Clone)]
+pub struct ScrubbedFile {
+    /// Scrubbed lines in order.
+    pub lines: Vec<Line>,
+}
+
+/// Lexer state carried across lines.
+enum Mode {
+    Code,
+    /// Inside `/* */`, with nesting depth (Rust block comments nest).
+    Block(u32),
+    /// Inside a normal `"` string (escapes honored).
+    Str,
+    /// Inside a raw string terminated by `"` + this many `#`s.
+    RawStr(u32),
+}
+
+/// Scrubs `source` into per-line code/comment views and marks test
+/// regions. Never fails: malformed source degrades to conservative
+/// scrubbing (an unterminated literal blanks the rest of the file,
+/// which can only *hide* findings in code that would not compile
+/// anyway).
+pub fn scrub(source: &str) -> ScrubbedFile {
+    let mut lines: Vec<Line> = Vec::new();
+    let mut mode = Mode::Code;
+    for raw in source.lines() {
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let chars: Vec<char> = raw.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match mode {
+                Mode::Code => match c {
+                    '/' if next == Some('/') => {
+                        comment.push_str(
+                            &raw[raw
+                                .char_indices()
+                                .nth(i)
+                                .map(|(b, _)| b)
+                                .unwrap_or(raw.len())..],
+                        );
+                        code.extend(std::iter::repeat(' ').take(chars.len() - i));
+                        i = chars.len();
+                    }
+                    '/' if next == Some('*') => {
+                        mode = Mode::Block(1);
+                        code.push_str("  ");
+                        i += 2;
+                    }
+                    '"' => {
+                        // Possibly (byte-)raw: look back over b/r/# prefix.
+                        mode = Mode::Str;
+                        code.push('"');
+                        i += 1;
+                    }
+                    'r' | 'b' if is_raw_prefix(&chars, i) => {
+                        let (hashes, consumed) = raw_open(&chars, i);
+                        mode = Mode::RawStr(hashes);
+                        code.extend(std::iter::repeat(' ').take(consumed - 1));
+                        code.push('"');
+                        i += consumed;
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime. `'\...'` and `'x'`
+                        // are literals; `'ident` (no closing quote
+                        // nearby) is a lifetime.
+                        if next == Some('\\') {
+                            code.push('\'');
+                            i += 2; // skip the backslash
+                                    // Blank until the closing quote.
+                            while i < chars.len() && chars[i] != '\'' {
+                                code.push(' ');
+                                i += 1;
+                            }
+                            if i < chars.len() {
+                                code.push('\'');
+                                i += 1;
+                            }
+                        } else if chars.get(i + 2) == Some(&'\'') {
+                            code.push_str("' '");
+                            i += 3;
+                        } else {
+                            code.push('\'');
+                            i += 1;
+                        }
+                    }
+                    _ => {
+                        code.push(c);
+                        i += 1;
+                    }
+                },
+                Mode::Block(depth) => {
+                    if c == '*' && next == Some('/') {
+                        mode = if depth == 1 {
+                            Mode::Code
+                        } else {
+                            Mode::Block(depth - 1)
+                        };
+                        code.push_str("  ");
+                        i += 2;
+                    } else if c == '/' && next == Some('*') {
+                        mode = Mode::Block(depth + 1);
+                        code.push_str("  ");
+                        i += 2;
+                    } else {
+                        comment.push(c);
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                Mode::Str => match c {
+                    '\\' => {
+                        code.push_str("  ");
+                        i += 2;
+                    }
+                    '"' => {
+                        mode = Mode::Code;
+                        code.push('"');
+                        i += 1;
+                    }
+                    _ => {
+                        code.push(' ');
+                        i += 1;
+                    }
+                },
+                Mode::RawStr(hashes) => {
+                    if c == '"' && closes_raw(&chars, i, hashes) {
+                        mode = Mode::Code;
+                        code.push('"');
+                        code.extend(std::iter::repeat(' ').take(hashes as usize));
+                        i += 1 + hashes as usize;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // A line comment or string does not continue `Mode::Str` past
+        // the newline in valid Rust only for multi-line strings, which
+        // do continue — leave `mode` as is except line comments, which
+        // always end at the newline (handled above by consuming the
+        // rest of the line).
+        lines.push(Line {
+            code,
+            comment,
+            in_test: false,
+        });
+    }
+    mark_test_regions(&mut lines);
+    ScrubbedFile { lines }
+}
+
+/// Whether position `i` starts a raw/byte string prefix
+/// (`r"`, `r#"`, `br"`, `b"`, ...), not an identifier like `relax`.
+fn is_raw_prefix(chars: &[char], i: usize) -> bool {
+    // Must not be preceded by an identifier character (e.g. `attr` or
+    // `number` would otherwise look like a prefix).
+    if i > 0 {
+        let p = chars[i - 1];
+        if p.is_alphanumeric() || p == '_' {
+            return false;
+        }
+    }
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'r') {
+        j += 1;
+    } else if j == i {
+        return false; // bare `b` must be `b"..."`
+    }
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Consumes a raw-string opener at `i`, returning `(hash count, chars
+/// consumed including the opening quote)`.
+fn raw_open(chars: &[char], i: usize) -> (u32, usize) {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'r') {
+        j += 1;
+    }
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert_eq!(chars.get(j), Some(&'"'));
+    (hashes, j - i + 1)
+}
+
+/// Whether the `"` at `i` is followed by `hashes` `#`s (raw-string
+/// terminator).
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Marks lines covered by `#[cfg(test)]` / `#[test]` / `#[bench]`
+/// items. Attribute → the next item's braced body (or a single
+/// `;`-terminated item) is a test region, tracked by brace depth on the
+/// scrubbed code.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut depth: i64 = 0;
+    let mut pending_attr = false;
+    // Depths at which an active test region ends (`None` = not in one).
+    let mut region_floor: Option<i64> = None;
+    for line in lines.iter_mut() {
+        let code = line.code.clone();
+        let is_attr = code.contains("#[cfg(test)]")
+            || code.contains("#[test]")
+            || code.contains("#[bench]")
+            || code.contains("#[cfg(all(test");
+        if is_attr && region_floor.is_none() {
+            pending_attr = true;
+        }
+        let opens = code.matches('{').count() as i64;
+        let closes = code.matches('}').count() as i64;
+        let before = depth;
+        depth += opens - closes;
+        if let Some(floor) = region_floor {
+            line.in_test = true;
+            if depth <= floor {
+                region_floor = None;
+            }
+            continue;
+        }
+        if pending_attr {
+            line.in_test = true;
+            if opens > 0 {
+                // The item's body opened on this line; the region runs
+                // until depth returns to what it was before the body.
+                // If the braces balanced within the line, the item is
+                // already over.
+                if depth > before {
+                    region_floor = Some(before);
+                }
+                pending_attr = false;
+            } else if code.contains(';') {
+                // Braceless item (e.g. `#[cfg(test)] use ...;`).
+                pending_attr = false;
+            }
+        }
+    }
+}
+
+/// A parsed inline waiver: `// simlint: allow(rule[, rule]): reason`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// Rule identifiers the waiver silences.
+    pub rules: Vec<String>,
+    /// Mandatory free-text justification.
+    pub reason: String,
+}
+
+/// Outcome of scanning a comment for a waiver annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaiverParse {
+    /// No `simlint:` marker present.
+    None,
+    /// A well-formed waiver.
+    Ok(Waiver),
+    /// A `simlint:` marker that does not parse (flagged, so typos
+    /// cannot silently fail to waive).
+    Malformed(String),
+}
+
+/// Extracts a waiver from comment text. Only a comment whose content
+/// *starts* with `simlint:` (after the `//`/`///`/`/*` markers) is
+/// treated as a waiver — prose that merely mentions the tool is not.
+pub fn parse_waiver(comment: &str) -> WaiverParse {
+    let content = comment
+        .trim_start()
+        .trim_start_matches(['/', '*', '!'])
+        .trim_start();
+    let Some(rest) = content.strip_prefix("simlint:") else {
+        return WaiverParse::None;
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow") else {
+        return WaiverParse::Malformed("expected `simlint: allow(<rule>): <reason>`".to_string());
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return WaiverParse::Malformed("missing `(` after `allow`".to_string());
+    };
+    let Some(close) = rest.find(')') else {
+        return WaiverParse::Malformed("missing `)` in waiver rule list".to_string());
+    };
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return WaiverParse::Malformed("empty waiver rule list".to_string());
+    }
+    let tail = rest[close + 1..].trim_start();
+    let Some(reason) = tail.strip_prefix(':') else {
+        return WaiverParse::Malformed("missing `: <reason>` after rule list".to_string());
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return WaiverParse::Malformed("waiver reason must not be empty".to_string());
+    }
+    WaiverParse::Ok(Waiver {
+        rules,
+        reason: reason.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_contents_are_blanked_but_quotes_kept() {
+        let f = scrub(r#"let s = "HashMap"; x.expect("");"#);
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(f.lines[0].code.contains(r#"expect("")"#));
+    }
+
+    #[test]
+    fn nonempty_expect_message_is_not_empty_after_scrub() {
+        let f = scrub(r#"x.expect("invariant holds");"#);
+        assert!(f.lines[0].code.contains("expect(\""));
+        assert!(!f.lines[0].code.contains("expect(\"\")"));
+    }
+
+    #[test]
+    fn line_comment_text_is_captured_not_code() {
+        let f = scrub("let x = 1; // uses HashMap on purpose");
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(f.lines[0].comment.contains("HashMap on purpose"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let f = scrub("/* outer /* inner */ still comment */ let y = 2;\n/* a\nHashMap\n*/ fin");
+        assert!(f.lines[0].code.contains("let y = 2;"));
+        assert!(!f.lines[2].code.contains("HashMap"));
+        assert!(f.lines[2].comment.contains("HashMap"));
+        assert!(f.lines[3].code.contains("fin"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let f = scrub("let s = r#\"Instant::now()\"#; let t = 3;");
+        assert!(!f.lines[0].code.contains("Instant"));
+        assert!(f.lines[0].code.contains("let t = 3;"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_do_not_confuse_the_lexer() {
+        let f = scrub("fn f<'a>(x: &'a str) -> char { let c = '\"'; let d = '\\''; 'x' }");
+        assert!(f.lines[0].code.contains("fn f<'a>"));
+        // The quote character inside the char literal must not open a
+        // string (everything after would be blanked).
+        assert!(f.lines[0].code.contains('}'));
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}";
+        let f = scrub(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test, "attribute line");
+        assert!(f.lines[2].in_test, "mod open");
+        assert!(f.lines[3].in_test, "body");
+        assert!(f.lines[4].in_test, "mod close");
+        assert!(!f.lines[5].in_test, "code after the module");
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_is_single_line() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn lib() {}";
+        let f = scrub(src);
+        assert!(f.lines[1].in_test);
+        assert!(!f.lines[2].in_test);
+    }
+
+    #[test]
+    fn waiver_parses_rules_and_reason() {
+        let w = parse_waiver(" simlint: allow(nondet-iter, float-key): keyed lookups only");
+        assert_eq!(
+            w,
+            WaiverParse::Ok(Waiver {
+                rules: vec!["nondet-iter".into(), "float-key".into()],
+                reason: "keyed lookups only".into()
+            })
+        );
+    }
+
+    #[test]
+    fn waiver_without_reason_is_malformed() {
+        assert!(matches!(
+            parse_waiver("simlint: allow(nondet-iter):"),
+            WaiverParse::Malformed(_)
+        ));
+        assert!(matches!(
+            parse_waiver("simlint: allow(nondet-iter) no colon"),
+            WaiverParse::Malformed(_)
+        ));
+        assert_eq!(parse_waiver("plain comment"), WaiverParse::None);
+    }
+}

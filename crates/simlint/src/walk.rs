@@ -1,0 +1,83 @@
+//! Deterministic workspace file discovery.
+//!
+//! Collects `*.rs` files under a root, skipping build output
+//! (`target/`), VCS metadata (dot-directories), and `fixtures/` trees
+//! (seeded lint-violation corpora used by simlint's own tests; they are
+//! linted by pointing the tool *at* them explicitly, never as part of a
+//! workspace walk). Results are sorted so findings print in a stable
+//! order on every machine.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into during a walk.
+fn skip_dir(name: &str) -> bool {
+    name == "target" || name == "fixtures" || name.starts_with('.')
+}
+
+/// Recursively collects `.rs` files under `root`, sorted by path. If
+/// `root` is itself a file, returns just that file (this is how seeded
+/// fixture files are linted despite the `fixtures/` walk exemption).
+///
+/// # Errors
+/// Propagates I/O errors with the offending path prepended.
+pub fn rust_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    if root.is_file() {
+        out.push(root.to_path_buf());
+        return Ok(out);
+    }
+    collect(root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let entries = fs::read_dir(dir)
+        .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", dir.display())))?;
+    for entry in entries {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !skip_dir(&name) {
+                collect(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_skips_target_and_fixtures() {
+        assert!(skip_dir("target"));
+        assert!(skip_dir("fixtures"));
+        assert!(skip_dir(".git"));
+        assert!(!skip_dir("src"));
+        assert!(!skip_dir("tests"));
+    }
+
+    #[test]
+    fn walking_this_crate_finds_its_sources_sorted() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let files = rust_files(root).unwrap();
+        assert!(files.iter().any(|f| f.ends_with("src/walk.rs")));
+        assert!(
+            !files
+                .iter()
+                .any(|f| f.components().any(|c| c.as_os_str() == "fixtures")),
+            "fixtures are exempt from walks"
+        );
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted);
+    }
+}

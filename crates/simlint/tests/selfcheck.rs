@@ -1,0 +1,135 @@
+//! Self-check: the repository lints clean, and the seeded fixture tree
+//! produces exactly the expected findings with a nonzero exit.
+//!
+//! These tests run the `simlint` *binary* (via `CARGO_BIN_EXE_simlint`)
+//! against the real workspace — the same invocation CI uses — so a
+//! rule regression, a walk regression, or a new violation anywhere in
+//! the tree fails the crate's own test suite.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// The workspace root (two levels above this crate's manifest).
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate lives at <root>/crates/simlint")
+        .to_path_buf()
+}
+
+fn simlint() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_simlint"))
+}
+
+#[test]
+fn repository_lints_clean() {
+    let root = workspace_root();
+    let out = simlint()
+        .arg("--check")
+        .arg("--root")
+        .arg(&root)
+        .output()
+        .expect("simlint binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "the repository must lint clean; findings:\n{stdout}"
+    );
+    assert!(stdout.trim().is_empty(), "clean run prints no findings");
+}
+
+#[test]
+fn seeded_fixtures_fail_with_file_line_rule_output() {
+    let root = workspace_root();
+    let out = simlint()
+        .arg("--check")
+        .arg("--root")
+        .arg(root.join("crates/simlint/fixtures"))
+        .output()
+        .expect("simlint binary runs");
+    assert!(!out.status.success(), "seeded violations must fail --check");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let findings: Vec<&str> = stdout.lines().collect();
+
+    // Every finding renders as `file:line: rule: message` with a
+    // workspace-relative forward-slash path.
+    for f in &findings {
+        let mut parts = f.splitn(3, ": ");
+        let loc = parts.next().expect("location");
+        let rule = parts.next().expect("rule");
+        let msg = parts.next().expect("message");
+        assert!(
+            loc.starts_with("crates/") && loc.rsplit(':').next().unwrap().parse::<usize>().is_ok(),
+            "location is path:line, got `{loc}`"
+        );
+        assert!(!rule.contains(' '), "rule id is one token, got `{rule}`");
+        assert!(!msg.is_empty());
+    }
+
+    // The violations file trips every rule; the waived sites and the
+    // out-of-scope file stay silent.
+    let count = |rule: &str| {
+        findings
+            .iter()
+            .filter(|f| f.contains(&format!(": {rule}: ")))
+            .count()
+    };
+    assert_eq!(count("nondet-iter"), 2, "use + decl/init lines:\n{stdout}");
+    assert_eq!(count("wall-clock"), 1, "{stdout}");
+    assert_eq!(count("unseeded-rng"), 1, "{stdout}");
+    assert_eq!(count("float-key"), 1, "{stdout}");
+    assert_eq!(count("unwrap-in-lib"), 3, "{stdout}");
+    assert_eq!(count("stray-debug"), 2, "{stdout}");
+    assert_eq!(count("waiver-syntax"), 1, "{stdout}");
+    assert!(
+        !stdout.contains("outside_scope.rs"),
+        "non-sim-crate fixture must stay clean:\n{stdout}"
+    );
+}
+
+#[test]
+fn workspace_walk_never_reaches_fixture_trees() {
+    // The fixture violations live under crates/simlint/fixtures/; the
+    // clean repository run above already proves they are not walked —
+    // this pins the property explicitly so a walker change cannot
+    // silently start double-reporting them.
+    let root = workspace_root();
+    let out = simlint()
+        .arg("--root")
+        .arg(&root)
+        .output()
+        .expect("simlint binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("fixtures/"), "{stdout}");
+}
+
+#[test]
+fn list_rules_names_all_six() {
+    let out = simlint().arg("--list-rules").output().expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in [
+        "nondet-iter",
+        "wall-clock",
+        "unseeded-rng",
+        "float-key",
+        "unwrap-in-lib",
+        "stray-debug",
+    ] {
+        assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn malformed_config_is_a_hard_error() {
+    let root = workspace_root();
+    let out = simlint()
+        .arg("--check")
+        .arg("--root")
+        .arg(&root)
+        .arg("--config")
+        .arg(root.join("crates/simlint/fixtures/crates/system/src/violations.rs"))
+        .output()
+        .expect("simlint binary runs");
+    assert_eq!(out.status.code(), Some(2), "config parse error exits 2");
+}

@@ -123,7 +123,11 @@ impl LatencySummary {
             return LatencySummary::default();
         }
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latency samples"));
+        // total_cmp, not partial_cmp: floats are not totally ordered, and
+        // a NaN must not be able to panic (or reorder) the percentile
+        // pipeline — under total_cmp a stray NaN sorts last,
+        // deterministically (the float-key simlint rule).
+        sorted.sort_by(f64::total_cmp);
         let pick = |q: f64| {
             // Nearest-rank percentile (smallest rank k with k/n >= q):
             // monotone in q by construction. The epsilon pins the exact

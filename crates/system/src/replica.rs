@@ -55,7 +55,7 @@ use crate::serve::Evaluator;
 use crate::stage::{IterationBreakdown, StageModel};
 use pim_mem::{PagePool, RequestId};
 use std::cmp::Reverse;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use workload::Request;
 
 /// The priced-but-not-yet-executed step of a continuous replica, cached
@@ -421,7 +421,7 @@ struct PagedKv {
     /// accounting shrink, but if the pool reclaims those pages before
     /// the request is re-admitted, the shortfall must be recomputed —
     /// and is billed back to `wasted_prefill_tokens` at re-admission.
-    discounted: HashMap<u64, u64>,
+    discounted: BTreeMap<u64, u64>,
 }
 
 impl PagedKv {
@@ -560,7 +560,7 @@ impl<'a> ReplicaSim<'a> {
                 pool: PagePool::new(eval.replica_kv_capacity(), paged_cfg.page_bytes),
                 page_tokens: eval.page_tokens(),
                 page_bytes: paged_cfg.page_bytes,
-                discounted: HashMap::new(),
+                discounted: BTreeMap::new(),
             });
         ReplicaSim {
             eval,
