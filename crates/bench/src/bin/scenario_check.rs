@@ -11,19 +11,44 @@
 //! multi-tenant serving trajectory rides the same gate as the sweeps.
 //!
 //! Run with: `cargo run --release -p bench --bin scenario_check --
-//! scenarios/*.json [--json <out.json>]`.
+//! scenarios/*.json [--json <out.json>]`. With `--canonicalize` each
+//! file is first rewritten to the serializer's canonical form (the
+//! byte-for-byte round-trip the spec tests enforce) — run it after
+//! adding a `PolicySpec` knob so the checked-in files pick up the new
+//! key.
 
 use bench::cli::{self, BenchArgs};
+use system::Scenario;
 
 fn main() {
     let args = BenchArgs::parse();
-    if args.rest.is_empty() {
-        eprintln!("usage: scenario_check <scenario.json>... [--json <out.json>]");
+    let canonicalize = args.rest.iter().any(|a| a == "--canonicalize");
+    let files: Vec<&String> = args
+        .rest
+        .iter()
+        .filter(|a| *a != "--canonicalize")
+        .collect();
+    if files.is_empty() {
+        eprintln!("usage: scenario_check [--canonicalize] <scenario.json>... [--json <out.json>]");
         std::process::exit(2);
     }
     let mut rows = Vec::new();
     let mut failures = 0usize;
-    for path in &args.rest {
+    for path in &files {
+        if canonicalize {
+            match Scenario::from_file(path) {
+                Ok(s) => {
+                    std::fs::write(path, s.to_pretty())
+                        .unwrap_or_else(|e| panic!("cannot rewrite {path}: {e}"));
+                    println!("canonicalized {path}");
+                }
+                Err(e) => {
+                    eprintln!("\nFAIL {path}: {e}");
+                    failures += 1;
+                    continue;
+                }
+            }
+        }
         match cli::run_scenario_file(path) {
             Ok((m, report)) => {
                 rows.extend(cli::scenario_rows(&cli::file_stem(path), &m, &report));
@@ -34,10 +59,7 @@ fn main() {
             }
         }
     }
-    println!(
-        "\n{} scenario(s) checked, {failures} failed",
-        args.rest.len()
-    );
+    println!("\n{} scenario(s) checked, {failures} failed", files.len());
     if let Some(path) = &args.json {
         bench::write_bench_json(path, "scenarios", rows);
     }

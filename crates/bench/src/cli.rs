@@ -16,7 +16,9 @@
 
 use crate::json::Json;
 use crate::serving_row;
-use system::{Materialized, Scenario, ServingReport, TenantLatency};
+use system::{
+    Materialized, RouterKind, Scenario, ServingReport, SheddingPolicy, TenantLatency, VictimOrder,
+};
 
 /// The shared RNG seed of the serving sweeps.
 pub const SEED: u64 = 2026;
@@ -105,14 +107,16 @@ pub fn run_scenario_file(path: &str) -> Result<(Materialized, ServingReport), St
 /// Prints the aggregate and per-tenant result tables of a scenario run.
 pub fn print_scenario_report(m: &Materialized, r: &ServingReport) {
     println!(
-        "\n{:.1} tok/s over {:.2}s | TTFT p50/p99 {:.3}/{:.3}s | E2E p99 {:.3}s | \
-         evictions {} | router {} | tenant fairness {:.3}",
+        "\n{:.1} tok/s over {:.2}s (goodput {:.1}) | TTFT p50/p99 {:.3}/{:.3}s | \
+         E2E p99 {:.3}s | evictions {} | shed {} | router {} | tenant fairness {:.3}",
         r.tokens_per_second,
         r.seconds,
+        r.goodput(),
         r.latency.ttft.p50,
         r.latency.ttft.p99,
         r.latency.e2e.p99,
         r.evictions,
+        r.shed,
         m.router.label(),
         r.tenant_fairness(),
     );
@@ -172,12 +176,28 @@ pub fn scenario_rows(stem: &str, m: &Materialized, r: &ServingReport) -> Vec<Jso
             Json::num(r.pages_evicted as f64),
         );
     }
+    // Goodput and shed counters ride along only when an SLO-native
+    // policy is armed, so rows of pre-SLO scenarios stay byte-identical
+    // to the historical snapshot.
+    let slo_native = m.router == RouterKind::SloAware
+        || m.evaluator.shedding_policy() != SheddingPolicy::None
+        || m.evaluator.victim_order() != VictimOrder::RecentFirst;
+    if slo_native {
+        crate::push_row_field(&mut aggregate, "goodput", Json::num(r.goodput()));
+        crate::push_row_field(&mut aggregate, "shed", Json::num(r.shed as f64));
+    }
     let mut rows = vec![aggregate];
     for t in &r.latency_by_tenant {
-        rows.push(tenant_row(
-            &format!("{stem}/{}", m.tenant_name(t.tenant)),
-            t,
-        ));
+        let mut row = tenant_row(&format!("{stem}/{}", m.tenant_name(t.tenant)), t);
+        if slo_native {
+            let goodput = if r.seconds > 0.0 {
+                t.goodput_tokens as f64 / r.seconds
+            } else {
+                0.0
+            };
+            crate::push_row_field(&mut row, "goodput", Json::num(goodput));
+        }
+        rows.push(row);
     }
     rows
 }

@@ -28,6 +28,16 @@ pub const MAX_SIM_SPEED_DROP: f64 = 0.30;
 /// the paged-KV/prefix-tree logic itself changes — a shrinking hit rate
 /// means admissions stopped mapping pages they used to share.
 pub const MAX_PREFIX_HIT_DROP: f64 = 0.05;
+/// Absolute SLO-attainment drop that fails the gate (5 percentage
+/// points). Attainment is a fraction in `[0, 1]`, so the gate is
+/// absolute rather than relative: a relative tolerance would let an
+/// already-degraded row (say 10% attainment) halve again unnoticed
+/// while flagging a 0.999 → 0.94 move twice as hard as it deserves.
+pub const MAX_ATTAINMENT_DROP: f64 = 0.05;
+/// Relative goodput (in-SLO tokens/second) drop that fails the gate
+/// (5%) — same tightness as throughput, since goodput is just
+/// throughput restricted to tokens that met their tenant's TTFT SLO.
+pub const MAX_GOODPUT_DROP: f64 = 0.05;
 
 /// Merges per-bin bench documents into one snapshot document
 /// (`{"benches": [...]}`), the on-disk format of `BENCH_serving.json`.
@@ -52,6 +62,13 @@ pub struct RowDelta {
     /// Snapshot vs fresh prefix-cache hit tokens — only gated when both
     /// rows carry the field (prefix-caching benches and scenarios).
     pub prefix_hit_tokens: Option<(f64, f64)>,
+    /// Snapshot vs fresh SLO attainment — only gated when both rows
+    /// carry the field (per-tenant scenario rows with a TTFT SLO, and
+    /// the goodput-frontier sweep).
+    pub slo_attainment: Option<(f64, f64)>,
+    /// Snapshot vs fresh goodput (in-SLO tokens/second) — only gated
+    /// when both rows carry the field.
+    pub goodput: Option<(f64, f64)>,
 }
 
 impl RowDelta {
@@ -89,6 +106,24 @@ impl RowDelta {
                     "{}: prefix-cache hit tokens dropped {:.1}% ({hit_snap:.0} -> {hit_fresh:.0})",
                     self.key,
                     (1.0 - hit_fresh / hit_snap) * 100.0
+                ));
+            }
+        }
+        if let Some((att_snap, att_fresh)) = self.slo_attainment {
+            if att_fresh < att_snap - MAX_ATTAINMENT_DROP {
+                return Some(format!(
+                    "{}: SLO attainment dropped {:.1} points ({att_snap:.3} -> {att_fresh:.3})",
+                    self.key,
+                    (att_snap - att_fresh) * 100.0
+                ));
+            }
+        }
+        if let Some((good_snap, good_fresh)) = self.goodput {
+            if good_snap > 0.0 && good_fresh < good_snap * (1.0 - MAX_GOODPUT_DROP) {
+                return Some(format!(
+                    "{}: goodput dropped {:.1}% ({good_snap:.3} -> {good_fresh:.3} in-SLO tok/s)",
+                    self.key,
+                    (1.0 - good_fresh / good_snap) * 100.0
                 ));
             }
         }
@@ -160,6 +195,20 @@ pub fn compare(snapshot: &Json, fresh: &[Json]) -> (Vec<RowDelta>, Vec<String>) 
             prefix_hit_tokens: match (
                 snap_row.get("prefix_hit_tokens").and_then(Json::as_f64),
                 fresh_row.get("prefix_hit_tokens").and_then(Json::as_f64),
+            ) {
+                (Some(snap), Some(fresh)) => Some((snap, fresh)),
+                _ => None,
+            },
+            slo_attainment: match (
+                snap_row.get("slo_attainment").and_then(Json::as_f64),
+                fresh_row.get("slo_attainment").and_then(Json::as_f64),
+            ) {
+                (Some(snap), Some(fresh)) => Some((snap, fresh)),
+                _ => None,
+            },
+            goodput: match (
+                snap_row.get("goodput").and_then(Json::as_f64),
+                fresh_row.get("goodput").and_then(Json::as_f64),
             ) {
                 (Some(snap), Some(fresh)) => Some((snap, fresh)),
                 _ => None,
@@ -354,6 +403,79 @@ mod tests {
         let old = merge_snapshot(vec![bench_doc("pc", &[("on", 100.0, 0.5)])]);
         let (deltas, quiet) = compare(&old, &[prefix_doc("pc", &[("on", 10_000.0)])]);
         assert_eq!(deltas[0].prefix_hit_tokens, None);
+        assert!(quiet.is_empty(), "{quiet:?}");
+    }
+
+    fn slo_doc(bench: &str, rows: &[(&str, f64, f64)]) -> Json {
+        Json::obj([
+            ("bench", Json::str(bench)),
+            (
+                "rows",
+                Json::Arr(
+                    rows.iter()
+                        .map(|(name, attainment, goodput)| {
+                            Json::obj([
+                                ("name", Json::str(*name)),
+                                ("tokens_per_second", Json::num(100.0)),
+                                ("ttft_p99", Json::num(0.5)),
+                                ("slo_attainment", Json::num(*attainment)),
+                                ("goodput", Json::num(*goodput)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn attainment_gate_is_absolute_and_trips_on_real_drops_only() {
+        let snap = merge_snapshot(vec![slo_doc("sc", &[("t", 0.98, 90.0)])]);
+        // 3 points down rides inside the 5-point allowance.
+        let (_, ok) = compare(&snap, &[slo_doc("sc", &[("t", 0.95, 90.0)])]);
+        assert!(ok.is_empty(), "{ok:?}");
+        // 8 points down does not — even though relatively it is < 10%.
+        let (deltas, bad) = compare(&snap, &[slo_doc("sc", &[("t", 0.90, 90.0)])]);
+        assert_eq!(deltas[0].slo_attainment, Some((0.98, 0.90)));
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("SLO attainment dropped"), "{bad:?}");
+        // The absolute gate also guards already-degraded rows, where a
+        // relative 5% of a small base would wave anything through.
+        let low = merge_snapshot(vec![slo_doc("sc", &[("t", 0.10, 90.0)])]);
+        let (_, bad) = compare(&low, &[slo_doc("sc", &[("t", 0.02, 90.0)])]);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        // Improvements pass.
+        let (_, up) = compare(&snap, &[slo_doc("sc", &[("t", 1.0, 90.0)])]);
+        assert!(up.is_empty(), "{up:?}");
+    }
+
+    #[test]
+    fn goodput_gate_trips_on_real_drops_only() {
+        let snap = merge_snapshot(vec![slo_doc("sc", &[("t", 1.0, 100.0)])]);
+        let (_, ok) = compare(&snap, &[slo_doc("sc", &[("t", 1.0, 96.0)])]);
+        assert!(ok.is_empty(), "{ok:?}");
+        let (deltas, bad) = compare(&snap, &[slo_doc("sc", &[("t", 1.0, 90.0)])]);
+        assert_eq!(deltas[0].goodput, Some((100.0, 90.0)));
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("goodput dropped"), "{bad:?}");
+        let (_, up) = compare(&snap, &[slo_doc("sc", &[("t", 1.0, 200.0)])]);
+        assert!(up.is_empty(), "{up:?}");
+    }
+
+    #[test]
+    fn rows_without_slo_fields_are_not_gated_on_them() {
+        // Neither side carries the fields (single-tenant benches).
+        let snap = merge_snapshot(vec![bench_doc("lc", &[("a", 100.0, 0.5)])]);
+        let (deltas, violations) = compare(&snap, &[bench_doc("lc", &[("a", 100.0, 0.5)])]);
+        assert_eq!(deltas[0].slo_attainment, None);
+        assert_eq!(deltas[0].goodput, None);
+        assert!(violations.is_empty(), "{violations:?}");
+        // Field on one side only (snapshot predates the metric): the
+        // comparison must not invent a drop.
+        let old = merge_snapshot(vec![bench_doc("sc", &[("t", 100.0, 0.5)])]);
+        let (deltas, quiet) = compare(&old, &[slo_doc("sc", &[("t", 1.0, 100.0)])]);
+        assert_eq!(deltas[0].slo_attainment, None);
+        assert_eq!(deltas[0].goodput, None);
         assert!(quiet.is_empty(), "{quiet:?}");
     }
 

@@ -1,0 +1,80 @@
+//! `doccheck` CLI: the Markdown link checker of the `docs/` layer.
+//!
+//! ```text
+//! doccheck [--root DIR] [FILE...]
+//! ```
+//!
+//! * `--root DIR`  workspace root (default `.`): with no explicit
+//!   files, checks `DIR/README.md` plus every `DIR/docs/*.md`.
+//! * `FILE...`     check only these Markdown files.
+//!
+//! Findings print to stdout as `file:line: message`; the exit code is
+//! nonzero when any link is broken (there is no non-check mode — a
+//! broken doc link is never acceptable). External `http(s)` targets are
+//! skipped: the checker runs offline and only guards the repository's
+//! own cross-references.
+
+use simlint::doccheck::{check_files, default_docs};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = PathBuf::from(".");
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => root = PathBuf::from(v),
+                    None => return usage("--root needs a directory"),
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: doccheck [--root DIR] [FILE...]");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown flag `{other}`"));
+            }
+            path => files.push(PathBuf::from(path)),
+        }
+        i += 1;
+    }
+    if files.is_empty() {
+        files = default_docs(&root);
+    }
+    if files.is_empty() {
+        eprintln!(
+            "doccheck: no Markdown files to check under {}",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    match check_files(&files) {
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            if findings.is_empty() {
+                eprintln!("doccheck: {} file(s) clean", files.len());
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("doccheck: {} broken link(s)", findings.len());
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("doccheck: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("doccheck: {msg}");
+    eprintln!("usage: doccheck [--root DIR] [FILE...]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,384 @@
+//! Dependency-free Markdown link checker for the `docs/` layer.
+//!
+//! The documentation satellite of the SLO-native serving PR made
+//! `docs/*.md` + `README.md` load-bearing: the README links into the
+//! docs, the docs cross-link each other and anchor into section
+//! headings, and the rustdoc on `ServingReport` points at the metrics
+//! glossary. A renamed heading or moved file silently strands those
+//! links — this pass makes CI catch it, with the same no-dependency
+//! constraint as the rest of `simlint` (the workspace builds offline).
+//!
+//! What is checked, per Markdown file:
+//!
+//! * inline links and images — `[text](target)` / `![alt](target)` —
+//!   outside fenced code blocks and inline code spans;
+//! * relative-path targets must exist on disk (resolved against the
+//!   containing file's directory);
+//! * `#fragment` targets — both same-file and `other.md#fragment` —
+//!   must match a heading anchor in the target file, using GitHub's
+//!   slugging convention (lowercase, punctuation stripped, spaces to
+//!   hyphens, `-N` suffixes for duplicates);
+//! * `http(s)://` and `mailto:` targets are skipped — the checker runs
+//!   offline, and external rot is not this pass's problem.
+//!
+//! Findings are reported as `file:line: message`, matching the lint
+//! pass's output shape.
+
+use std::path::{Path, PathBuf};
+
+/// One broken link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocFinding {
+    /// File containing the link, as given to the checker.
+    pub file: PathBuf,
+    /// 1-based line of the link's opening bracket.
+    pub line: usize,
+    /// Human-readable description of the breakage.
+    pub message: String,
+}
+
+impl std::fmt::Display for DocFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.file.display(), self.line, self.message)
+    }
+}
+
+/// A link extracted from a Markdown document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Link {
+    /// 1-based line number of the opening bracket.
+    pub line: usize,
+    /// The raw target between the parentheses, title stripped.
+    pub target: String,
+}
+
+/// Extracts the inline link/image targets of a Markdown document,
+/// skipping fenced code blocks (``` / ~~~) and inline code spans.
+pub fn extract_links(text: &str) -> Vec<Link> {
+    let mut links = Vec::new();
+    let mut in_fence: Option<char> = None;
+    for (idx, line) in text.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if let Some(fence) = in_fence {
+            if trimmed.starts_with([fence, fence, fence]) {
+                in_fence = None;
+            }
+            continue;
+        }
+        if trimmed.starts_with("```") {
+            in_fence = Some('`');
+            continue;
+        }
+        if trimmed.starts_with("~~~") {
+            in_fence = Some('~');
+            continue;
+        }
+        scan_line(line, idx + 1, &mut links);
+    }
+    links
+}
+
+/// Scans one line for `[text](target)` outside inline code spans.
+fn scan_line(line: &str, lineno: usize, out: &mut Vec<Link>) {
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    let mut in_code = false;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'`' => in_code = !in_code,
+            b'[' if !in_code => {
+                if let Some((target, next)) = parse_link_at(line, i) {
+                    out.push(Link {
+                        line: lineno,
+                        target,
+                    });
+                    i = next;
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Parses a `[text](target)` starting at the `[` at byte `start`;
+/// returns the target (title stripped) and the byte index just past the
+/// closing parenthesis. Nested brackets in the text (e.g. footnote
+/// syntax) are balanced; targets spanning lines are not supported.
+fn parse_link_at(line: &str, start: usize) -> Option<(String, usize)> {
+    let bytes = line.as_bytes();
+    let mut depth = 0usize;
+    let mut i = start;
+    // Find the matching `]` of the link text.
+    while i < bytes.len() {
+        match bytes[i] {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if i >= bytes.len() || bytes.get(i + 1) != Some(&b'(') {
+        return None;
+    }
+    let open = i + 2;
+    let mut paren = 1usize;
+    let mut j = open;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'(' => paren += 1,
+            b')' => {
+                paren -= 1;
+                if paren == 0 {
+                    let raw = &line[open..j];
+                    // Strip an optional `"title"` suffix.
+                    let target = raw.split_whitespace().next().unwrap_or("").to_string();
+                    return Some((target, j + 1));
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// The GitHub-style heading anchors of a Markdown document, in order,
+/// with `-N` suffixes appended to duplicates.
+pub fn heading_anchors(text: &str) -> Vec<String> {
+    let mut anchors: Vec<String> = Vec::new();
+    let mut in_fence: Option<char> = None;
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        if let Some(fence) = in_fence {
+            if trimmed.starts_with([fence, fence, fence]) {
+                in_fence = None;
+            }
+            continue;
+        }
+        if trimmed.starts_with("```") {
+            in_fence = Some('`');
+            continue;
+        }
+        if trimmed.starts_with("~~~") {
+            in_fence = Some('~');
+            continue;
+        }
+        if !trimmed.starts_with('#') {
+            continue;
+        }
+        let text = trimmed.trim_start_matches('#').trim();
+        let base = slug(text);
+        let n = anchors
+            .iter()
+            .filter(|a| **a == base || a.strip_prefix(&format!("{base}-")).is_some_and(is_number))
+            .count();
+        if n == 0 {
+            anchors.push(base);
+        } else {
+            anchors.push(format!("{base}-{n}"));
+        }
+    }
+    anchors
+}
+
+fn is_number(s: &str) -> bool {
+    !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit())
+}
+
+/// GitHub's heading-to-anchor slug: lowercase, spaces to hyphens,
+/// punctuation (except hyphens and underscores) dropped. Inline code
+/// backticks in headings are dropped like other punctuation.
+pub fn slug(heading: &str) -> String {
+    let mut out = String::with_capacity(heading.len());
+    for c in heading.chars() {
+        match c {
+            ' ' => out.push('-'),
+            '-' | '_' => out.push(c),
+            c if c.is_alphanumeric() => out.extend(c.to_lowercase()),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Checks every link of one Markdown file. `file` is the path used in
+/// findings; targets resolve relative to its parent directory.
+pub fn check_file(file: &Path) -> Result<Vec<DocFinding>, String> {
+    let text = std::fs::read_to_string(file).map_err(|e| format!("{}: {e}", file.display()))?;
+    let dir = file.parent().unwrap_or(Path::new("."));
+    let own_anchors = heading_anchors(&text);
+    let mut findings = Vec::new();
+    for link in extract_links(&text) {
+        let target = link.target.as_str();
+        if target.is_empty() {
+            findings.push(DocFinding {
+                file: file.to_path_buf(),
+                line: link.line,
+                message: "empty link target".to_string(),
+            });
+            continue;
+        }
+        if target.starts_with("http://")
+            || target.starts_with("https://")
+            || target.starts_with("mailto:")
+        {
+            continue;
+        }
+        let (path_part, fragment) = match target.split_once('#') {
+            Some((p, f)) => (p, Some(f)),
+            None => (target, None),
+        };
+        let (resolved, anchors) = if path_part.is_empty() {
+            (file.to_path_buf(), own_anchors.clone())
+        } else {
+            let resolved = dir.join(path_part);
+            if !resolved.exists() {
+                findings.push(DocFinding {
+                    file: file.to_path_buf(),
+                    line: link.line,
+                    message: format!("broken link `{target}`: no such file `{path_part}`"),
+                });
+                continue;
+            }
+            let anchors = match fragment {
+                Some(_) if resolved.extension().is_some_and(|e| e == "md") => {
+                    let t = std::fs::read_to_string(&resolved)
+                        .map_err(|e| format!("{}: {e}", resolved.display()))?;
+                    heading_anchors(&t)
+                }
+                _ => Vec::new(),
+            };
+            (resolved, anchors)
+        };
+        if let Some(frag) = fragment {
+            if resolved.extension().is_some_and(|e| e == "md") && !anchors.iter().any(|a| a == frag)
+            {
+                findings.push(DocFinding {
+                    file: file.to_path_buf(),
+                    line: link.line,
+                    message: format!(
+                        "broken anchor `{target}`: no heading `#{frag}` in `{}`",
+                        resolved.display()
+                    ),
+                });
+            }
+        }
+    }
+    Ok(findings)
+}
+
+/// Checks a set of Markdown files, returning all findings sorted by
+/// file and line.
+pub fn check_files(files: &[PathBuf]) -> Result<Vec<DocFinding>, String> {
+    let mut findings = Vec::new();
+    for f in files {
+        findings.extend(check_file(f)?);
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(findings)
+}
+
+/// The default document set under a workspace root: `README.md` plus
+/// every `.md` under `docs/`, sorted.
+pub fn default_docs(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let readme = root.join("README.md");
+    if readme.exists() {
+        files.push(readme);
+    }
+    if let Ok(dir) = std::fs::read_dir(root.join("docs")) {
+        let mut docs: Vec<PathBuf> = dir
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|e| e == "md"))
+            .collect();
+        docs.sort();
+        files.extend(docs);
+    }
+    files
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_inline_links_and_images_outside_code() {
+        let text = "\
+See [the docs](docs/metrics.md) and ![a chart](img.png).\n\
+`[not a link](nope.md)` stays code.\n\
+```\n[fenced](also-nope.md)\n```\n\
+[after fence](ok.md#anchor)\n";
+        let links = extract_links(text);
+        let targets: Vec<&str> = links.iter().map(|l| l.target.as_str()).collect();
+        assert_eq!(targets, ["docs/metrics.md", "img.png", "ok.md#anchor"]);
+        assert_eq!(links[0].line, 1);
+        assert_eq!(links[2].line, 6);
+    }
+
+    #[test]
+    fn slugs_match_github_convention() {
+        assert_eq!(slug("Goodput vs. throughput"), "goodput-vs-throughput");
+        assert_eq!(
+            slug("The `ServingReport` fields"),
+            "the-servingreport-fields"
+        );
+        assert_eq!(
+            slug("TTFT decomposition (units: s)"),
+            "ttft-decomposition-units-s"
+        );
+    }
+
+    #[test]
+    fn duplicate_headings_get_numeric_suffixes() {
+        let text = "# Knobs\n## Default\ntext\n## Default\n";
+        assert_eq!(heading_anchors(text), ["knobs", "default", "default-1"]);
+    }
+
+    #[test]
+    fn check_file_flags_missing_files_and_anchors() {
+        let dir = std::env::temp_dir().join("doccheck-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.md");
+        let b = dir.join("b.md");
+        std::fs::write(&b, "# Real Heading\nbody\n").unwrap();
+        std::fs::write(
+            &a,
+            "[ok](b.md) [ok2](b.md#real-heading) [bad](missing.md) [badfrag](b.md#nope)\n\
+             [self](#local)\n\n# Local\n",
+        )
+        .unwrap();
+        let findings = check_file(&a).unwrap();
+        let msgs: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+        assert_eq!(findings.len(), 2, "{msgs:?}");
+        assert!(msgs[0].contains("missing.md"));
+        assert!(msgs[1].contains("#nope"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn self_anchors_resolve_against_own_headings() {
+        let dir = std::env::temp_dir().join("doccheck-self");
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("self.md");
+        std::fs::write(&f, "[jump](#a-section)\n\n# A Section\n").unwrap();
+        assert_eq!(check_file(&f).unwrap(), vec![]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn external_targets_are_skipped() {
+        let dir = std::env::temp_dir().join("doccheck-ext");
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("ext.md");
+        std::fs::write(&f, "[x](https://example.com/y#z) [m](mailto:a@b.c)\n").unwrap();
+        assert_eq!(check_file(&f).unwrap(), vec![]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

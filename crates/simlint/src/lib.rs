@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod doccheck;
 pub mod rules;
 pub mod scan;
 pub mod walk;

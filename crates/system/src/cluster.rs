@@ -18,6 +18,9 @@
 //! * [`LeastPrefill`] — least outstanding prompt-processing backlog
 //!   (pending prefill tokens), the TTFT-oriented signal when prefill is
 //!   modeled.
+//! * [`SloAware`] — power-of-two-choices by predicted TTFT slack
+//!   against the arriving tenant's SLO; no-SLO tenants spread by
+//!   memory footprint instead.
 //!
 //! During routing, replicas are advanced to each arrival's frontier
 //! through an **event calendar**: every `ReplicaSim::advance_to` call
@@ -35,7 +38,7 @@
 use crate::metrics::{LatencyReport, ReplicaBreakdown, RequestTiming};
 use crate::policy::SchedulingPolicy;
 use crate::replica::{ReplicaSim, SimEvent};
-use crate::serve::{Evaluator, ServingReport};
+use crate::serve::{Evaluator, ServingReport, TtftPredictor};
 use crate::stage::IterationBreakdown;
 use serde::Serialize;
 use std::cmp::Reverse;
@@ -156,6 +159,140 @@ impl Router for LeastPrefill {
     }
 }
 
+/// Routes by predicted TTFT slack against the arriving tenant's SLO,
+/// sampling two replicas per arrival (power-of-two-choices) so the
+/// decision stays O(1) at 100-replica scale instead of scanning every
+/// load snapshot.
+///
+/// For an interactive arrival (finite `slo_ttft`) the predicted TTFT on
+/// a replica is `rate × (pending_prefill + context_len)` — the
+/// [`TtftPredictor`]'s optimistic queueing + prefill bound, where the
+/// prompt backlog ahead of the request must drain through the FCFS
+/// prefill stage first. The sampled replica with the smaller bound has
+/// the most remaining slack and wins; if even that bound misses the
+/// SLO, the router falls back to one full scan (the rare overloaded
+/// case — trading the O(1) budget for the request's deadline).
+/// No-SLO (batch) arrivals have unbounded slack on every replica, so
+/// they spread by memory footprint instead, keeping KV headroom on the
+/// replicas interactive work will sample next.
+///
+/// Sampling uses a deterministically seeded xorshift64 generator.
+/// Routing runs on the single coordinator thread in global arrival
+/// order, so the stateful RNG preserves the cluster's bit-exactness
+/// guarantee across thread counts; ties break by replica index so the
+/// sample order cannot matter either.
+#[derive(Debug, Clone)]
+pub struct SloAware {
+    /// Per-tenant TTFT targets, ascending tenant id (missing = no SLO).
+    slos: Vec<(u8, f64)>,
+    predictor: TtftPredictor,
+    /// xorshift64 state; never zero.
+    state: u64,
+}
+
+impl SloAware {
+    /// Fixed nonzero RNG seed (the 64-bit golden-ratio constant): runs
+    /// are reproducible by construction, not by configuration.
+    const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+    /// A router calibrated for `eval`: its tenant SLOs and its
+    /// first-chunk prefill rate (see [`Evaluator::ttft_predictor`]).
+    pub fn for_eval(eval: &Evaluator) -> Self {
+        SloAware {
+            slos: eval.tenant_slos().to_vec(),
+            predictor: eval.ttft_predictor(),
+            state: Self::SEED,
+        }
+    }
+
+    /// The tenant's TTFT target, `+inf` when it has none.
+    fn slo(&self, tenant: u8) -> f64 {
+        self.slos
+            .iter()
+            .find(|(t, _)| *t == tenant)
+            .map_or(f64::INFINITY, |(_, slo)| *slo)
+    }
+
+    /// Next xorshift64 draw.
+    fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// Two distinct replica indices, uniformly sampled.
+    fn sample_pair(&mut self, n: usize) -> (usize, usize) {
+        let a = (self.next() % n as u64) as usize;
+        let mut b = (self.next() % (n as u64 - 1)) as usize;
+        if b >= a {
+            b += 1;
+        }
+        (a, b)
+    }
+}
+
+impl Default for SloAware {
+    /// An uncalibrated router (no SLOs, zero prefill rate): every
+    /// arrival takes the memory-spreading arm. [`RouterKind::build`]
+    /// uses this; prefer [`SloAware::for_eval`] to route on real slack.
+    fn default() -> Self {
+        SloAware {
+            slos: Vec::new(),
+            predictor: TtftPredictor::with_rate(0.0),
+            state: Self::SEED,
+        }
+    }
+}
+
+impl Router for SloAware {
+    fn label(&self) -> &'static str {
+        "slo-aware"
+    }
+
+    fn route(&mut self, req: &Request, loads: &[ReplicaLoad]) -> usize {
+        let n = loads.len();
+        if n <= 1 {
+            return 0;
+        }
+        // A two-replica cluster IS the sample; otherwise draw a pair.
+        let (a, b) = if n == 2 { (0, 1) } else { self.sample_pair(n) };
+        let slo = self.slo(req.tenant);
+        if slo.is_finite() {
+            // The predictor's rate is one constant, so the smaller
+            // prompt backlog IS the smaller predicted TTFT (the
+            // request's own context_len is the same on both).
+            let key = |l: &ReplicaLoad| (l.pending_prefill, l.replica);
+            let best = if key(&loads[a]) <= key(&loads[b]) {
+                a
+            } else {
+                b
+            };
+            let bound = self
+                .predictor
+                .predict(0.0, loads[best].pending_prefill + req.context_len);
+            if bound > slo {
+                // Even the better sample misses the deadline: scan for
+                // the cluster-wide minimum before giving up slack.
+                return loads
+                    .iter()
+                    .min_by_key(|l| (l.pending_prefill, l.reserved_kv, l.replica))
+                    .map_or(best, |l| l.replica);
+            }
+            best
+        } else {
+            let key = |l: &ReplicaLoad| (l.reserved_kv, l.pending_prefill, l.replica);
+            if key(&loads[a]) <= key(&loads[b]) {
+                a
+            } else {
+                b
+            }
+        }
+    }
+}
+
 /// Config-level selector for the built-in routers.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize)]
 pub enum RouterKind {
@@ -168,15 +305,18 @@ pub enum RouterKind {
     LeastLoaded,
     /// [`LeastPrefill`].
     LeastPrefill,
+    /// [`SloAware`].
+    SloAware,
 }
 
 impl RouterKind {
     /// Every built-in router, for comparison sweeps.
-    pub const ALL: [RouterKind; 4] = [
+    pub const ALL: [RouterKind; 5] = [
         RouterKind::RoundRobin,
         RouterKind::JoinShortestQueue,
         RouterKind::LeastLoaded,
         RouterKind::LeastPrefill,
+        RouterKind::SloAware,
     ];
 
     /// Short display label.
@@ -186,16 +326,31 @@ impl RouterKind {
             RouterKind::JoinShortestQueue => "jsq",
             RouterKind::LeastLoaded => "least-loaded",
             RouterKind::LeastPrefill => "least-prefill",
+            RouterKind::SloAware => "slo-aware",
         }
     }
 
-    /// Instantiates the router (fresh state per run).
+    /// Instantiates the router (fresh state per run). [`SloAware`]
+    /// comes up uncalibrated here — no SLOs, zero prefill rate; use
+    /// [`Self::build_for`] when an evaluator is at hand.
     pub fn build(&self) -> Box<dyn Router> {
         match self {
             RouterKind::RoundRobin => Box::new(RoundRobin::default()),
             RouterKind::JoinShortestQueue => Box::new(JoinShortestQueue),
             RouterKind::LeastLoaded => Box::new(LeastLoaded),
             RouterKind::LeastPrefill => Box::new(LeastPrefill),
+            RouterKind::SloAware => Box::new(SloAware::default()),
+        }
+    }
+
+    /// Instantiates the router calibrated for `eval`: [`SloAware`]
+    /// receives the evaluator's tenant SLOs and prefill rate; every
+    /// other kind is stateless with respect to the evaluator and
+    /// matches [`Self::build`] exactly.
+    pub fn build_for(&self, eval: &Evaluator) -> Box<dyn Router> {
+        match self {
+            RouterKind::SloAware => Box::new(SloAware::for_eval(eval)),
+            _ => self.build(),
         }
     }
 }
@@ -452,6 +607,7 @@ impl<'a> Cluster<'a> {
                         acc.report.wasted_prefill_tokens += recompute_tokens;
                     }
                     SimEvent::PageReclaim { pages } => acc.report.pages_evicted += pages,
+                    SimEvent::Shed => acc.report.shed += 1,
                 }
             }
             timings.extend_from_slice(&sim.timings);
@@ -654,6 +810,105 @@ mod tests {
             LeastPrefill.route(&req, &flat),
             LeastLoaded.route(&req, &flat)
         );
+    }
+
+    #[test]
+    fn slo_aware_picks_slack_for_interactive_and_memory_for_batch() {
+        // Two replicas: the whole cluster is the sample, so the pick is
+        // the deterministic argmin of the per-arm key.
+        let loads = [
+            ReplicaLoad {
+                replica: 0,
+                in_flight: 1,
+                reserved_kv: 100,
+                pending_prefill: 9_000,
+                evictions: 0,
+                prefix_cache_hits: 0,
+                prefix_hit_tokens: 0,
+                pages_evicted: 0,
+            },
+            ReplicaLoad {
+                replica: 1,
+                in_flight: 5,
+                reserved_kv: 900,
+                pending_prefill: 2_000,
+                evictions: 0,
+                prefix_cache_hits: 0,
+                prefix_hit_tokens: 0,
+                pages_evicted: 0,
+            },
+        ];
+        let req = |tenant: u8| Request {
+            id: 0,
+            context_len: 100,
+            decode_len: 1,
+            arrival_us: 0,
+            priority: 0,
+            tenant,
+            shared_prefix: 0,
+        };
+        let mut r = SloAware {
+            slos: vec![(1, 1.0)],
+            predictor: TtftPredictor::with_rate(1e-4),
+            state: SloAware::SEED,
+        };
+        // Tenant 1 has an SLO: smallest prompt backlog wins (replica 1,
+        // predicted 0.21s, inside the 1s target).
+        assert_eq!(r.route(&req(1), &loads), 1);
+        // Tenant 0 has none: smallest reserved KV wins (replica 0).
+        assert_eq!(r.route(&req(0), &loads), 0);
+        // An uncalibrated router treats every tenant as batch.
+        assert_eq!(SloAware::default().route(&req(1), &loads), 0);
+        // Repeat routes are stable — the RNG is untouched at n == 2.
+        assert_eq!(r.route(&req(1), &loads), 1);
+    }
+
+    #[test]
+    fn slo_aware_full_scan_when_both_samples_miss_the_slo() {
+        // 3 replicas forces real P2C sampling; a hopeless SLO (any
+        // backlog at all misses it) forces the full-scan fallback, which
+        // must find the global minimum regardless of which pair was
+        // sampled.
+        let mk = |replica: usize, pending_prefill: u64| ReplicaLoad {
+            replica,
+            in_flight: 0,
+            reserved_kv: 0,
+            pending_prefill,
+            evictions: 0,
+            prefix_cache_hits: 0,
+            prefix_hit_tokens: 0,
+            pages_evicted: 0,
+        };
+        let loads = [mk(0, 9_000), mk(1, 2_000), mk(2, 8_000)];
+        let req = Request {
+            id: 0,
+            context_len: 100,
+            decode_len: 1,
+            arrival_us: 0,
+            priority: 0,
+            tenant: 1,
+            shared_prefix: 0,
+        };
+        let mut r = SloAware {
+            slos: vec![(1, 1e-9)],
+            predictor: TtftPredictor::with_rate(1e-4),
+            state: SloAware::SEED,
+        };
+        for _ in 0..16 {
+            assert_eq!(r.route(&req, &loads), 1);
+        }
+    }
+
+    #[test]
+    fn slo_aware_sample_pairs_are_distinct_in_range_and_deterministic() {
+        let mut a = SloAware::default();
+        let mut b = SloAware::default();
+        for _ in 0..256 {
+            let (x, y) = a.sample_pair(7);
+            assert_ne!(x, y);
+            assert!(x < 7 && y < 7);
+            assert_eq!((x, y), b.sample_pair(7));
+        }
     }
 
     #[test]

@@ -98,7 +98,7 @@ pub mod serve;
 pub mod stage;
 
 pub use cluster::{
-    Cluster, JoinShortestQueue, LeastLoaded, LeastPrefill, RoundRobin, Router, RouterKind,
+    Cluster, JoinShortestQueue, LeastLoaded, LeastPrefill, RoundRobin, Router, RouterKind, SloAware,
 };
 pub use config::{ModuleConfig, SystemConfig, SystemKind, Techniques};
 pub use energy::{EnergyBreakdown, EnergyModel};
@@ -109,8 +109,10 @@ pub use metrics::{
     jain_fairness, tenant_goodput_fairness, LatencyReport, LatencySummary, PriorityLatency,
     ReplicaBreakdown, RequestTiming, TenantLatency,
 };
-pub use policy::{PagedKvConfig, PreemptionPolicy, PrefillConfig, SchedulingPolicy};
+pub use policy::{
+    PagedKvConfig, PreemptionPolicy, PrefillConfig, SchedulingPolicy, SheddingPolicy, VictimOrder,
+};
 pub use replica::ReplicaLoad;
 pub use scenario::{ClusterSpec, Materialized, PolicySpec, Scenario, TenantSpec};
-pub use serve::{Evaluator, ServingReport};
+pub use serve::{Evaluator, ServingReport, TtftPredictor};
 pub use stage::{AttentionStage, IterationBreakdown, StageModel};

@@ -172,6 +172,9 @@ pub struct ReplicaBreakdown {
     /// Requests this replica evicted under memory pressure (0 unless a
     /// preemption policy is active).
     pub evictions: u64,
+    /// Requests deadline-aware admission control dropped on this replica
+    /// (0 unless a [`crate::policy::SheddingPolicy`] is armed).
+    pub shed: u64,
 }
 
 /// Jain's fairness index over a load vector: `(Σx)² / (n·Σx²)`, 1.0 for
@@ -191,6 +194,9 @@ pub fn jain_fairness(xs: &[f64]) -> f64 {
 }
 
 /// Latency statistics over every request that completed in a run.
+///
+/// Units and the full TTFT decomposition are documented in
+/// `docs/metrics.md`.
 #[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct LatencyReport {
     /// Requests that finished with at least one emitted token.
@@ -285,6 +291,11 @@ impl LatencyReport {
                     tenant,
                     latency: LatencyReport::from_timings(&class),
                     tokens: class.iter().map(|t| t.decode_len).sum(),
+                    goodput_tokens: class
+                        .iter()
+                        .filter(|t| t.ttft() <= slo_ttft)
+                        .map(|t| t.decode_len)
+                        .sum(),
                     slo_ttft,
                     slo_attainment: if class.is_empty() {
                         1.0
@@ -309,17 +320,24 @@ pub struct PriorityLatency {
 
 /// Serving statistics of one tenant (traffic class): latency summary,
 /// delivered tokens, and — when the tenant carries an SLO target —
-/// attainment against it (see [`LatencyReport::by_tenant`]).
+/// attainment against it (see [`LatencyReport::by_tenant`]; field
+/// glossary in `docs/metrics.md`).
 #[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct TenantLatency {
     /// The tenant id ([`workload::Request::tenant`]).
     pub tenant: u8,
     /// Latency statistics over the tenant's completed requests.
     pub latency: LatencyReport,
-    /// Decode tokens delivered to the tenant (its goodput share: the
-    /// trace-demanded tokens of its completed requests, excluding any
-    /// eviction re-decode waste).
+    /// Decode tokens delivered to the tenant (the trace-demanded tokens
+    /// of its completed requests, excluding any eviction re-decode
+    /// waste).
     pub tokens: u64,
+    /// The share of `tokens` delivered *inside* the tenant's TTFT SLO —
+    /// its goodput numerator (`crate::ServingReport::goodput` divides
+    /// the cluster-wide sum by wall-clock seconds). Equals `tokens`
+    /// when the tenant has no target: an untargeted tenant's service
+    /// always counts.
+    pub goodput_tokens: u64,
     /// The tenant's p99-style TTFT SLO target in seconds
     /// (`f64::INFINITY` when the tenant has none).
     pub slo_ttft: f64,
@@ -560,6 +578,11 @@ mod tests {
         assert_eq!(split[0].slo_ttft, 2.0);
         assert!((split[0].slo_attainment - 0.5).abs() < 1e-12);
         assert_eq!(split[1].slo_attainment, 1.0);
+        // Goodput tokens count only the in-SLO completions: tenant 0
+        // delivered 16 tokens but only the TTFT-1.0 request's 8 landed
+        // inside its 2.0 s target; tenant 2 met its target fully.
+        assert_eq!(split[0].goodput_tokens, 8);
+        assert_eq!(split[1].goodput_tokens, split[1].tokens);
         // A tenant without a target is vacuously attained.
         let untargeted = LatencyReport::by_tenant(&timings, &[]);
         assert!(untargeted.iter().all(|t| t.slo_attainment == 1.0));

@@ -109,6 +109,99 @@ impl std::fmt::Display for PreemptionPolicy {
     }
 }
 
+/// Deadline-aware admission control for the continuous scheduler.
+///
+/// Off by default: every arrived request is eventually admitted, and a
+/// hopeless interactive request inflates the tail of the TTFT
+/// distribution instead of being counted honestly. When armed, the
+/// admission sweep consults the [`crate::TtftPredictor`] the moment a
+/// candidate reaches the head of its priority lane: if the optimistic
+/// lower bound on its time-to-first-token — the wait it has already
+/// accumulated plus its isolated remaining prefill time — already
+/// exceeds its tenant's TTFT SLO, the request is *shed*: dropped from
+/// the queue, counted in [`crate::ServingReport::shed`], and never
+/// billed to the latency percentiles. Because the predictor is a lower
+/// bound (queueing and batch interleaving only add time), shedding only
+/// ever drops requests that were certain to miss; on a trace where
+/// every request meets its SLO, `shed == 0` and the run is bit-exact
+/// with [`SheddingPolicy::None`].
+///
+/// Requests whose tenant has no TTFT SLO are never shed, and the wave
+/// policy (closed-world, no deadlines) ignores this knob entirely.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize)]
+pub enum SheddingPolicy {
+    /// Never shed: all arrivals are eventually admitted (historical
+    /// behavior).
+    #[default]
+    None,
+    /// Reject at admission time any request whose predicted TTFT lower
+    /// bound already exceeds its tenant SLO.
+    Reject,
+}
+
+impl SheddingPolicy {
+    /// Every policy, for comparison sweeps.
+    pub const ALL: [SheddingPolicy; 2] = [SheddingPolicy::None, SheddingPolicy::Reject];
+
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SheddingPolicy::None => "none",
+            SheddingPolicy::Reject => "reject",
+        }
+    }
+
+    /// Whether this policy ever sheds.
+    pub fn sheds(&self) -> bool {
+        !matches!(self, SheddingPolicy::None)
+    }
+}
+
+impl std::fmt::Display for SheddingPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How `plan_eviction` orders victims *within* a priority class.
+///
+/// Preemption always takes strictly-lower-priority victims, lowest
+/// class first (the no-thrash strict-descent invariant); this knob only
+/// chooses which member of the chosen class goes first.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize)]
+pub enum VictimOrder {
+    /// Most recently (re-)admitted first — the least decode progress is
+    /// lost (historical behavior).
+    #[default]
+    RecentFirst,
+    /// Deadline-monotonic: the request with the *most* remaining SLO
+    /// slack first. A request's TTFT deadline `arrival + slo_ttft` is
+    /// fixed at arrival, so "most slack at time t" is simply "latest
+    /// deadline" — requests without an SLO (deadline `+inf`) are evicted
+    /// before any deadline-carrying peer in the same class, and ties
+    /// fall back to most-recently-admitted.
+    SlackFirst,
+}
+
+impl VictimOrder {
+    /// Every order, for comparison sweeps.
+    pub const ALL: [VictimOrder; 2] = [VictimOrder::RecentFirst, VictimOrder::SlackFirst];
+
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            VictimOrder::RecentFirst => "recent-first",
+            VictimOrder::SlackFirst => "slack-first",
+        }
+    }
+}
+
+impl std::fmt::Display for VictimOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Prompt-processing (prefill) configuration for the serving engine.
 ///
 /// Disabled by default: the simulator then reproduces the historical
@@ -350,6 +443,21 @@ mod tests {
         }
         assert!(PreemptionPolicy::EvictRestart.evicts());
         assert_eq!(PreemptionPolicy::EvictPause.label(), "evict-pause");
+    }
+
+    #[test]
+    fn shedding_and_victim_order_labels_and_defaults() {
+        assert_eq!(SheddingPolicy::default(), SheddingPolicy::None);
+        assert!(!SheddingPolicy::None.sheds());
+        assert!(SheddingPolicy::Reject.sheds());
+        for p in SheddingPolicy::ALL {
+            assert_eq!(p.to_string(), p.label());
+        }
+        assert_eq!(VictimOrder::default(), VictimOrder::RecentFirst);
+        for o in VictimOrder::ALL {
+            assert_eq!(o.to_string(), o.label());
+        }
+        assert_eq!(VictimOrder::SlackFirst.label(), "slack-first");
     }
 
     #[test]

@@ -50,8 +50,11 @@
 //!   virtual-time instant, so thread count still cannot change results.
 
 use crate::metrics::{ReplicaBreakdown, RequestTiming};
-use crate::policy::{self, ContinuousAdmitter, PreemptionPolicy, PrefillConfig, SchedulingPolicy};
-use crate::serve::Evaluator;
+use crate::policy::{
+    self, ContinuousAdmitter, PreemptionPolicy, PrefillConfig, SchedulingPolicy, SheddingPolicy,
+    VictimOrder,
+};
+use crate::serve::{Evaluator, TtftPredictor};
 use crate::stage::{IterationBreakdown, StageModel};
 use pim_mem::{PagePool, RequestId};
 use std::cmp::Reverse;
@@ -137,6 +140,13 @@ pub(crate) enum SimEvent {
         /// The request's context + decode length at completion.
         final_len: u64,
     },
+    /// A request dropped by deadline-aware admission control: its
+    /// predicted TTFT lower bound already exceeded its tenant SLO when
+    /// it reached the head of its lane (emitted only when a
+    /// [`crate::policy::SheddingPolicy`] is armed, so historical event
+    /// logs are unchanged). No float accounting — the request consumed
+    /// no service and produces no timing sample.
+    Shed,
     /// A paged-KV admission outcome worth accounting (emitted only when
     /// prefix caching is on, so historical event logs are unchanged).
     PrefixAdmit {
@@ -392,9 +402,11 @@ impl PendingQueue {
 }
 
 /// One running request in the incrementally maintained victim index,
-/// kept sorted by ascending priority, most-recently-admitted first
-/// within a class — exactly the order [`ReplicaSim::plan_eviction`]
-/// consumes victims in, so planning walks a prefix instead of
+/// kept sorted by ascending priority and, within a class, in the order
+/// [`ReplicaSim::plan_eviction`] consumes victims: most recently
+/// admitted first under [`VictimOrder::RecentFirst`], latest TTFT
+/// deadline first (most SLO slack; ties newest-first) under
+/// [`VictimOrder::SlackFirst`]. Planning walks a prefix instead of
 /// re-filtering and re-sorting the running batch per blocked candidate.
 /// Maintained only when the preemption policy can evict.
 #[derive(Debug, Clone, Copy)]
@@ -404,6 +416,14 @@ struct VictimEntry {
     /// The request's KV reservation, cached at admission so planning
     /// does not re-derive it per victim.
     reserved: u64,
+    /// The request's absolute TTFT deadline `arrival + slo_ttft`, as
+    /// order-preserving bits (`f64::to_bits` is monotone over the
+    /// nonnegative floats, `+inf` — no SLO — sorting last). Two
+    /// requests' slack difference is time-invariant, so this static key
+    /// realizes "most remaining slack first" exactly.
+    deadline_bits: u64,
+    /// Admission sequence (tie-break: newest first).
+    seq: u64,
 }
 
 /// Per-replica paged-KV state: the page pool plus the token/byte
@@ -501,6 +521,11 @@ pub(crate) struct ReplicaSim<'a> {
     policy: SchedulingPolicy,
     preempt: PreemptionPolicy,
     prefill: PrefillConfig,
+    shedding: SheddingPolicy,
+    victim_order: VictimOrder,
+    /// Optimistic TTFT bound for deadline-aware admission (zero-rate —
+    /// pure queueing-time — unless shedding is armed with prefill on).
+    predictor: TtftPredictor,
     t_max: u64,
     /// Routed, not-yet-admitted requests, in per-priority FCFS lanes
     /// (evicted requests re-enter at their arrival-order position).
@@ -540,6 +565,7 @@ pub(crate) struct ReplicaSim<'a> {
     served: u64,
     tokens: u64,
     evictions: u64,
+    shed: u64,
     prefix_cache_hits: u64,
     prefix_hit_tokens: u64,
     pages_evicted: u64,
@@ -562,12 +588,24 @@ impl<'a> ReplicaSim<'a> {
                 page_bytes: paged_cfg.page_bytes,
                 discounted: BTreeMap::new(),
             });
+        let shedding = if policy == SchedulingPolicy::Continuous {
+            eval.shedding_policy()
+        } else {
+            SheddingPolicy::None // closed-world waves have no deadlines
+        };
         ReplicaSim {
             eval,
             stage: eval.stage_model(),
             policy,
             preempt: eval.preemption_policy(),
             prefill: eval.prefill_config(),
+            shedding,
+            victim_order: eval.victim_order(),
+            predictor: if shedding.sheds() {
+                eval.ttft_predictor()
+            } else {
+                TtftPredictor::with_rate(0.0)
+            },
             t_max,
             pending: PendingQueue::new(policy == SchedulingPolicy::Wave),
             pending_reserved: 0,
@@ -587,6 +625,7 @@ impl<'a> ReplicaSim<'a> {
             served: 0,
             tokens: 0,
             evictions: 0,
+            shed: 0,
             prefix_cache_hits: 0,
             prefix_hit_tokens: 0,
             pages_evicted: 0,
@@ -750,6 +789,58 @@ impl<'a> ReplicaSim<'a> {
         }
     }
 
+    /// Whether deadline-aware admission control drops this candidate:
+    /// armed shedding, a finite tenant SLO, a *first* admission (a
+    /// previously admitted request already has its TTFT history — its
+    /// service would be wasted, not saved, by dropping it now), and an
+    /// optimistic TTFT bound that already misses the SLO. The bound is
+    /// accumulated wait plus the cheapest-rate prefill of (a) the
+    /// unprefilled running prompts the chunked-prefill stage serves
+    /// before this candidate — it picks highest priority first, then
+    /// earliest arrival — and (b) the candidate's own non-cacheable
+    /// prompt. Every one of those tokens must execute before the
+    /// candidate's first token, each at no better than the calibrated
+    /// empty-context rate, so the bound lower-bounds any realized TTFT
+    /// and a request that could still meet its deadline is never shed.
+    /// (The one exception: a strictly-higher-priority class evicting
+    /// ahead-of-candidate work re-queues it behind, which needs ≥ 3
+    /// priority classes under active preemption; ample-capacity traces
+    /// never evict, so the no-false-shed guarantee holds there
+    /// unconditionally.)
+    fn should_shed(&self, q: &Queued) -> bool {
+        if !self.shedding.sheds() || q.first_admitted.is_some() {
+            return false;
+        }
+        let slo = self.eval.tenant_slo(q.req.tenant);
+        if slo.is_infinite() {
+            return false;
+        }
+        let tokens = if self.prefill.enabled {
+            let ahead: u64 = self
+                .running
+                .iter()
+                .filter(|a| {
+                    !a.prompt_ready()
+                        && (Reverse(a.req.priority), a.req.arrival_us, a.req.id)
+                            < (Reverse(q.req.priority), q.req.arrival_us, q.req.id)
+                })
+                .map(|a| a.prefill_target - a.prefilled)
+                .sum();
+            let cached = self.paged.as_ref().map_or(0, |p| p.shared_tokens(&q.req));
+            ahead + q.prefill_target().saturating_sub(cached)
+        } else {
+            0
+        };
+        let waited = (self.t - q.req.arrival_secs()).max(0.0);
+        self.predictor.predict(waited, tokens) > slo
+    }
+
+    /// A request's absolute TTFT deadline `arrival + slo_ttft` as
+    /// order-preserving bits (see [`VictimEntry::deadline_bits`]).
+    fn deadline_bits(&self, r: &Request) -> u64 {
+        (r.arrival_secs() + self.eval.tenant_slo(r.tenant)).to_bits()
+    }
+
     /// Processes every event up to `limit`, deferring any step that
     /// would end past it. Returns the replica's **next-event bound**:
     /// the earliest future instant at which — absent newly routed
@@ -798,6 +889,7 @@ impl<'a> ReplicaSim<'a> {
             seconds: self.t,
             peak_reserved_kv: self.peak_reserved,
             evictions: self.evictions,
+            shed: self.shed,
         }
     }
 
@@ -977,7 +1069,27 @@ impl<'a> ReplicaSim<'a> {
             // the first candidate that neither fits nor can claim room
             // by evicting strictly-lower-priority running requests.
             let mut admitted_now = 0usize;
-            while let Some(cand) = self.pending.peek_candidate(self.t).map(|q| q.req) {
+            while let Some(cand_q) = self.pending.peek_candidate(self.t).copied() {
+                let cand = cand_q.req;
+                // Deadline-aware admission control: a candidate whose
+                // optimistic TTFT bound already misses its tenant SLO is
+                // dropped instead of admitted (never the default — see
+                // `SheddingPolicy`). The sweep continues: a doomed
+                // head must not shield admissible requests behind it.
+                if self.should_shed(&cand_q) {
+                    let q = self.pending.pop_candidate(cand.priority);
+                    debug_assert_eq!(q.req.id, cand.id, "popped the planned candidate");
+                    self.pending_reserved = self
+                        .pending_reserved
+                        .saturating_sub(self.queue_reservation(&q.req));
+                    if self.prefill.enabled {
+                        self.prefill_backlog =
+                            self.prefill_backlog.saturating_sub(q.prefill_target());
+                    }
+                    self.events.push(SimEvent::Shed);
+                    self.shed += 1;
+                    continue;
+                }
                 let mut need = self.admission_need(&cand);
                 if !self
                     .admitter
@@ -1056,17 +1168,30 @@ impl<'a> ReplicaSim<'a> {
                     seq: self.admit_seq,
                 });
                 if self.preempt.evicts() {
-                    // The new admission has the highest seq, so it leads
-                    // its priority class in eviction order.
-                    let pos = self
-                        .victim_index
-                        .partition_point(|e| e.priority < q.req.priority);
+                    let p = q.req.priority;
+                    let d = self.deadline_bits(&q.req);
+                    // RecentFirst: the new admission has the highest
+                    // seq, so it leads its priority class. SlackFirst:
+                    // descending deadline within the class (latest
+                    // deadline = most remaining slack evicts first);
+                    // equal deadlines keep newest-first, so the two
+                    // orders agree when no tenant has an SLO.
+                    let pos = match self.victim_order {
+                        VictimOrder::RecentFirst => {
+                            self.victim_index.partition_point(|e| e.priority < p)
+                        }
+                        VictimOrder::SlackFirst => self.victim_index.partition_point(|e| {
+                            e.priority < p || (e.priority == p && e.deadline_bits > d)
+                        }),
+                    };
                     self.victim_index.insert(
                         pos,
                         VictimEntry {
-                            priority: q.req.priority,
+                            priority: p,
                             id: q.req.id,
                             reserved,
+                            deadline_bits: d,
+                            seq: self.admit_seq,
                         },
                     );
                 }
@@ -1144,8 +1269,10 @@ impl<'a> ReplicaSim<'a> {
     /// needing `need` reservation bytes fits. Victims must have strictly
     /// lower priority than `priority` (so uniform-priority traces never
     /// evict, and eviction chains strictly descend — no thrashing);
-    /// among them, the lowest priority goes first and the most recently
-    /// admitted within it (the least progress is lost) — a prefix walk
+    /// among them, the lowest priority goes first and, within a class,
+    /// the [`VictimOrder`] knob picks the victim: most recently admitted
+    /// (the least progress is lost) or most remaining SLO slack
+    /// (deadline-monotonic — the latest TTFT deadline) — a prefix walk
     /// of the incrementally maintained [`VictimEntry`] index, where the
     /// historical implementation re-filtered and re-sorted the running
     /// batch per blocked candidate (cross-checked against that reference
@@ -1155,6 +1282,25 @@ impl<'a> ReplicaSim<'a> {
         if !self.preempt.evicts() {
             return None;
         }
+        debug_assert!(
+            self.victim_index
+                .windows(2)
+                .all(|w| match self.victim_order {
+                    VictimOrder::RecentFirst =>
+                        (w[0].priority, Reverse(w[0].seq)) <= (w[1].priority, Reverse(w[1].seq)),
+                    VictimOrder::SlackFirst =>
+                        (
+                            w[0].priority,
+                            Reverse(w[0].deadline_bits),
+                            Reverse(w[0].seq)
+                        ) <= (
+                            w[1].priority,
+                            Reverse(w[1].deadline_bits),
+                            Reverse(w[1].seq)
+                        ),
+                }),
+            "victim index stays sorted by the active eviction order"
+        );
         let mut used = self.admitter.used();
         let mut occupancy = self.running.len();
         let mut chosen = Vec::new();
@@ -1176,7 +1322,18 @@ impl<'a> ReplicaSim<'a> {
                     .iter()
                     .filter(|a| a.req.priority < priority)
                     .collect();
-                victims.sort_by_key(|a| (a.req.priority, Reverse(a.seq)));
+                match self.victim_order {
+                    VictimOrder::RecentFirst => {
+                        victims.sort_by_key(|a| (a.req.priority, Reverse(a.seq)));
+                    }
+                    VictimOrder::SlackFirst => victims.sort_by_key(|a| {
+                        (
+                            a.req.priority,
+                            Reverse(self.deadline_bits(&a.req)),
+                            Reverse(a.seq),
+                        )
+                    }),
+                }
                 let mut used_r = self.admitter.used();
                 let mut occ_r = self.running.len();
                 let mut chosen_r = Vec::new();

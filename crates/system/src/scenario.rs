@@ -33,7 +33,9 @@
 
 use crate::cluster::{Cluster, RouterKind};
 use crate::config::{SystemConfig, SystemKind, Techniques};
-use crate::policy::{PagedKvConfig, PreemptionPolicy, PrefillConfig, SchedulingPolicy};
+use crate::policy::{
+    PagedKvConfig, PreemptionPolicy, PrefillConfig, SchedulingPolicy, SheddingPolicy, VictimOrder,
+};
 use crate::serve::{Evaluator, ServingReport};
 use jsonio::Json;
 use llm_model::ModelConfig;
@@ -247,6 +249,12 @@ pub struct PolicySpec {
     /// (continuous scheduling only; off is bit-exact with whole-request
     /// reservations).
     pub paged_kv: PagedKvConfig,
+    /// Deadline-aware admission control (continuous scheduling only;
+    /// `None` — the default — is bit-exact with no admission control).
+    pub shedding: SheddingPolicy,
+    /// Within-class eviction victim order (the default `RecentFirst` is
+    /// bit-exact with the historical most-recently-admitted order).
+    pub victim_order: VictimOrder,
 }
 
 impl Default for PolicySpec {
@@ -259,6 +267,8 @@ impl Default for PolicySpec {
             kv_capacity_factor: 1.0,
             stride: 64,
             paged_kv: PagedKvConfig::disabled(),
+            shedding: SheddingPolicy::None,
+            victim_order: VictimOrder::RecentFirst,
         }
     }
 }
@@ -354,6 +364,8 @@ impl Scenario {
             .with_kv_capacity_factor(p.kv_capacity_factor)
             .with_stride(p.stride)
             .with_paged_kv(p.paged_kv)
+            .with_shedding(p.shedding)
+            .with_victim_order(p.victim_order)
             .with_tenant_slos(slos)
     }
 
@@ -452,6 +464,8 @@ impl Scenario {
                     ("stride", Json::num(p.stride as f64)),
                     ("prefix_caching", Json::Bool(p.paged_kv.prefix_caching)),
                     ("page_bytes", Json::num(p.paged_kv.page_bytes as f64)),
+                    ("shedding", Json::str(p.shedding.label())),
+                    ("victim_order", Json::str(p.victim_order.label())),
                 ]),
             ),
             (
@@ -537,6 +551,12 @@ impl Scenario {
                     prefix_caching: get_bool(p, "prefix_caching", false)?,
                     page_bytes: get_u64(p, "page_bytes", PagedKvConfig::DEFAULT_PAGE_BYTES)?,
                 },
+                shedding: parse_shedding(get_str(p, "shedding", SheddingPolicy::None.label())?)?,
+                victim_order: parse_victim_order(get_str(
+                    p,
+                    "victim_order",
+                    VictimOrder::RecentFirst.label(),
+                )?)?,
             },
         };
         let workload = doc
@@ -585,7 +605,10 @@ impl Materialized {
     /// returns the report (with per-tenant latency, SLO attainment and
     /// goodput in `latency_by_tenant`).
     pub fn run(&self) -> ServingReport {
-        let mut router = self.router.build();
+        // `build_for`: the SLO-aware router routes on the evaluator's
+        // real tenant SLOs and calibrated prefill rate, not the
+        // uncalibrated `build()` fallback.
+        let mut router = self.router.build_for(&self.evaluator);
         Cluster::new(&self.evaluator, self.evaluator.scheduling_policy())
             .with_threads(self.threads)
             .run(&self.trace, router.as_mut())
@@ -724,6 +747,32 @@ fn parse_preemption(label: &str) -> Result<PreemptionPolicy, String> {
             let known: Vec<&str> = PreemptionPolicy::ALL.iter().map(|p| p.label()).collect();
             format!(
                 "policies.preemption: unknown policy {label:?} (expected one of: {})",
+                known.join(", ")
+            )
+        })
+}
+
+fn parse_shedding(label: &str) -> Result<SheddingPolicy, String> {
+    SheddingPolicy::ALL
+        .into_iter()
+        .find(|s| s.label() == label)
+        .ok_or_else(|| {
+            let known: Vec<&str> = SheddingPolicy::ALL.iter().map(|s| s.label()).collect();
+            format!(
+                "policies.shedding: unknown policy {label:?} (expected one of: {})",
+                known.join(", ")
+            )
+        })
+}
+
+fn parse_victim_order(label: &str) -> Result<VictimOrder, String> {
+    VictimOrder::ALL
+        .into_iter()
+        .find(|v| v.label() == label)
+        .ok_or_else(|| {
+            let known: Vec<&str> = VictimOrder::ALL.iter().map(|v| v.label()).collect();
+            format!(
+                "policies.victim_order: unknown order {label:?} (expected one of: {})",
                 known.join(", ")
             )
         })

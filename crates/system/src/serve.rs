@@ -13,7 +13,10 @@ use crate::energy::{EnergyBreakdown, EnergyModel};
 use crate::engine::Engine;
 use crate::kernel::KernelModel;
 use crate::metrics::{self, LatencyReport, ReplicaBreakdown};
-use crate::policy::{self, PagedKvConfig, PreemptionPolicy, PrefillConfig, SchedulingPolicy};
+use crate::policy::{
+    self, PagedKvConfig, PreemptionPolicy, PrefillConfig, SchedulingPolicy, SheddingPolicy,
+    VictimOrder,
+};
 use crate::stage::{IterationBreakdown, StageModel};
 use llm_model::ModelConfig;
 use pim_mem::DEFAULT_CHUNK_BYTES;
@@ -21,6 +24,10 @@ use serde::Serialize;
 use workload::Trace;
 
 /// Result of serving a trace.
+///
+/// The repository's metrics glossary — every field below with its
+/// unit, the TTFT decomposition, and the goodput-vs-throughput
+/// distinction — lives in `docs/metrics.md`.
 #[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct ServingReport {
     /// Decode throughput in tokens/second (all replicas).
@@ -53,6 +60,13 @@ pub struct ServingReport {
     /// `prefill_seconds`; the per-request distribution is
     /// `latency.restart`).
     pub restart_seconds: f64,
+    /// Requests shed by deadline-aware admission control — dropped at
+    /// admission time because their predicted TTFT lower bound already
+    /// exceeded their tenant's SLO (0 unless a
+    /// [`crate::SheddingPolicy`] is armed). Shed requests produce no
+    /// latency samples and no tokens; they are counted here instead of
+    /// silently inflating the tail percentiles.
+    pub shed: u64,
     /// Admissions that mapped at least one already-resident
     /// shared-prefix page from the paged KV cache (0 unless
     /// `prefix_caching` is on and the trace carries shared prefixes).
@@ -118,6 +132,65 @@ impl ServingReport {
     pub fn tenant_fairness(&self) -> f64 {
         metrics::tenant_goodput_fairness(&self.latency_by_tenant)
     }
+
+    /// Goodput in tokens/second: decode tokens delivered by requests
+    /// that *met their tenant's TTFT SLO*, per wall-clock second — the
+    /// headline metric of SLO-native serving. Tenants without a TTFT
+    /// target count all their tokens (their SLO is vacuously met), so a
+    /// run without SLOs has `goodput() == tokens_per_second` up to the
+    /// per-tenant decomposition. 0 when the run served nothing.
+    pub fn goodput(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            return 0.0;
+        }
+        let in_slo: u64 = self
+            .latency_by_tenant
+            .iter()
+            .map(|t| t.goodput_tokens)
+            .sum();
+        in_slo as f64 / self.seconds
+    }
+}
+
+/// Optimistic time-to-first-token predictor: a per-prefill-token rate
+/// calibrated on the *first* prefill chunk (the cheapest tokens of any
+/// prompt, since attention cost grows with resident context), so the
+/// linear extrapolation `rate × tokens` is a lower bound on the real
+/// chunked prefill time of any prompt. Routing ranks replicas on it;
+/// deadline-aware admission ([`crate::SheddingPolicy`]) sheds only when
+/// even this lower bound misses the SLO, which makes shedding safe: a
+/// request that could still meet its deadline is never dropped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TtftPredictor {
+    /// Seconds per prompt token at the cheapest (empty-context) point
+    /// of the prefill curve; 0 when prefill is not modeled.
+    secs_per_prefill_token: f64,
+}
+
+impl TtftPredictor {
+    /// A predictor with an explicit per-token rate (tests and custom
+    /// routers; [`Evaluator::ttft_predictor`] calibrates the real one).
+    pub fn with_rate(secs_per_prefill_token: f64) -> Self {
+        TtftPredictor {
+            secs_per_prefill_token: secs_per_prefill_token.max(0.0),
+        }
+    }
+
+    /// Predicted TTFT lower bound for a request that has already waited
+    /// `waited` seconds and still has `tokens` prompt tokens to prefill
+    /// (its own remaining prompt plus any queue of prompt tokens ahead
+    /// of it). Monotone in both arguments.
+    pub fn predict(&self, waited: f64, tokens: u64) -> f64 {
+        waited + self.secs_per_prefill_token * tokens as f64
+    }
+
+    /// Remaining slack against an SLO target for a request in the state
+    /// described by [`Self::predict`]'s arguments: negative once even
+    /// the optimistic bound misses the deadline. `+inf` targets (no
+    /// SLO) yield `+inf` slack.
+    pub fn slack(&self, slo_ttft: f64, waited: f64, tokens: u64) -> f64 {
+        slo_ttft - self.predict(waited, tokens)
+    }
 }
 
 /// Evaluates one (system, model, techniques) configuration on traces.
@@ -135,10 +208,16 @@ pub struct Evaluator {
     /// system, the knob preemption studies sweep.
     kv_capacity_factor: f64,
     /// Per-tenant TTFT SLO targets in seconds, as `(tenant id, target)`
-    /// pairs — pure reporting metadata consumed by the cluster merge
-    /// (attainment in `ServingReport::latency_by_tenant`); never
-    /// touches scheduling. Normally set by `system::scenario` specs.
+    /// pairs — reporting metadata consumed by the cluster merge
+    /// (attainment in `ServingReport::latency_by_tenant`), and the
+    /// deadline source for the opt-in SLO-aware policies
+    /// ([`Self::with_shedding`], [`Self::with_victim_order`],
+    /// `RouterKind::SloAware`). With those knobs off — the default —
+    /// it never touches scheduling. Normally set by `system::scenario`
+    /// specs.
     tenant_slos: Vec<(u8, f64)>,
+    shedding: SheddingPolicy,
+    victim_order: VictimOrder,
     kernels: KernelModel,
     energy: EnergyModel,
     /// Recompute the iteration time every `stride` decode steps (the
@@ -161,6 +240,8 @@ impl Evaluator {
             paged_kv: PagedKvConfig::disabled(),
             kv_capacity_factor: 1.0,
             tenant_slos: Vec::new(),
+            shedding: SheddingPolicy::None,
+            victim_order: VictimOrder::RecentFirst,
             kernels: KernelModel::new(pim_sim::Timing::aimx(), model.head_dim),
             energy: EnergyModel::aimx(),
             stride: 64,
@@ -223,6 +304,59 @@ impl Evaluator {
     /// The configured per-tenant TTFT SLO targets.
     pub fn tenant_slos(&self) -> &[(u8, f64)] {
         &self.tenant_slos
+    }
+
+    /// The TTFT SLO target for one tenant — `+inf` (never missed) when
+    /// the tenant has no target, the same convention the per-tenant
+    /// attainment report uses.
+    pub fn tenant_slo(&self, tenant: u8) -> f64 {
+        self.tenant_slos
+            .iter()
+            .find(|(t, _)| *t == tenant)
+            .map_or(f64::INFINITY, |(_, slo)| *slo)
+    }
+
+    /// Returns this evaluator with a deadline-aware admission-control
+    /// policy (see [`SheddingPolicy`]). The default `None` admits
+    /// everything, bit-exact with every historical run; the wave policy
+    /// ignores this knob.
+    pub fn with_shedding(mut self, shedding: SheddingPolicy) -> Self {
+        self.shedding = shedding;
+        self
+    }
+
+    /// The active shedding policy.
+    pub fn shedding_policy(&self) -> SheddingPolicy {
+        self.shedding
+    }
+
+    /// Returns this evaluator with a victim-selection order for
+    /// preemption (see [`VictimOrder`]). The default `RecentFirst` is
+    /// bit-exact with every historical run; the knob only matters when
+    /// a [`PreemptionPolicy`] is armed.
+    pub fn with_victim_order(mut self, order: VictimOrder) -> Self {
+        self.victim_order = order;
+        self
+    }
+
+    /// The active victim-selection order.
+    pub fn victim_order(&self) -> VictimOrder {
+        self.victim_order
+    }
+
+    /// Calibrates the optimistic [`TtftPredictor`] for this
+    /// configuration: the per-token rate of the *first* prefill chunk,
+    /// the cheapest point of the prefill curve, so predictions lower-
+    /// bound real chunked prefill times. A zero-rate predictor when
+    /// prefill is not modeled (TTFT is then dominated by queueing,
+    /// which the predictor's `waited` argument carries).
+    pub fn ttft_predictor(&self) -> TtftPredictor {
+        if !self.prefill.enabled {
+            return TtftPredictor::with_rate(0.0);
+        }
+        let chunk = self.prefill.chunk_tokens.max(1);
+        let secs = self.stage_model().prefill_chunk(0, 0, chunk).seconds;
+        TtftPredictor::with_rate(secs / chunk as f64)
     }
 
     /// Returns this evaluator with an explicit prefill configuration.
