@@ -80,6 +80,7 @@ fn scenario(
         pp: 1,
         modules: 0,
         threads: 0,
+        pools: Vec::new(),
     };
     s.policies = PolicySpec {
         scheduling,

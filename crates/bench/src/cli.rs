@@ -186,6 +186,21 @@ pub fn scenario_rows(stem: &str, m: &Materialized, r: &ServingReport) -> Vec<Jso
         crate::push_row_field(&mut aggregate, "goodput", Json::num(r.goodput()));
         crate::push_row_field(&mut aggregate, "shed", Json::num(r.shed as f64));
     }
+    // KV-transfer counters ride along only when the pool structure is
+    // observable (`per_pool` nonempty), so rows of colocated scenarios
+    // stay byte-identical to the pre-disaggregation snapshot.
+    if !r.per_pool.is_empty() {
+        crate::push_row_field(
+            &mut aggregate,
+            "kv_transferred_bytes",
+            Json::num(r.kv_transferred_bytes as f64),
+        );
+        crate::push_row_field(
+            &mut aggregate,
+            "transfer_seconds",
+            Json::num(r.transfer_seconds),
+        );
+    }
     let mut rows = vec![aggregate];
     for t in &r.latency_by_tenant {
         let mut row = tenant_row(&format!("{stem}/{}", m.tenant_name(t.tenant)), t);
@@ -199,7 +214,31 @@ pub fn scenario_rows(stem: &str, m: &Materialized, r: &ServingReport) -> Vec<Jso
         }
         rows.push(row);
     }
+    for p in &r.per_pool {
+        rows.push(pool_row(&format!("{stem}/pool/{}", p.name), p));
+    }
     rows
+}
+
+/// One machine-readable row for a pool's share of a disaggregated run.
+pub fn pool_row(name: &str, p: &system::PoolBreakdown) -> Json {
+    Json::obj([
+        ("name", Json::str(name)),
+        ("role", Json::str(p.role.label())),
+        ("replicas", Json::num(f64::from(p.replicas))),
+        ("routed", Json::num(p.routed as f64)),
+        ("served", Json::num(p.served as f64)),
+        ("tokens", Json::num(p.tokens as f64)),
+        ("busy_seconds", Json::num(p.busy_seconds)),
+        ("evictions", Json::num(p.evictions as f64)),
+        ("shed", Json::num(p.shed as f64)),
+        ("handoffs", Json::num(p.handoffs as f64)),
+        (
+            "kv_transferred_bytes",
+            Json::num(p.kv_transferred_bytes as f64),
+        ),
+        ("transfer_seconds", Json::num(p.transfer_seconds)),
+    ])
 }
 
 /// One machine-readable row for a tenant's share of a scenario run.

@@ -38,6 +38,12 @@ pub const MAX_ATTAINMENT_DROP: f64 = 0.05;
 /// (5%) — same tightness as throughput, since goodput is just
 /// throughput restricted to tokens that met their tenant's TTFT SLO.
 pub const MAX_GOODPUT_DROP: f64 = 0.05;
+/// Relative KV-transfer-byte deviation that fails the gate (5%), in
+/// *either* direction: the disaggregated handoff pipeline prices each
+/// prompt deterministically, so transferred bytes only move when the
+/// transfer model or the handoff routing itself changes — fewer bytes
+/// means handoffs silently stopped, more means double-shipping.
+pub const MAX_TRANSFER_DEVIATION: f64 = 0.05;
 
 /// Merges per-bin bench documents into one snapshot document
 /// (`{"benches": [...]}`), the on-disk format of `BENCH_serving.json`.
@@ -69,6 +75,10 @@ pub struct RowDelta {
     /// Snapshot vs fresh goodput (in-SLO tokens/second) — only gated
     /// when both rows carry the field.
     pub goodput: Option<(f64, f64)>,
+    /// Snapshot vs fresh KV bytes shipped across pools — only gated
+    /// when both rows carry the field (disaggregated scenario and
+    /// `disagg_frontier` rows).
+    pub kv_transferred_bytes: Option<(f64, f64)>,
 }
 
 impl RowDelta {
@@ -124,6 +134,15 @@ impl RowDelta {
                     "{}: goodput dropped {:.1}% ({good_snap:.3} -> {good_fresh:.3} in-SLO tok/s)",
                     self.key,
                     (1.0 - good_fresh / good_snap) * 100.0
+                ));
+            }
+        }
+        if let Some((kv_snap, kv_fresh)) = self.kv_transferred_bytes {
+            if kv_snap > 0.0 && (kv_fresh - kv_snap).abs() > kv_snap * MAX_TRANSFER_DEVIATION {
+                return Some(format!(
+                    "{}: KV transfer bytes deviated {:.1}% ({kv_snap:.0} -> {kv_fresh:.0})",
+                    self.key,
+                    (kv_fresh / kv_snap - 1.0) * 100.0
                 ));
             }
         }
@@ -209,6 +228,13 @@ pub fn compare(snapshot: &Json, fresh: &[Json]) -> (Vec<RowDelta>, Vec<String>) 
             goodput: match (
                 snap_row.get("goodput").and_then(Json::as_f64),
                 fresh_row.get("goodput").and_then(Json::as_f64),
+            ) {
+                (Some(snap), Some(fresh)) => Some((snap, fresh)),
+                _ => None,
+            },
+            kv_transferred_bytes: match (
+                snap_row.get("kv_transferred_bytes").and_then(Json::as_f64),
+                fresh_row.get("kv_transferred_bytes").and_then(Json::as_f64),
             ) {
                 (Some(snap), Some(fresh)) => Some((snap, fresh)),
                 _ => None,

@@ -463,7 +463,8 @@ mod tests {
                 tp: 2,
                 pp: 1,
                 modules: 0,
-                threads: 4
+                threads: 4,
+                pools: Vec::new(),
             }
         );
         // The built orchestrator's evaluator and getters read the spec.

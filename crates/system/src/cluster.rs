@@ -35,9 +35,9 @@
 //! per-replica event logs in replica-index order, so no
 //! float-accumulation order depends on thread scheduling.
 
-use crate::metrics::{LatencyReport, ReplicaBreakdown, RequestTiming};
-use crate::policy::SchedulingPolicy;
-use crate::replica::{ReplicaSim, SimEvent};
+use crate::metrics::{LatencyReport, PoolBreakdown, ReplicaBreakdown, RequestTiming};
+use crate::policy::{PoolRole, SchedulingPolicy};
+use crate::replica::{HandoffOut, ReplicaSim, SimEvent};
 use crate::serve::{Evaluator, ServingReport, TtftPredictor};
 use crate::stage::IterationBreakdown;
 use serde::Serialize;
@@ -483,93 +483,336 @@ impl<'a> Cluster<'a> {
     /// historical trace-index partitioning exactly on *any* trace. The
     /// continuous policy consumes the stream in global arrival order,
     /// the order an online front-end actually sees.
+    ///
+    /// Internally this is the one-pool special case of the
+    /// disaggregated machinery ([`run_pools`]): a single anonymous
+    /// mixed pool, which the pooled path reduces to operation-for-
+    /// operation — so every historical pin also verifies the
+    /// generalized loop.
     pub fn run(&self, trace: &Trace, router: &mut dyn Router) -> ServingReport {
-        let eval = self.eval;
-        let replicas = eval.system().replicas().max(1) as usize;
-        let t_max = trace.max_final_len();
-        let arrivals = match self.policy {
-            SchedulingPolicy::Wave => trace.requests().to_vec(),
-            SchedulingPolicy::Continuous => trace.arrival_ordered(),
-        };
-        let mut sims: Vec<ReplicaSim<'_>> = (0..replicas)
-            .map(|_| ReplicaSim::new(eval, self.policy, t_max))
-            .collect();
+        run_pools_impl(
+            &[("", self.eval)],
+            &mut [router],
+            self.policy,
+            self.threads,
+            trace,
+        )
+    }
+}
 
-        // Load-aware routing needs each replica's state at the arrival
-        // instant. The wave policy ignores arrival times entirely, and
-        // stateless routers never look — both cases skip the
-        // interleaved advancing and simulate replicas end-to-end at the
-        // drain, where the parallel fan-out genuinely pays.
-        let inspects = router.inspects_load();
-        let interleave = inspects && self.policy == SchedulingPolicy::Continuous && replicas > 1;
-        let mut frontier = 0.0f64;
-        // The load snapshot handed to the router, built once and then
-        // maintained incrementally: advancing a replica refreshes its
-        // entry and an enqueue refreshes the target's — nothing else
-        // changes replica state during routing, so the buffer always
-        // matches what a per-arrival rebuild would produce (the
-        // historical behavior, minus its O(replicas) cost per arrival).
-        // Routers that never look get the initial (all-idle) snapshots.
-        let mut loads: Vec<ReplicaLoad> = sims.iter().enumerate().map(|(i, s)| s.load(i)).collect();
-        // Event calendar for the interleaved advance: a min-heap of
-        // `(next-event time, replica)` entries. Times are nonnegative,
-        // so their IEEE-754 bit patterns order identically to the
-        // floats. A replica is advanced only when the routing frontier
-        // passes its next-event bound — the earliest instant its state
-        // can change (see `ReplicaSim::advance_to`); replicas the
-        // frontier does not reach are skipped, which is bit-exact
-        // because advancing a replica below its bound is a state no-op.
-        // Routing an arrival pulls the target's bound down to the
-        // arrival instant; the superseded heap entry is skipped lazily
-        // (`next_event` holds the authoritative bound per replica).
-        let mut next_event: Vec<f64> = vec![0.0; replicas];
-        let mut calendar: BinaryHeap<Reverse<(u64, usize)>> =
-            (0..replicas).map(|i| Reverse((0u64, i))).collect();
-        for r in &arrivals {
-            let ta = r.arrival_secs();
-            if interleave && ta > frontier {
-                while let Some(&Reverse((bits, i))) = calendar.peek() {
-                    if f64::from_bits(bits) > ta {
-                        break;
-                    }
-                    calendar.pop();
-                    if next_event[i].to_bits() != bits {
-                        continue; // superseded by an earlier bound
-                    }
-                    let bound = sims[i].advance_to(ta);
-                    next_event[i] = bound;
-                    if bound.is_finite() {
-                        calendar.push(Reverse((bound.to_bits(), i)));
-                    }
-                    loads[i] = sims[i].load(i);
+/// One pool of a disaggregated cluster, paired with its per-pool
+/// router. The evaluator carries everything pool-specific: hardware
+/// (`Evaluator::system`, whose `replicas()` is the pool size), serving
+/// phase (`Evaluator::pool_role`), KV-transfer terms, and policies.
+pub struct PoolRun<'a> {
+    /// Display name, carried into [`ServingReport::per_pool`].
+    pub name: String,
+    /// The pool's evaluator.
+    pub eval: &'a Evaluator,
+    /// The router applied *inside* the pool once the phase-level pick
+    /// has selected it.
+    pub router: Box<dyn Router>,
+}
+
+/// Serves `trace` over heterogeneous replica pools with phase-aware
+/// two-level routing — the disaggregated generalization of
+/// [`Cluster::run`] (which is exactly this with one anonymous mixed
+/// pool).
+///
+/// **Phase 1 (prefill):** fresh arrivals are routed over the pools
+/// whose role serves prefill (`prefill` and `mixed`). With several
+/// eligible pools the phase-level pick is weighted round-robin (fewest
+/// routed-per-replica so far, ties to the lower pool index); the pool's
+/// own router then places the request on a replica. Those pools run to
+/// completion; `prefill`-role replicas retire each request at prompt
+/// residency, pricing its KV transfer and recording a handoff.
+///
+/// **Phase 2 (decode):** the pools' handoff streams are merged in
+/// transfer-completion order (`(arrival_us, id)` — the rewritten
+/// arrival *is* transfer completion) and routed over the `decode`-role
+/// pools the same two-level way, then those run to completion. The
+/// handoff stream is feed-forward (decode pools never push work back),
+/// so each phase is an ordinary deterministic routing loop and the
+/// byte-identical thread-count guarantee carries over unchanged.
+///
+/// Reports merge pool-by-pool in declaration order (replica order
+/// within a pool); [`ServingReport::per_pool`] is populated whenever
+/// the pool structure is observable (more than one pool, or any
+/// non-mixed role) and stays empty for a single mixed pool, keeping
+/// that desugared form byte-identical with the pool-free path.
+pub fn run_pools(
+    pools: &mut [PoolRun<'_>],
+    policy: SchedulingPolicy,
+    threads: usize,
+    trace: &Trace,
+) -> ServingReport {
+    let mut metas: Vec<(&str, &Evaluator)> = Vec::with_capacity(pools.len());
+    let mut routers: Vec<&mut dyn Router> = Vec::with_capacity(pools.len());
+    for p in pools.iter_mut() {
+        metas.push((p.name.as_str(), p.eval));
+        routers.push(p.router.as_mut());
+    }
+    run_pools_impl(&metas, &mut routers, policy, threads, trace)
+}
+
+/// An item the phase routing loop can dispatch: a fresh arrival or a
+/// cross-pool handoff. Both order by `(arrival_us, id)` (a handoff's
+/// arrival was rewritten to its transfer completion).
+trait Routable: Copy {
+    fn request(&self) -> &Request;
+    fn dispatch(self, sim: &mut ReplicaSim<'_>);
+}
+
+impl Routable for Request {
+    fn request(&self) -> &Request {
+        self
+    }
+    fn dispatch(self, sim: &mut ReplicaSim<'_>) {
+        sim.enqueue(self);
+    }
+}
+
+impl Routable for HandoffOut {
+    fn request(&self) -> &Request {
+        &self.req
+    }
+    fn dispatch(self, sim: &mut ReplicaSim<'_>) {
+        sim.enqueue_handoff(self);
+    }
+}
+
+/// Routes one phase's item stream over the member pools (`members`
+/// indexes into `pool_sims`/`routers`), interleaving replica advance
+/// through a shared event calendar exactly as the historical
+/// single-pool loop did — for one member pool this *is* that loop,
+/// operation for operation.
+fn route_phase<T: Routable>(
+    items: &[T],
+    members: &[usize],
+    pool_sims: &mut [Vec<ReplicaSim<'_>>],
+    routers: &mut [&mut dyn Router],
+    policy: SchedulingPolicy,
+) {
+    if items.is_empty() || members.is_empty() {
+        return;
+    }
+    // Load-aware routing needs each replica's state at the arrival
+    // instant. The wave policy ignores arrival times entirely, and
+    // stateless routers never look — both cases skip the interleaved
+    // advancing and simulate replicas end-to-end at the drain, where
+    // the parallel fan-out genuinely pays.
+    let inspects = members.iter().any(|&p| routers[p].inspects_load());
+    let total_reps: usize = members.iter().map(|&p| pool_sims[p].len()).sum();
+    let interleave = inspects && policy == SchedulingPolicy::Continuous && total_reps > 1;
+    // Flat slot index over the member pools' replicas (member order,
+    // replica order within a member) for the shared event calendar.
+    let mut offsets: Vec<usize> = Vec::with_capacity(members.len());
+    let mut acc_off = 0usize;
+    for &p in members {
+        offsets.push(acc_off);
+        acc_off += pool_sims[p].len();
+    }
+    let member_of = |flat: usize| -> (usize, usize) {
+        let mp = offsets.partition_point(|&o| o <= flat) - 1;
+        (mp, flat - offsets[mp])
+    };
+    let mut frontier = 0.0f64;
+    // The load snapshots handed to each member's router, built once and
+    // then maintained incrementally: advancing a replica refreshes its
+    // entry and an enqueue refreshes the target's — nothing else
+    // changes replica state during routing, so the buffers always match
+    // what a per-arrival rebuild would produce (the historical
+    // behavior, minus its O(replicas) cost per arrival). Routers that
+    // never look get the initial (all-idle) snapshots.
+    let mut loads: Vec<Vec<ReplicaLoad>> = members
+        .iter()
+        .map(|&p| {
+            pool_sims[p]
+                .iter()
+                .enumerate()
+                .map(|(i, s)| s.load(i))
+                .collect()
+        })
+        .collect();
+    // Event calendar for the interleaved advance: a min-heap of
+    // `(next-event time, flat slot)` entries. Times are nonnegative, so
+    // their IEEE-754 bit patterns order identically to the floats. A
+    // replica is advanced only when the routing frontier passes its
+    // next-event bound — the earliest instant its state can change (see
+    // `ReplicaSim::advance_to`); replicas the frontier does not reach
+    // are skipped, which is bit-exact because advancing a replica below
+    // its bound is a state no-op. Routing an item pulls the target's
+    // bound down to the arrival instant; the superseded heap entry is
+    // skipped lazily (`next_event` holds the authoritative bound per
+    // slot).
+    let mut next_event: Vec<f64> = vec![0.0; total_reps];
+    let mut calendar: BinaryHeap<Reverse<(u64, usize)>> =
+        (0..total_reps).map(|i| Reverse((0u64, i))).collect();
+    // Phase-level pick among several same-phase pools: weighted
+    // round-robin on routed-per-replica (deterministic and
+    // router-independent, so it works identically whether or not the
+    // member routers inspect load).
+    let mut routed_per: Vec<u64> = vec![0; members.len()];
+    for item in items {
+        let r = item.request();
+        let ta = r.arrival_secs();
+        if interleave && ta > frontier {
+            while let Some(&Reverse((bits, flat))) = calendar.peek() {
+                if f64::from_bits(bits) > ta {
+                    break;
                 }
-                frontier = ta;
+                calendar.pop();
+                if next_event[flat].to_bits() != bits {
+                    continue; // superseded by an earlier bound
+                }
+                let (mp, ri) = member_of(flat);
+                let bound = pool_sims[members[mp]][ri].advance_to(ta);
+                next_event[flat] = bound;
+                if bound.is_finite() {
+                    calendar.push(Reverse((bound.to_bits(), flat)));
+                }
+                loads[mp][ri] = pool_sims[members[mp]][ri].load(ri);
             }
-            let target = router.route(r, &loads).min(replicas - 1);
-            sims[target].enqueue(*r);
-            if inspects {
-                loads[target] = sims[target].load(target);
-            }
-            if interleave && ta < next_event[target] {
-                next_event[target] = ta;
-                calendar.push(Reverse((ta.to_bits(), target)));
+            frontier = ta;
+        }
+        // Level 1: pick the member pool — least routed per replica
+        // (cross-multiplied to stay in integers), ties to the lower
+        // index. A single member (every colocated run) short-circuits.
+        let mut mp = 0usize;
+        for cand in 1..members.len() {
+            // cand wins only on strictly lower load: routed/replicas
+            // compared by cross-multiplication to stay in integers.
+            let lc = u128::from(routed_per[cand]) * pool_sims[members[mp]].len() as u128;
+            let lb = u128::from(routed_per[mp]) * pool_sims[members[cand]].len() as u128;
+            if lc < lb {
+                mp = cand;
             }
         }
-        finish_all(&mut sims, self.threads);
-        self.merge(&sims, t_max, arrivals.len())
+        let pool = members[mp];
+        let reps = pool_sims[pool].len();
+        // Level 2: the pool's own router places the item on a replica.
+        let target = routers[pool].route(r, &loads[mp]).min(reps - 1);
+        item.dispatch(&mut pool_sims[pool][target]);
+        routed_per[mp] += 1;
+        if inspects {
+            loads[mp][target] = pool_sims[pool][target].load(target);
+        }
+        let flat = offsets[mp] + target;
+        if interleave && ta < next_event[flat] {
+            next_event[flat] = ta;
+            calendar.push(Reverse((ta.to_bits(), flat)));
+        }
+    }
+}
+
+/// Borrows every replica sim of the member pools mutably, in member
+/// order, for the drain fan-out.
+fn claim_members<'s, 'a>(
+    pool_sims: &'s mut [Vec<ReplicaSim<'a>>],
+    members: &[usize],
+) -> Vec<&'s mut ReplicaSim<'a>> {
+    let wanted: std::collections::BTreeSet<usize> = members.iter().copied().collect();
+    pool_sims
+        .iter_mut()
+        .enumerate()
+        .filter(|(p, _)| wanted.contains(p))
+        .flat_map(|(_, sims)| sims.iter_mut())
+        .collect()
+}
+
+/// The shared implementation behind [`Cluster::run`] and [`run_pools`].
+fn run_pools_impl(
+    pools: &[(&str, &Evaluator)],
+    routers: &mut [&mut dyn Router],
+    policy: SchedulingPolicy,
+    threads: usize,
+    trace: &Trace,
+) -> ServingReport {
+    assert_eq!(pools.len(), routers.len(), "one router per pool");
+    assert!(!pools.is_empty(), "a cluster needs at least one pool");
+    let t_max = trace.max_final_len();
+    let arrivals = match policy {
+        SchedulingPolicy::Wave => trace.requests().to_vec(),
+        SchedulingPolicy::Continuous => trace.arrival_ordered(),
+    };
+    let role_of = |eval: &Evaluator| -> PoolRole {
+        // Pool roles are a continuous-policy feature; wave replicas run
+        // the full lifecycle regardless (mirrors `ReplicaSim::new`).
+        if policy == SchedulingPolicy::Continuous {
+            eval.pool_role()
+        } else {
+            PoolRole::Mixed
+        }
+    };
+    let mut pool_sims: Vec<Vec<ReplicaSim<'_>>> = pools
+        .iter()
+        .map(|(_, eval)| {
+            let n = eval.system().replicas().max(1) as usize;
+            (0..n)
+                .map(|_| ReplicaSim::new(eval, policy, t_max))
+                .collect()
+        })
+        .collect();
+
+    // Phase 1: fresh arrivals over the prefill-serving pools.
+    let p1: Vec<usize> = (0..pools.len())
+        .filter(|&p| role_of(pools[p].1).serves_prefill())
+        .collect();
+    assert!(
+        !p1.is_empty(),
+        "a cluster needs at least one prefill-serving (prefill or mixed) pool"
+    );
+    route_phase(&arrivals, &p1, &mut pool_sims, routers, policy);
+    finish_all(claim_members(&mut pool_sims, &p1), threads);
+
+    // Phase 2: handoffs (in transfer-completion order) over the decode
+    // pools. Feed-forward: phase-1 state is final before any decode
+    // pool moves, so the merge stays thread-count independent.
+    let mut handoffs: Vec<HandoffOut> = pool_sims
+        .iter_mut()
+        .flat_map(|sims| sims.iter_mut().flat_map(|s| s.handoffs.drain(..)))
+        .collect();
+    handoffs.sort_by_key(|h| (h.req.arrival_us, h.req.id));
+    let p2: Vec<usize> = (0..pools.len())
+        .filter(|&p| role_of(pools[p].1).accepts_handoff())
+        .collect();
+    if !handoffs.is_empty() {
+        assert!(
+            !p2.is_empty(),
+            "a prefill pool handed off requests but no decode pool exists"
+        );
+        route_phase(&handoffs, &p2, &mut pool_sims, routers, policy);
+        finish_all(claim_members(&mut pool_sims, &p2), threads);
     }
 
-    /// Replays the per-replica event logs into one accumulator in
-    /// replica-index order and finalizes the report — the exact float
-    /// operation sequence of the original sequential loops, independent
-    /// of thread scheduling.
-    fn merge(&self, sims: &[ReplicaSim<'_>], t_max: u64, requests: usize) -> ServingReport {
-        let eval = self.eval;
-        let mut acc = Accum::default();
-        let mut timings: Vec<RequestTiming> = Vec::with_capacity(requests);
-        let mut per_replica: Vec<ReplicaBreakdown> = Vec::with_capacity(sims.len());
-        let mut end_max = 0.0f64;
-        let mut busy_total = 0.0f64;
+    merge_pools(pools, &pool_sims, policy, t_max, arrivals.len())
+}
+
+/// Replays the per-replica event logs into one accumulator — pool by
+/// pool in declaration order, replica-index order within a pool, each
+/// pool priced by its own evaluator — and finalizes the report: the
+/// exact float operation sequence of the original sequential loops,
+/// independent of thread scheduling.
+fn merge_pools(
+    pools: &[(&str, &Evaluator)],
+    pool_sims: &[Vec<ReplicaSim<'_>>],
+    policy: SchedulingPolicy,
+    t_max: u64,
+    requests: usize,
+) -> ServingReport {
+    let mut acc = Accum::default();
+    let mut timings: Vec<RequestTiming> = Vec::with_capacity(requests);
+    let mut per_replica: Vec<ReplicaBreakdown> = Vec::new();
+    let mut per_pool: Vec<PoolBreakdown> = Vec::with_capacity(pools.len());
+    let mut end_max = 0.0f64;
+    let mut busy_total = 0.0f64;
+    for ((name, eval), sims) in pools.iter().zip(pool_sims) {
+        let mut pb = PoolBreakdown {
+            name: (*name).to_string(),
+            role: eval.pool_role(),
+            replicas: sims.len() as u32,
+            ..PoolBreakdown::default()
+        };
         for sim in sims {
             for ev in &sim.events {
                 match *ev {
@@ -608,94 +851,109 @@ impl<'a> Cluster<'a> {
                     }
                     SimEvent::PageReclaim { pages } => acc.report.pages_evicted += pages,
                     SimEvent::Shed => acc.report.shed += 1,
+                    SimEvent::Handoff { bytes, secs } => {
+                        acc.report.kv_transferred_bytes += bytes;
+                        acc.report.transfer_seconds += secs;
+                        pb.handoffs += 1;
+                        pb.kv_transferred_bytes += bytes;
+                        pb.transfer_seconds += secs;
+                    }
                 }
             }
             timings.extend_from_slice(&sim.timings);
             end_max = end_max.max(sim.end_time());
             busy_total += sim.busy_seconds();
-            per_replica.push(sim.breakdown());
+            let rb = sim.breakdown();
+            pb.routed += rb.routed;
+            pb.served += rb.served;
+            pb.tokens += rb.tokens;
+            pb.busy_seconds += rb.busy_seconds;
+            pb.evictions += rb.evictions;
+            pb.shed += rb.shed;
+            per_replica.push(rb);
         }
-
-        let mut report = acc.report;
-        report.seconds = end_max;
-        report.busy_seconds = busy_total;
-        report.tokens_per_second = if end_max > 0.0 {
-            report.tokens as f64 / end_max
-        } else {
-            0.0
-        };
-        report.mean_batch = match self.policy {
-            // Per-wave mean admitted batch (the paper's metric).
-            SchedulingPolicy::Wave => {
-                if report.waves > 0 {
-                    acc.batch_sum / f64::from(report.waves)
-                } else {
-                    0.0
-                }
-            }
-            // Step-weighted mean batch: tokens per executed decode step.
-            SchedulingPolicy::Continuous => {
-                if acc.steps > 0 {
-                    report.tokens as f64 / acc.steps as f64
-                } else {
-                    0.0
-                }
-            }
-        };
-        // Utilization over *busy* replica time: idle replicas do not
-        // dilute the average.
-        report.attn_utilization = if busy_total > 0.0 {
-            acc.util_weighted / busy_total
-        } else {
-            0.0
-        };
-        report.capacity_utilization = if acc.reserved_kv > 0.0 {
-            acc.used_kv / acc.reserved_kv
-        } else {
-            0.0
-        };
-        report.latency = LatencyReport::from_timings(&timings);
-        report.latency_by_priority = LatencyReport::by_priority(&timings);
-        report.latency_by_tenant = LatencyReport::by_tenant(&timings, eval.tenant_slos());
-        report.per_replica = per_replica;
-        report
+        per_pool.push(pb);
     }
+
+    let eval0 = pools[0].1;
+    let mut report = acc.report;
+    report.seconds = end_max;
+    report.busy_seconds = busy_total;
+    report.tokens_per_second = if end_max > 0.0 {
+        report.tokens as f64 / end_max
+    } else {
+        0.0
+    };
+    report.mean_batch = match policy {
+        // Per-wave mean admitted batch (the paper's metric).
+        SchedulingPolicy::Wave => {
+            if report.waves > 0 {
+                acc.batch_sum / f64::from(report.waves)
+            } else {
+                0.0
+            }
+        }
+        // Step-weighted mean batch: tokens per executed decode step.
+        SchedulingPolicy::Continuous => {
+            if acc.steps > 0 {
+                report.tokens as f64 / acc.steps as f64
+            } else {
+                0.0
+            }
+        }
+    };
+    // Utilization over *busy* replica time: idle replicas do not
+    // dilute the average.
+    report.attn_utilization = if busy_total > 0.0 {
+        acc.util_weighted / busy_total
+    } else {
+        0.0
+    };
+    report.capacity_utilization = if acc.reserved_kv > 0.0 {
+        acc.used_kv / acc.reserved_kv
+    } else {
+        0.0
+    };
+    report.latency = LatencyReport::from_timings(&timings);
+    report.latency_by_priority = LatencyReport::by_priority(&timings);
+    report.latency_by_tenant = LatencyReport::by_tenant(&timings, eval0.tenant_slos());
+    report.per_replica = per_replica;
+    // The per-pool view exists only when the pool structure is
+    // observable; a single mixed pool stays byte-identical with the
+    // historical pool-free report.
+    if pools.len() > 1 || pools.iter().any(|(_, e)| e.pool_role() != PoolRole::Mixed) {
+        report.per_pool = per_pool;
+    }
+    report
 }
 
-/// Runs every sim to completion, fanning out over scoped threads.
-fn finish_all(sims: &mut [ReplicaSim<'_>], threads: usize) {
-    for_each_sim(sims, threads, |s| s.finish());
-}
-
-/// Applies `f` to each sim, on up to `threads` scoped threads. Replica
-/// drain times are heavily skewed (load-aware routing equalizes load,
-/// but the drain leaves each replica a different backlog), so the work
-/// is distributed dynamically: workers pull the next sim from a shared
-/// iterator instead of receiving a fixed slice, and a thread stuck on a
-/// heavy replica cannot strand the rest of a pre-chunked share. Each sim
-/// is still touched by exactly one thread — and accounting is replayed
+/// Runs every claimed sim to completion, fanning out over up to
+/// `threads` scoped threads. Replica drain times are heavily skewed
+/// (load-aware routing equalizes load, but the drain leaves each
+/// replica a different backlog), so the work is distributed
+/// dynamically: workers pull the next sim from a shared iterator
+/// instead of receiving a fixed slice, and a thread stuck on a heavy
+/// replica cannot strand the rest of a pre-chunked share. Each sim is
+/// still touched by exactly one thread — and accounting is replayed
 /// from the per-replica logs in replica-index order afterwards — so
 /// results cannot depend on the interleaving.
-fn for_each_sim<F>(sims: &mut [ReplicaSim<'_>], threads: usize, f: F)
-where
-    F: Fn(&mut ReplicaSim<'_>) + Sync,
-{
+fn finish_all(sims: Vec<&mut ReplicaSim<'_>>, threads: usize) {
     let workers = threads.min(sims.len()).max(1);
     if workers == 1 {
         for sim in sims {
-            f(sim);
+            sim.finish();
         }
         return;
     }
-    let queue = std::sync::Mutex::new(sims.iter_mut());
+    let queue = std::sync::Mutex::new(sims.into_iter());
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                // The guard is a temporary: it drops before `f` runs, so
-                // workers only serialize on *claiming* a sim.
+                // The guard is a temporary: it drops before `finish`
+                // runs, so workers only serialize on *claiming* a sim.
                 let claimed = queue.lock().expect("sim queue poisoned").next();
                 let Some(sim) = claimed else { break };
-                f(sim);
+                sim.finish();
             });
         }
     });

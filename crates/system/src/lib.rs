@@ -98,7 +98,8 @@ pub mod serve;
 pub mod stage;
 
 pub use cluster::{
-    Cluster, JoinShortestQueue, LeastLoaded, LeastPrefill, RoundRobin, Router, RouterKind, SloAware,
+    run_pools, Cluster, JoinShortestQueue, LeastLoaded, LeastPrefill, PoolRun, RoundRobin, Router,
+    RouterKind, SloAware,
 };
 pub use config::{ModuleConfig, SystemConfig, SystemKind, Techniques};
 pub use energy::{EnergyBreakdown, EnergyModel};
@@ -106,13 +107,16 @@ pub use engine::Engine;
 pub use gpu::GpuSystem;
 pub use kernel::{AttentionKind, KernelModel, KernelStats};
 pub use metrics::{
-    jain_fairness, tenant_goodput_fairness, LatencyReport, LatencySummary, PriorityLatency,
-    ReplicaBreakdown, RequestTiming, TenantLatency,
+    jain_fairness, tenant_goodput_fairness, LatencyReport, LatencySummary, PoolBreakdown,
+    PriorityLatency, ReplicaBreakdown, RequestTiming, TenantLatency,
 };
 pub use policy::{
-    PagedKvConfig, PreemptionPolicy, PrefillConfig, SchedulingPolicy, SheddingPolicy, VictimOrder,
+    KvTransferConfig, PagedKvConfig, PoolRole, PreemptionPolicy, PrefillConfig, SchedulingPolicy,
+    SheddingPolicy, VictimOrder,
 };
 pub use replica::ReplicaLoad;
-pub use scenario::{ClusterSpec, Materialized, PolicySpec, Scenario, TenantSpec};
-pub use serve::{Evaluator, ServingReport, TtftPredictor};
+pub use scenario::{
+    ClusterSpec, Materialized, MaterializedPool, PolicySpec, PoolSpec, Scenario, TenantSpec,
+};
+pub use serve::{Evaluator, KvTransferModel, ServingReport, TtftPredictor};
 pub use stage::{AttentionStage, IterationBreakdown, StageModel};

@@ -22,6 +22,7 @@
 //! TTFT to the admission time. [`LatencyReport::completed`] therefore
 //! counts requests that emitted at least one token.
 
+use crate::policy::PoolRole;
 use serde::Serialize;
 
 /// Timestamps of one request's path through a replica, in seconds of the
@@ -175,6 +176,44 @@ pub struct ReplicaBreakdown {
     /// Requests deadline-aware admission control dropped on this replica
     /// (0 unless a [`crate::policy::SheddingPolicy`] is armed).
     pub shed: u64,
+}
+
+/// Per-pool serving totals, populated by the cluster layer when the
+/// scenario defines heterogeneous replica pools
+/// (`crate::ServingReport::per_pool`; empty for pool-free runs so
+/// historical reports stay byte-identical). A prefill pool's `served`
+/// counts requests it *handed off* — the request finishes, and is
+/// counted again, in the decode pool that ran its token generation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct PoolBreakdown {
+    /// The pool's name from the scenario spec.
+    pub name: String,
+    /// The serving phase the pool owns.
+    pub role: PoolRole,
+    /// Replicas in the pool.
+    pub replicas: u32,
+    /// Requests the phase-aware router dispatched into this pool.
+    pub routed: u64,
+    /// Requests retired by this pool (handed off for prefill pools,
+    /// finished for decode/mixed pools).
+    pub served: u64,
+    /// Decode tokens the pool produced (0 for a pure prefill pool).
+    pub tokens: u64,
+    /// Seconds the pool's replicas spent serving batches.
+    pub busy_seconds: f64,
+    /// Requests evicted under memory pressure inside the pool.
+    pub evictions: u64,
+    /// Requests deadline-aware admission control dropped in the pool.
+    pub shed: u64,
+    /// Prefill-complete requests this pool handed off to a decode pool
+    /// (0 unless the pool serves prefill in a disaggregated cluster).
+    pub handoffs: u64,
+    /// KV-cache bytes this pool shipped across the interconnect while
+    /// handing off.
+    pub kv_transferred_bytes: u64,
+    /// Seconds of modeled KV-transfer latency the pool's handoffs spent
+    /// on the wire (sum over handoffs, not wall-clock overlap).
+    pub transfer_seconds: f64,
 }
 
 /// Jain's fairness index over a load vector: `(Σx)² / (n·Σx²)`, 1.0 for

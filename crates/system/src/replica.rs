@@ -51,10 +51,10 @@
 
 use crate::metrics::{ReplicaBreakdown, RequestTiming};
 use crate::policy::{
-    self, ContinuousAdmitter, PreemptionPolicy, PrefillConfig, SchedulingPolicy, SheddingPolicy,
-    VictimOrder,
+    self, ContinuousAdmitter, PoolRole, PreemptionPolicy, PrefillConfig, SchedulingPolicy,
+    SheddingPolicy, VictimOrder,
 };
-use crate::serve::{Evaluator, TtftPredictor};
+use crate::serve::{Evaluator, KvTransferModel, TtftPredictor};
 use crate::stage::{IterationBreakdown, StageModel};
 use pim_mem::{PagePool, RequestId};
 use std::cmp::Reverse;
@@ -164,6 +164,43 @@ pub(crate) enum SimEvent {
         /// Pages reclaimed from the prefix cache.
         pages: u64,
     },
+    /// A prefill-complete request handed off to a decode pool, with its
+    /// prompt KV shipped across the interconnect (emitted only by
+    /// `Prefill`-role replicas, so colocated event logs are unchanged).
+    /// Transfer completion is realized as the request's rewritten
+    /// arrival time in the decode pool's queue — an ordinary arrival
+    /// event there — so the threads=N replay merge stays byte-identical.
+    Handoff {
+        /// Prompt KV bytes shipped.
+        bytes: u64,
+        /// Modeled wire latency of the transfer.
+        secs: f64,
+    },
+}
+
+/// One prefill-complete request leaving a `Prefill`-role replica for a
+/// decode pool, carrying the cross-pool state the decode-side admission
+/// must credit. `req.arrival_us` has been rewritten to the transfer
+/// *completion* instant, so decode-pool routing and queue ordering treat
+/// the handoff as an ordinary arrival; the origin timestamps ride along
+/// so TTFT/E2E still span the whole path.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HandoffOut {
+    /// The request, with `arrival_us` rewritten to transfer completion.
+    pub(crate) req: Request,
+    /// The origin arrival instant (seconds) — what latency metrics
+    /// measure from.
+    pub(crate) origin_arrival: f64,
+    /// Admission instant on the prefill pool (queueing delay is measured
+    /// to *this*, and the decode pool must never re-shed a request that
+    /// already consumed prefill service).
+    pub(crate) first_admitted: f64,
+    /// Prompt-residency instant on the prefill pool.
+    pub(crate) prefill_end: f64,
+    /// Evictions the request suffered on the prefill pool.
+    pub(crate) evictions: u32,
+    /// Re-prefill seconds accumulated on the prefill pool.
+    pub(crate) restart_secs: f64,
 }
 
 /// Instantaneous load of one replica, as seen by a [`crate::cluster::Router`]
@@ -222,6 +259,15 @@ struct Queued {
     /// First prompt-residency instant, if reached before the eviction.
     prefill_end: Option<f64>,
     first_token: Option<f64>,
+    /// Whether this request arrived by cross-pool handoff with its
+    /// prompt KV already resident (admission then skips prefill
+    /// entirely). Cleared on eviction: the transferred KV is dropped
+    /// with the reservation, so a re-admission genuinely re-prefills.
+    handoff: bool,
+    /// The request's origin arrival (seconds) — equals
+    /// `req.arrival_secs()` except for handoffs, whose `arrival_us` was
+    /// rewritten to the transfer-completion instant.
+    origin_arrival: f64,
 }
 
 impl Queued {
@@ -235,6 +281,8 @@ impl Queued {
             first_admitted: None,
             prefill_end: None,
             first_token: None,
+            handoff: false,
+            origin_arrival: req.arrival_secs(),
         }
     }
 
@@ -465,9 +513,11 @@ impl PagedKv {
         (0..self.shared_pages(r)).map(|i| tenant | i).collect()
     }
 
-    /// Page-rounded whole-request footprint (prompt + decode budget).
-    fn footprint_pages(&self, r: &Request) -> u64 {
-        r.final_len().div_ceil(self.page_tokens).max(1)
+    /// Page-rounded footprint of a `len`-token reservation
+    /// ([`ReplicaSim::reservation_len`] — the whole request on
+    /// mixed/decode replicas, the prompt alone on prefill replicas).
+    fn footprint_pages(&self, len: u64) -> u64 {
+        len.div_ceil(self.page_tokens).max(1)
     }
 }
 
@@ -505,6 +555,9 @@ struct Active {
     /// evicts the most recently admitted (least progress lost) among
     /// the lowest-priority candidates, deterministically.
     seq: u64,
+    /// Origin arrival (seconds) for latency metrics — see
+    /// [`Queued::origin_arrival`].
+    origin_arrival: f64,
 }
 
 impl Active {
@@ -526,6 +579,12 @@ pub(crate) struct ReplicaSim<'a> {
     /// Optimistic TTFT bound for deadline-aware admission (zero-rate —
     /// pure queueing-time — unless shedding is armed with prefill on).
     predictor: TtftPredictor,
+    /// The serving phase this replica owns (`Mixed` unless the cluster
+    /// armed pools; continuous policy only — waves ignore roles).
+    role: PoolRole,
+    /// The KV-transfer pricer for handoffs; `Some` exactly when this is
+    /// a `Prefill`-role replica.
+    transfer: Option<KvTransferModel>,
     t_max: u64,
     /// Routed, not-yet-admitted requests, in per-priority FCFS lanes
     /// (evicted requests re-enter at their arrival-order position).
@@ -572,6 +631,11 @@ pub(crate) struct ReplicaSim<'a> {
     peak_reserved: u64,
     pub(crate) events: Vec<SimEvent>,
     pub(crate) timings: Vec<RequestTiming>,
+    /// Prefill-complete requests handed off by this `Prefill`-role
+    /// replica, in retirement order (the cluster merge-sorts the pools'
+    /// streams by transfer-completion time before decode-pool routing).
+    /// Always empty on mixed/decode replicas.
+    pub(crate) handoffs: Vec<HandoffOut>,
 }
 
 impl<'a> ReplicaSim<'a> {
@@ -593,6 +657,14 @@ impl<'a> ReplicaSim<'a> {
         } else {
             SheddingPolicy::None // closed-world waves have no deadlines
         };
+        // Pool roles are a continuous-policy feature (the closed-world
+        // wave loop has no cross-pool lifecycle); a wave replica always
+        // runs the full lifecycle.
+        let role = if policy == SchedulingPolicy::Continuous {
+            eval.pool_role()
+        } else {
+            PoolRole::Mixed
+        };
         ReplicaSim {
             eval,
             stage: eval.stage_model(),
@@ -606,6 +678,8 @@ impl<'a> ReplicaSim<'a> {
             } else {
                 TtftPredictor::with_rate(0.0)
             },
+            role,
+            transfer: (role == PoolRole::Prefill).then(|| eval.kv_transfer_model()),
             t_max,
             pending: PendingQueue::new(policy == SchedulingPolicy::Wave),
             pending_reserved: 0,
@@ -632,6 +706,22 @@ impl<'a> ReplicaSim<'a> {
             peak_reserved: 0,
             events: Vec::new(),
             timings: Vec::new(),
+            handoffs: Vec::new(),
+        }
+    }
+
+    /// The token length a request's KV reservation covers on this
+    /// replica: the whole request (prompt + decode budget) on
+    /// mixed/decode replicas — the historical rule, bit-exact — but only
+    /// the prompt on a `Prefill`-role replica, which never decodes and
+    /// hands the request off at prompt residency. (Prefill replicas
+    /// never decode, so `resume_done` is always 0 there and the prompt
+    /// is exactly `context_len`.)
+    fn reservation_len(&self, r: &Request) -> u64 {
+        if self.role == PoolRole::Prefill {
+            r.context_len
+        } else {
+            r.final_len()
         }
     }
 
@@ -645,8 +735,10 @@ impl<'a> ReplicaSim<'a> {
     /// [`Self::admission_need`]).
     fn queue_reservation(&self, r: &Request) -> u64 {
         match &self.paged {
-            Some(p) => p.footprint_pages(r) * p.page_bytes,
-            None => self.eval.kv_reservation(r.final_len(), self.t_max),
+            Some(p) => p.footprint_pages(self.reservation_len(r)) * p.page_bytes,
+            None => self
+                .eval
+                .kv_reservation(self.reservation_len(r), self.t_max),
         }
     }
 
@@ -660,9 +752,12 @@ impl<'a> ReplicaSim<'a> {
         match &self.paged {
             Some(p) => {
                 let hit = p.pool.lookup(&p.labels_for(r));
-                (p.footprint_pages(r) - hit.hit_pages + hit.hit_cached_pages) * p.page_bytes
+                (p.footprint_pages(self.reservation_len(r)) - hit.hit_pages + hit.hit_cached_pages)
+                    * p.page_bytes
             }
-            None => self.eval.kv_reservation(r.final_len(), self.t_max),
+            None => self
+                .eval
+                .kv_reservation(self.reservation_len(r), self.t_max),
         }
     }
 
@@ -683,13 +778,17 @@ impl<'a> ReplicaSim<'a> {
     /// the actual referenced-page delta. Returns the prompt tokens whose
     /// prefill the prefix cache skips plus the bytes reserved.
     fn admit_memory(&mut self, r: &Request) -> (u64, u64) {
+        let r_len = self.reservation_len(r);
         let Some(p) = &mut self.paged else {
-            let need = self.eval.kv_reservation(r.final_len(), self.t_max);
-            self.admitter.reserve(self.eval, r, self.t_max);
+            // Same arithmetic as the historical `admitter.reserve` on
+            // mixed replicas (one saturating add of the same bytes);
+            // prefill replicas reserve the prompt alone.
+            let need = self.eval.kv_reservation(r_len, self.t_max);
+            self.admitter.reserve_bytes(need);
             return (0, need);
         };
         let labels = p.labels_for(r);
-        let private = p.footprint_pages(r) - labels.len() as u64;
+        let private = p.footprint_pages(r_len) - labels.len() as u64;
         let before = p.pool.referenced_pages();
         let adm = match p.pool.admit(RequestId(r.id), &labels, private) {
             Ok(a) => a,
@@ -746,6 +845,7 @@ impl<'a> ReplicaSim<'a> {
     /// in the pool (the prefix cache), so only the actual
     /// referenced-page drop is released.
     fn release_memory(&mut self, r: &Request) {
+        let r_len = self.reservation_len(r);
         match &mut self.paged {
             Some(p) => {
                 let rel = p
@@ -755,7 +855,11 @@ impl<'a> ReplicaSim<'a> {
                 self.admitter
                     .release_bytes(rel.released_pages * p.page_bytes);
             }
-            None => self.admitter.release(self.eval, r, self.t_max),
+            // Same arithmetic as the historical `admitter.release` on
+            // mixed replicas.
+            None => self
+                .admitter
+                .release_bytes(self.eval.kv_reservation(r_len, self.t_max)),
         }
     }
 
@@ -772,6 +876,35 @@ impl<'a> ReplicaSim<'a> {
         }
         self.saw_priority |= r.priority != 0;
         self.pending.push_back(Queued::fresh(r));
+        self.routed += 1;
+    }
+
+    /// Hands a prefill-complete request (arriving by cross-pool
+    /// transfer) to this decode replica. Same ordering contract as
+    /// [`Self::enqueue`], keyed on the rewritten (transfer-completion)
+    /// arrival. The prompt KV is resident on arrival, so nothing joins
+    /// the prefill backlog and admission skips prefill entirely.
+    pub(crate) fn enqueue_handoff(&mut self, h: HandoffOut) {
+        debug_assert!(
+            self.role.accepts_handoff(),
+            "handoffs may only target decode pools"
+        );
+        self.pending_reserved = self
+            .pending_reserved
+            .saturating_add(self.queue_reservation(&h.req));
+        self.saw_priority |= h.req.priority != 0;
+        self.pending.push_back(Queued {
+            req: h.req,
+            resume_done: 0,
+            owed: 0,
+            evictions: h.evictions,
+            restart_secs: h.restart_secs,
+            first_admitted: Some(h.first_admitted),
+            prefill_end: Some(h.prefill_end),
+            first_token: None,
+            handoff: true,
+            origin_arrival: h.origin_arrival,
+        });
         self.routed += 1;
     }
 
@@ -832,7 +965,17 @@ impl<'a> ReplicaSim<'a> {
             0
         };
         let waited = (self.t - q.req.arrival_secs()).max(0.0);
-        self.predictor.predict(waited, tokens) > slo
+        match &self.transfer {
+            // A prefill replica's first token is emitted by a *decode*
+            // pool, on the far side of the KV transfer: the wire time is
+            // part of every realized TTFT, so adding it keeps the bound
+            // sound without breaking the lower-bound guarantee.
+            Some(m) => {
+                let (_, _, secs) = m.transfer(q.req.context_len);
+                self.predictor.predict_with_transfer(waited, tokens, secs) > slo
+            }
+            None => self.predictor.predict(waited, tokens) > slo,
+        }
     }
 
     /// A request's absolute TTFT deadline `arrival + slo_ttft` as
@@ -1127,16 +1270,21 @@ impl<'a> ReplicaSim<'a> {
                 self.peak_reserved = self.peak_reserved.max(self.admitter.used());
                 let target = q.prefill_target();
                 // Prefix-cached prompt pages are already resident:
-                // prefill starts at the first non-cached token.
-                let skip = if self.prefill.enabled {
+                // prefill starts at the first non-cached token. A
+                // handed-off request's entire prompt KV arrived over the
+                // wire — nothing to prefill, and nothing was ever added
+                // to this replica's prefill backlog.
+                let skip = if q.handoff {
+                    target
+                } else if self.prefill.enabled {
                     hit_tokens.min(target)
                 } else {
                     0
                 };
-                if skip > 0 {
+                if skip > 0 && !q.handoff {
                     self.prefill_backlog = self.prefill_backlog.saturating_sub(skip);
                 }
-                let must_prefill = self.prefill.enabled && target > skip;
+                let must_prefill = !q.handoff && self.prefill.enabled && target > skip;
                 if q.req.decode_len == 0 && !must_prefill {
                     // Nothing to generate or prefill: completes at
                     // admission — with no emitted token, so no timing
@@ -1166,6 +1314,7 @@ impl<'a> ReplicaSim<'a> {
                     evictions: q.evictions,
                     restart_secs: q.restart_secs,
                     seq: self.admit_seq,
+                    origin_arrival: q.origin_arrival,
                 });
                 if self.preempt.evicts() {
                     let p = q.req.priority;
@@ -1203,6 +1352,13 @@ impl<'a> ReplicaSim<'a> {
                 self.events.push(SimEvent::Admit { batch: 0.0 });
                 self.batch_version += 1;
             }
+            // A prefill replica retires requests the instant their
+            // prompt is resident — including fully-prefix-cached
+            // admissions that were prompt-ready on arrival, which must
+            // never reach a decode step here.
+            if self.role == PoolRole::Prefill {
+                self.sweep_completions();
+            }
             if self.running.is_empty() {
                 continue; // only zero-work requests were admitted
             }
@@ -1222,46 +1378,88 @@ impl<'a> ReplicaSim<'a> {
             }
 
             // Completion events: retire finished requests, freeing memory.
-            let mut retired = false;
-            let mut i = 0usize;
-            while i < self.running.len() {
-                let done = {
-                    let a = &self.running[i];
-                    a.prompt_ready() && a.done >= a.req.decode_len
-                };
-                if done {
-                    let a = self.running.swap_remove(i);
-                    retired = true;
-                    self.victim_index_remove(a.req.id);
-                    self.release_memory(&a.req);
-                    self.events.push(SimEvent::Retire {
-                        final_len: a.req.final_len(),
-                    });
-                    self.served += 1;
-                    // Zero-emission requests (decode budget 0, prefill
-                    // only) contribute no timing sample.
-                    if let Some(first) = a.first_token {
-                        self.timings.push(RequestTiming {
-                            id: a.req.id,
-                            arrival: a.req.arrival_secs(),
-                            admitted: a.admitted,
-                            prefill_end: a.prefill_end.unwrap_or(a.admitted),
-                            first_token: first,
-                            finished: self.t,
-                            decode_len: a.req.decode_len,
-                            priority: a.req.priority,
-                            tenant: a.req.tenant,
-                            evictions: a.evictions,
-                            restart_secs: a.restart_secs,
-                        });
-                    }
+            self.sweep_completions();
+        }
+    }
+
+    /// Retires every finished running request, freeing its memory. A
+    /// request finishes when its decode budget is exhausted — or, on a
+    /// `Prefill`-role replica, the moment its prompt is resident: the
+    /// replica prices the KV transfer, records the `Handoff` event, and
+    /// queues the request for the cluster to route into a decode pool.
+    fn sweep_completions(&mut self) {
+        let mut retired = false;
+        let mut i = 0usize;
+        while i < self.running.len() {
+            let done = {
+                let a = &self.running[i];
+                if self.role == PoolRole::Prefill {
+                    a.prompt_ready()
                 } else {
-                    i += 1;
+                    a.prompt_ready() && a.done >= a.req.decode_len
                 }
+            };
+            if !done {
+                i += 1;
+                continue;
             }
-            if retired {
-                self.batch_version += 1;
+            let a = self.running.swap_remove(i);
+            retired = true;
+            self.victim_index_remove(a.req.id);
+            self.release_memory(&a.req);
+            if self.role == PoolRole::Prefill {
+                let (bytes, _pages, secs) = self
+                    .transfer
+                    .as_ref()
+                    .expect("prefill replicas price transfers")
+                    .transfer(a.req.context_len);
+                self.events.push(SimEvent::Handoff { bytes, secs });
+                // This replica's resident KV at retirement is the
+                // prompt alone — what utilization accounting should see.
+                self.events.push(SimEvent::Retire {
+                    final_len: a.req.context_len,
+                });
+                self.served += 1;
+                let mut req = a.req;
+                // The decode pool sees the request arrive when its KV
+                // finishes landing: rewriting the arrival makes transfer
+                // completion an ordinary arrival event there (ceil — the
+                // request must not be admittable before the wire drains).
+                req.arrival_us = ((self.t + secs) * 1e6).ceil() as u64;
+                self.handoffs.push(HandoffOut {
+                    req,
+                    origin_arrival: a.origin_arrival,
+                    first_admitted: a.admitted,
+                    prefill_end: a.prefill_end.unwrap_or(self.t),
+                    evictions: a.evictions,
+                    restart_secs: a.restart_secs,
+                });
+                continue;
             }
+            self.events.push(SimEvent::Retire {
+                final_len: a.req.final_len(),
+            });
+            self.served += 1;
+            // Zero-emission requests (decode budget 0, prefill only)
+            // contribute no timing sample.
+            if let Some(first) = a.first_token {
+                self.timings.push(RequestTiming {
+                    id: a.req.id,
+                    arrival: a.origin_arrival,
+                    admitted: a.admitted,
+                    prefill_end: a.prefill_end.unwrap_or(a.admitted),
+                    first_token: first,
+                    finished: self.t,
+                    decode_len: a.req.decode_len,
+                    priority: a.req.priority,
+                    tenant: a.req.tenant,
+                    evictions: a.evictions,
+                    restart_secs: a.restart_secs,
+                });
+            }
+        }
+        if retired {
+            self.batch_version += 1;
         }
     }
 
@@ -1444,6 +1642,10 @@ impl<'a> ReplicaSim<'a> {
             first_admitted: Some(a.admitted),
             prefill_end: a.prefill_end,
             first_token: a.first_token,
+            // Eviction dropped the KV — transferred or not — so a
+            // re-admission genuinely re-prefills the prompt.
+            handoff: false,
+            origin_arrival: a.origin_arrival,
         };
         self.pending_reserved = self
             .pending_reserved

@@ -31,10 +31,11 @@
 //! (enforced by `tests/scenario_properties.rs` against the golden
 //! pins): the spec layer adds no arithmetic, only structure.
 
-use crate::cluster::{Cluster, RouterKind};
+use crate::cluster::{run_pools, Cluster, PoolRun, RouterKind};
 use crate::config::{SystemConfig, SystemKind, Techniques};
 use crate::policy::{
-    PagedKvConfig, PreemptionPolicy, PrefillConfig, SchedulingPolicy, SheddingPolicy, VictimOrder,
+    KvTransferConfig, PagedKvConfig, PoolRole, PreemptionPolicy, PrefillConfig, SchedulingPolicy,
+    SheddingPolicy, VictimOrder,
 };
 use crate::serve::{Evaluator, ServingReport};
 use jsonio::Json;
@@ -197,9 +198,86 @@ impl TenantSpec {
     }
 }
 
+/// One replica pool of a disaggregated cluster: a named group of
+/// identical replicas with a serving role, its own sizing, and
+/// optionally its own system preset and router — so an xPU+PIM prefill
+/// pool can front a PIM-only decode pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolSpec {
+    /// Pool name (report breakdowns key on it; must be unique).
+    pub name: String,
+    /// Serving phase the pool owns. `mixed` runs the full lifecycle;
+    /// `prefill` retires at prompt residency and hands the KV off;
+    /// `decode` admits only handoffs.
+    pub role: PoolRole,
+    /// Replicas in the pool (>= 1).
+    pub replicas: u32,
+    /// Tensor-parallel degree of one replica; 0 (the default) means
+    /// "whole node" — the pool's system preset unpartitioned.
+    pub tp: u32,
+    /// Pipeline-parallel degree of one replica.
+    pub pp: u32,
+    /// System preset override for this pool; `None` inherits the
+    /// scenario-level `system`.
+    pub system: Option<SystemKind>,
+    /// Router override for this pool; `None` inherits
+    /// `policies.router`.
+    pub router: Option<RouterKind>,
+}
+
+impl PoolSpec {
+    /// A pool of `replicas` whole-node replicas inheriting the
+    /// scenario's system preset and router.
+    pub fn new(name: impl Into<String>, role: PoolRole, replicas: u32) -> Self {
+        PoolSpec {
+            name: name.into(),
+            role,
+            replicas,
+            tp: 0,
+            pp: 1,
+            system: None,
+            router: None,
+        }
+    }
+
+    /// Sets the per-replica TP/PP partitioning.
+    pub fn parallel(mut self, tp: u32, pp: u32) -> Self {
+        self.tp = tp;
+        self.pp = pp;
+        self
+    }
+
+    /// Overrides the pool's system preset.
+    pub fn system(mut self, kind: SystemKind) -> Self {
+        self.system = Some(kind);
+        self
+    }
+
+    /// Overrides the pool's router.
+    pub fn router(mut self, kind: RouterKind) -> Self {
+        self.router = Some(kind);
+        self
+    }
+
+    /// Validates the pool spec, naming the offending field.
+    fn validate(&self, idx: usize) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err(format!("cluster.pools[{idx}]: name must be nonempty"));
+        }
+        if self.replicas == 0 {
+            return Err(format!(
+                "cluster.pools[{idx}] ({}): replicas must be >= 1",
+                self.name
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Cluster sizing of a scenario: the parallelization of one replica and
-/// the simulation thread count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// the simulation thread count — plus, for disaggregated serving, the
+/// heterogeneous replica pools.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClusterSpec {
     /// Tensor-parallel degree of one replica; 0 (the default) means
     /// "whole node" — the system preset's own parallelization (all
@@ -216,6 +294,13 @@ pub struct ClusterSpec {
     /// Replica-simulation threads (0 = one per available CPU; results
     /// are byte-identical whatever the count).
     pub threads: usize,
+    /// Replica pools for disaggregated serving. Empty (the default)
+    /// means the flat `tp`/`pp`/`modules` sizing above — exactly one
+    /// anonymous mixed pool. A single all-default `mixed` pool entry
+    /// is byte-identical with the equivalent flat form (the desugaring
+    /// is pinned by `tests/disagg_properties.rs`); when pools are
+    /// listed, the flat sizing fields are ignored.
+    pub pools: Vec<PoolSpec>,
 }
 
 impl Default for ClusterSpec {
@@ -225,6 +310,7 @@ impl Default for ClusterSpec {
             pp: 1,
             modules: 0,
             threads: 1,
+            pools: Vec::new(),
         }
     }
 }
@@ -255,6 +341,10 @@ pub struct PolicySpec {
     /// Within-class eviction victim order (the default `RecentFirst` is
     /// bit-exact with the historical most-recently-admitted order).
     pub victim_order: VictimOrder,
+    /// Cross-pool KV-transfer cost model (per-page latency + link
+    /// bandwidth), priced only when a `prefill`-role pool hands
+    /// requests off — inert for colocated clusters.
+    pub kv_transfer: KvTransferConfig,
 }
 
 impl Default for PolicySpec {
@@ -269,6 +359,7 @@ impl Default for PolicySpec {
             paged_kv: PagedKvConfig::disabled(),
             shedding: SheddingPolicy::None,
             victim_order: VictimOrder::RecentFirst,
+            kv_transfer: KvTransferConfig::default(),
         }
     }
 }
@@ -346,10 +437,40 @@ impl Scenario {
         }
     }
 
+    /// The system configuration of one pool: the pool's preset (or the
+    /// scenario's), partitioned per the pool's TP/PP, with the module
+    /// count sized so the replica count is exactly `pool.replicas`.
+    pub fn pool_system_config(&self, pool: &PoolSpec, model: &ModelConfig) -> SystemConfig {
+        let mut sys = match pool.system.unwrap_or(self.system) {
+            SystemKind::PimOnly => SystemConfig::cent_for(model),
+            SystemKind::XpuPim => SystemConfig::neupims_for(model),
+        };
+        if pool.tp > 0 {
+            sys = sys.with_parallel(ParallelConfig::new(pool.tp, pool.pp.max(1)));
+        }
+        sys.modules = sys.parallel.modules() * pool.replicas;
+        sys
+    }
+
     /// Builds the fully configured evaluator for an explicit (possibly
     /// non-Table-I) model config — the path the `pimphony` builder
     /// uses, since it accepts arbitrary `ModelConfig` values.
     pub fn evaluator_for(&self, model: ModelConfig) -> Evaluator {
+        let sys = self.system_config_for(&model);
+        self.evaluator_with(sys, model)
+    }
+
+    /// Builds one pool's evaluator: the shared policy bundle on the
+    /// pool's own system sizing, tagged with the pool's role.
+    pub fn pool_evaluator_for(&self, pool: &PoolSpec, model: ModelConfig) -> Evaluator {
+        let sys = self.pool_system_config(pool, &model);
+        self.evaluator_with(sys, model).with_pool_role(pool.role)
+    }
+
+    /// The shared evaluator-configuration chain over an explicit system
+    /// config — the single place every policy knob is applied, so flat
+    /// and pooled evaluators cannot drift apart.
+    fn evaluator_with(&self, sys: SystemConfig, model: ModelConfig) -> Evaluator {
         let p = &self.policies;
         let slos: Vec<(u8, f64)> = self
             .workload
@@ -357,7 +478,7 @@ impl Scenario {
             .enumerate()
             .filter_map(|(i, t)| t.slo_ttft_p99.map(|s| (i as u8, s)))
             .collect();
-        Evaluator::new(self.system_config_for(&model), model, self.techniques)
+        Evaluator::new(sys, model, self.techniques)
             .with_policy(p.scheduling)
             .with_preemption(p.preemption)
             .with_prefill(p.prefill)
@@ -366,6 +487,7 @@ impl Scenario {
             .with_paged_kv(p.paged_kv)
             .with_shedding(p.shedding)
             .with_victim_order(p.victim_order)
+            .with_kv_transfer(p.kv_transfer)
             .with_tenant_slos(slos)
     }
 
@@ -391,6 +513,70 @@ impl Scenario {
         if self.policies.paged_kv.page_bytes == 0 {
             return Err("policies.page_bytes must be > 0".to_string());
         }
+        let kt = self.policies.kv_transfer;
+        if !(kt.page_latency_us >= 0.0 && kt.page_latency_us.is_finite()) {
+            return Err(
+                "policies.kv_transfer_page_latency_us must be nonnegative and finite".to_string(),
+            );
+        }
+        if !(kt.gbps > 0.0 && kt.gbps.is_finite()) {
+            return Err("policies.kv_transfer_gbps must be positive and finite".to_string());
+        }
+        self.validate_pools()
+    }
+
+    /// Validates the disaggregated pool topology: unique nonempty
+    /// names, a runnable phase graph (prefill pools need a decode pool
+    /// to hand off to and vice versa), and policy prerequisites (roles
+    /// are a continuous-scheduling feature; a `prefill` pool without
+    /// modeled prefill would retire instantly).
+    fn validate_pools(&self) -> Result<(), String> {
+        let pools = &self.cluster.pools;
+        if pools.is_empty() {
+            return Ok(());
+        }
+        for (i, p) in pools.iter().enumerate() {
+            p.validate(i)?;
+            if pools[..i].iter().any(|q| q.name == p.name) {
+                return Err(format!(
+                    "cluster.pools[{i}]: duplicate pool name {:?}",
+                    p.name
+                ));
+            }
+        }
+        let roled = pools.iter().any(|p| p.role != PoolRole::Mixed);
+        if roled && self.policies.scheduling != SchedulingPolicy::Continuous {
+            return Err(
+                "cluster.pools: prefill/decode roles require continuous scheduling".to_string(),
+            );
+        }
+        if pools.iter().any(|p| p.role == PoolRole::Prefill) {
+            if !self.policies.prefill.enabled {
+                return Err(
+                    "cluster.pools: a prefill pool requires policies.prefill_chunk > 0 \
+                     (unmodeled prefill would retire instantly)"
+                        .to_string(),
+                );
+            }
+            if !pools.iter().any(|p| p.role == PoolRole::Decode) {
+                return Err(
+                    "cluster.pools: a prefill pool hands requests off, so at least one \
+                     decode pool is required"
+                        .to_string(),
+                );
+            }
+        }
+        if pools.iter().any(|p| p.role == PoolRole::Decode)
+            && !pools.iter().any(|p| p.role == PoolRole::Prefill)
+        {
+            // Mixed pools keep their own decodes, so only a prefill
+            // pool feeds a decode pool; without one it would idle.
+            return Err(
+                "cluster.pools: a decode pool admits only handoffs, so at least one \
+                 prefill pool is required"
+                    .to_string(),
+            );
+        }
         Ok(())
     }
 
@@ -407,12 +593,23 @@ impl Scenario {
                 .enumerate()
                 .map(|(i, t)| t.build_trace(i as u8)),
         );
+        let pools = self
+            .cluster
+            .pools
+            .iter()
+            .map(|p| MaterializedPool {
+                name: p.name.clone(),
+                evaluator: self.pool_evaluator_for(p, model),
+                router: p.router.unwrap_or(self.policies.router),
+            })
+            .collect();
         Ok(Materialized {
             evaluator: self.evaluator_for(model),
             trace,
             router: self.policies.router,
             threads: self.cluster.threads,
             tenant_names: self.workload.iter().map(|t| t.name.clone()).collect(),
+            pools,
         })
     }
 
@@ -437,18 +634,25 @@ impl Scenario {
                     ("dpa", Json::Bool(self.techniques.dpa)),
                 ]),
             ),
-            (
-                "cluster",
-                Json::obj([
+            ("cluster", {
+                let mut fields = vec![
                     ("tp", Json::num(self.cluster.tp as f64)),
                     ("pp", Json::num(self.cluster.pp as f64)),
                     ("modules", Json::num(self.cluster.modules as f64)),
                     ("threads", Json::num(self.cluster.threads as f64)),
-                ]),
-            ),
-            (
-                "policies",
-                Json::obj([
+                ];
+                // Emitted only when present, so pool-free spec files
+                // keep their historical canonical form byte-for-byte.
+                if !self.cluster.pools.is_empty() {
+                    fields.push((
+                        "pools",
+                        Json::Arr(self.cluster.pools.iter().map(pool_to_json).collect()),
+                    ));
+                }
+                Json::obj(fields)
+            }),
+            ("policies", {
+                let mut fields = vec![
                     ("scheduling", Json::str(p.scheduling.label())),
                     ("router", Json::str(p.router.label())),
                     ("preemption", Json::str(p.preemption.label())),
@@ -466,8 +670,18 @@ impl Scenario {
                     ("page_bytes", Json::num(p.paged_kv.page_bytes as f64)),
                     ("shedding", Json::str(p.shedding.label())),
                     ("victim_order", Json::str(p.victim_order.label())),
-                ]),
-            ),
+                ];
+                // Transfer terms appear only off-default, keeping
+                // pre-disaggregation spec files canonical.
+                if p.kv_transfer != KvTransferConfig::default() {
+                    fields.push((
+                        "kv_transfer_page_latency_us",
+                        Json::num(p.kv_transfer.page_latency_us),
+                    ));
+                    fields.push(("kv_transfer_gbps", Json::num(p.kv_transfer.gbps)));
+                }
+                Json::obj(fields)
+            }),
             (
                 "workload",
                 Json::Arr(self.workload.iter().map(tenant_to_json).collect()),
@@ -524,6 +738,18 @@ impl Scenario {
                 pp: get_u64(c, "pp", defaults.pp as u64)? as u32,
                 modules: get_u64(c, "modules", defaults.modules as u64)? as u32,
                 threads: get_u64(c, "threads", defaults.threads as u64)? as usize,
+                pools: match c.get("pools") {
+                    None => Vec::new(),
+                    Some(p) => p
+                        .as_arr()
+                        .ok_or("cluster.pools: expected an array of pool specs")?
+                        .iter()
+                        .enumerate()
+                        .map(|(i, p)| {
+                            pool_from_json(p).map_err(|e| format!("cluster.pools[{i}]: {e}"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                },
             },
         };
         let pdefaults = PolicySpec::default();
@@ -557,6 +783,14 @@ impl Scenario {
                     "victim_order",
                     VictimOrder::RecentFirst.label(),
                 )?)?,
+                kv_transfer: KvTransferConfig {
+                    page_latency_us: get_f64(
+                        p,
+                        "kv_transfer_page_latency_us",
+                        KvTransferConfig::default().page_latency_us,
+                    )?,
+                    gbps: get_f64(p, "kv_transfer_gbps", KvTransferConfig::default().gbps)?,
+                },
             },
         };
         let workload = doc
@@ -588,7 +822,9 @@ impl Scenario {
 #[derive(Debug)]
 pub struct Materialized {
     /// The fully configured evaluator (policies, preemption, prefill,
-    /// KV factor, stride, tenant SLOs).
+    /// KV factor, stride, tenant SLOs). For pooled specs this is the
+    /// scenario-level (flat) evaluator — each pool carries its own in
+    /// [`Self::pools`].
     pub evaluator: Evaluator,
     /// The merged multi-tenant trace in global arrival order.
     pub trace: Trace,
@@ -598,13 +834,50 @@ pub struct Materialized {
     pub threads: usize,
     /// Tenant names, indexed by tenant id (workload order).
     pub tenant_names: Vec<String>,
+    /// Per-pool evaluators and routers, in `cluster.pools` order;
+    /// empty for flat (pool-free) specs.
+    pub pools: Vec<MaterializedPool>,
+}
+
+/// One materialized replica pool: its evaluator (sized to the pool,
+/// tagged with its role) and the router serving it.
+#[derive(Debug)]
+pub struct MaterializedPool {
+    /// Pool name from the spec.
+    pub name: String,
+    /// The pool's fully configured evaluator.
+    pub evaluator: Evaluator,
+    /// The pool's router kind (the spec override or the shared
+    /// `policies.router`).
+    pub router: RouterKind,
 }
 
 impl Materialized {
     /// Serves the scenario's trace through the cluster layer and
     /// returns the report (with per-tenant latency, SLO attainment and
-    /// goodput in `latency_by_tenant`).
+    /// goodput in `latency_by_tenant`). Pooled specs run the
+    /// phase-aware two-level path ([`run_pools`]); flat specs keep the
+    /// historical single-pool path — one and the same machinery.
     pub fn run(&self) -> ServingReport {
+        if !self.pools.is_empty() {
+            // `build_for`: each pool's router routes on that pool's
+            // calibrated prefill rate and tenant SLOs.
+            let mut runs: Vec<PoolRun<'_>> = self
+                .pools
+                .iter()
+                .map(|p| PoolRun {
+                    name: p.name.clone(),
+                    eval: &p.evaluator,
+                    router: p.router.build_for(&p.evaluator),
+                })
+                .collect();
+            return run_pools(
+                &mut runs,
+                self.evaluator.scheduling_policy(),
+                self.threads,
+                &self.trace,
+            );
+        }
         // `build_for`: the SLO-aware router routes on the evaluator's
         // real tenant SLOs and calibrated prefill rate, not the
         // uncalibrated `build()` fallback.
@@ -622,6 +895,70 @@ impl Materialized {
             .cloned()
             .unwrap_or_else(|| format!("tenant-{tenant}"))
     }
+}
+
+fn pool_to_json(p: &PoolSpec) -> Json {
+    let mut fields = vec![
+        ("name", Json::str(p.name.clone())),
+        ("role", Json::str(p.role.label())),
+        ("replicas", Json::num(p.replicas as f64)),
+        ("tp", Json::num(p.tp as f64)),
+        ("pp", Json::num(p.pp as f64)),
+    ];
+    if let Some(kind) = p.system {
+        fields.push((
+            "system",
+            Json::str(match kind {
+                SystemKind::PimOnly => "pim-only",
+                SystemKind::XpuPim => "xpu-pim",
+            }),
+        ));
+    }
+    if let Some(router) = p.router {
+        fields.push(("router", Json::str(router.label())));
+    }
+    Json::obj(fields)
+}
+
+fn pool_from_json(p: &Json) -> Result<PoolSpec, String> {
+    let name = req_str(p, "name")?.to_string();
+    let role = parse_pool_role(get_str(p, "role", PoolRole::Mixed.label())?)?;
+    let system = match p.get("system").and_then(Json::as_str) {
+        None => None,
+        Some("pim-only") => Some(SystemKind::PimOnly),
+        Some("xpu-pim") => Some(SystemKind::XpuPim),
+        Some(other) => {
+            return Err(format!(
+                "system: unknown kind {other:?} (expected \"pim-only\" or \"xpu-pim\")"
+            ))
+        }
+    };
+    let router = match p.get("router") {
+        None => None,
+        Some(_) => Some(parse_router(get_str(p, "router", "")?)?),
+    };
+    Ok(PoolSpec {
+        name,
+        role,
+        replicas: get_u64(p, "replicas", 1)? as u32,
+        tp: get_u64(p, "tp", 0)? as u32,
+        pp: get_u64(p, "pp", 1)? as u32,
+        system,
+        router,
+    })
+}
+
+fn parse_pool_role(label: &str) -> Result<PoolRole, String> {
+    PoolRole::ALL
+        .into_iter()
+        .find(|r| r.label() == label)
+        .ok_or_else(|| {
+            let known: Vec<&str> = PoolRole::ALL.iter().map(|r| r.label()).collect();
+            format!(
+                "role: unknown pool role {label:?} (expected one of: {})",
+                known.join(", ")
+            )
+        })
 }
 
 fn tenant_to_json(t: &TenantSpec) -> Json {

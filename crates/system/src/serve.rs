@@ -14,8 +14,8 @@ use crate::engine::Engine;
 use crate::kernel::KernelModel;
 use crate::metrics::{self, LatencyReport, ReplicaBreakdown};
 use crate::policy::{
-    self, PagedKvConfig, PreemptionPolicy, PrefillConfig, SchedulingPolicy, SheddingPolicy,
-    VictimOrder,
+    self, KvTransferConfig, PagedKvConfig, PoolRole, PreemptionPolicy, PrefillConfig,
+    SchedulingPolicy, SheddingPolicy, VictimOrder,
 };
 use crate::stage::{IterationBreakdown, StageModel};
 use llm_model::ModelConfig;
@@ -113,6 +113,19 @@ pub struct ServingReport {
     /// KV), indexed by replica — makes load-balancer skew observable.
     /// Empty for reports produced by the pre-cluster reference loop.
     pub per_replica: Vec<ReplicaBreakdown>,
+    /// KV bytes moved across pools by prefill→decode handoffs (0 unless
+    /// prefill/decode pools are armed — a mixed-only cluster never
+    /// transfers).
+    pub kv_transferred_bytes: u64,
+    /// Modeled KV-transfer seconds summed over handoffs (the
+    /// [`crate::KvTransferConfig`] per-page latency + bandwidth cost;
+    /// transfers overlap across requests, so this is transferred
+    /// *volume* in seconds, not wall-clock).
+    pub transfer_seconds: f64,
+    /// Per-pool totals (routed/served/handoffs/transfer volume),
+    /// in pool declaration order. Empty unless replica pools are armed,
+    /// so pool-free reports stay byte-identical to historical runs.
+    pub per_pool: Vec<metrics::PoolBreakdown>,
 }
 
 impl ServingReport {
@@ -191,6 +204,70 @@ impl TtftPredictor {
     pub fn slack(&self, slo_ttft: f64, waited: f64, tokens: u64) -> f64 {
         slo_ttft - self.predict(waited, tokens)
     }
+
+    /// [`Self::predict`] plus a mandatory cross-pool KV-transfer term:
+    /// on a prefill-role replica the first token can only be generated
+    /// *after* the handoff transfer completes, so `transfer_secs` (from
+    /// [`Evaluator::handoff_transfer`]) is part of every sound TTFT
+    /// lower bound. Still optimistic — decode-pool queueing after the
+    /// transfer only adds time. Monotone in all three arguments.
+    pub fn predict_with_transfer(&self, waited: f64, tokens: u64, transfer_secs: f64) -> f64 {
+        self.predict(waited, tokens) + transfer_secs.max(0.0)
+    }
+
+    /// [`Self::slack`] against the transfer-inclusive bound of
+    /// [`Self::predict_with_transfer`].
+    pub fn slack_with_transfer(
+        &self,
+        slo_ttft: f64,
+        waited: f64,
+        tokens: u64,
+        transfer_secs: f64,
+    ) -> f64 {
+        slo_ttft - self.predict_with_transfer(waited, tokens, transfer_secs)
+    }
+}
+
+/// Prices cross-pool KV handoffs for one evaluator: the request's
+/// resident KV bytes (exact — the per-token KV footprint is linear,
+/// including TP-driven KV-head replication), rounded up to transfer
+/// pages at the paged-KV granularity (the page geometry applies to the
+/// *transfer* even when the paged pool itself is disabled), priced by
+/// [`KvTransferConfig`]. Built by [`Evaluator::kv_transfer_model`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KvTransferModel {
+    /// KV bytes one resident token occupies (replication included).
+    bytes_per_token: u64,
+    /// Transfer granularity in bytes (≥ 1).
+    page_bytes: u64,
+    /// The latency/bandwidth cost terms.
+    config: KvTransferConfig,
+}
+
+impl KvTransferModel {
+    /// A model with explicit geometry (tests and custom pools;
+    /// [`Evaluator::kv_transfer_model`] derives the real one).
+    pub fn new(bytes_per_token: u64, page_bytes: u64, config: KvTransferConfig) -> Self {
+        KvTransferModel {
+            bytes_per_token: bytes_per_token.max(1),
+            page_bytes: page_bytes.max(1),
+            config,
+        }
+    }
+
+    /// The `(bytes, pages, seconds)` of handing off a request with
+    /// `tokens` resident KV tokens. Zero-token handoffs are free;
+    /// otherwise bytes, pages, and seconds are all strictly monotone in
+    /// `tokens` (pages stepwise), which keeps transfer-inclusive TTFT
+    /// bounds sound.
+    pub fn transfer(&self, tokens: u64) -> (u64, u64, f64) {
+        if tokens == 0 {
+            return (0, 0, 0.0);
+        }
+        let bytes = self.bytes_per_token * tokens;
+        let pages = bytes.div_ceil(self.page_bytes);
+        (bytes, pages, self.config.transfer_secs(pages, bytes))
+    }
 }
 
 /// Evaluates one (system, model, techniques) configuration on traces.
@@ -218,6 +295,16 @@ pub struct Evaluator {
     tenant_slos: Vec<(u8, f64)>,
     shedding: SheddingPolicy,
     victim_order: VictimOrder,
+    /// The serving phase this evaluator's replicas own. `Mixed` (the
+    /// default) is the historical full-lifecycle behavior, bit-exact
+    /// with every pool-free run; `Prefill` replicas retire requests at
+    /// prompt residency and hand them off, `Decode` replicas admit
+    /// handoffs with prefill credited. Set per pool by
+    /// `system::scenario`/`system::cluster`.
+    pool_role: PoolRole,
+    /// Cross-pool KV-transfer cost terms — only priced when
+    /// `pool_role` is `Prefill` (a mixed-only cluster never transfers).
+    kv_transfer: KvTransferConfig,
     kernels: KernelModel,
     energy: EnergyModel,
     /// Recompute the iteration time every `stride` decode steps (the
@@ -242,6 +329,8 @@ impl Evaluator {
             tenant_slos: Vec::new(),
             shedding: SheddingPolicy::None,
             victim_order: VictimOrder::RecentFirst,
+            pool_role: PoolRole::Mixed,
+            kv_transfer: KvTransferConfig::default(),
             kernels: KernelModel::new(pim_sim::Timing::aimx(), model.head_dim),
             energy: EnergyModel::aimx(),
             stride: 64,
@@ -342,6 +431,58 @@ impl Evaluator {
     /// The active victim-selection order.
     pub fn victim_order(&self) -> VictimOrder {
         self.victim_order
+    }
+
+    /// Returns this evaluator with a serving phase assignment for its
+    /// replicas (see [`PoolRole`]). The default `Mixed` runs the full
+    /// request lifecycle exactly as every historical run did; `Prefill`
+    /// retires requests at prompt residency (the cluster layer hands
+    /// them off), `Decode` admits handed-off requests with their
+    /// prefill credited. Continuous policy only — the closed-world
+    /// wave policy ignores this knob.
+    pub fn with_pool_role(mut self, role: PoolRole) -> Self {
+        self.pool_role = role;
+        self
+    }
+
+    /// The serving phase this evaluator's replicas own.
+    pub fn pool_role(&self) -> PoolRole {
+        self.pool_role
+    }
+
+    /// Returns this evaluator with explicit KV-transfer cost terms for
+    /// cross-pool handoffs (see [`KvTransferConfig`]). Only priced when
+    /// the pool role is `Prefill`, so the default is bit-exact for
+    /// every colocated run.
+    pub fn with_kv_transfer(mut self, kv_transfer: KvTransferConfig) -> Self {
+        self.kv_transfer = kv_transfer;
+        self
+    }
+
+    /// The active KV-transfer cost terms.
+    pub fn kv_transfer_config(&self) -> KvTransferConfig {
+        self.kv_transfer
+    }
+
+    /// The KV-transfer pricing model for this configuration: per-token
+    /// KV bytes include any TP-driven KV-head replication (the same
+    /// footprint admission reserves), and page count is taken at the
+    /// paged-KV granularity — the page geometry applies even when the
+    /// paged pool itself is off, since the transfer engine ships
+    /// page-sized chunks regardless of how the source tracked them.
+    pub fn kv_transfer_model(&self) -> KvTransferModel {
+        let replication = u64::from((self.system.parallel.tp / self.model.kv_heads()).max(1));
+        KvTransferModel::new(
+            replication * self.model.kv_bytes(1),
+            self.paged_kv.page_bytes,
+            self.kv_transfer,
+        )
+    }
+
+    /// Prices shipping one request's prompt KV across pools: `(bytes,
+    /// pages, seconds)` for a `context_len`-token resident prompt.
+    pub fn handoff_transfer(&self, context_len: u64) -> (u64, u64, f64) {
+        self.kv_transfer_model().transfer(context_len)
     }
 
     /// Calibrates the optimistic [`TtftPredictor`] for this

@@ -33,6 +33,7 @@ fn slo_scenario(requests: usize, rate: f64, shedding: SheddingPolicy) -> Scenari
         pp: 1,
         modules: 0,
         threads: 0,
+        pools: Vec::new(),
     };
     s.policies = PolicySpec {
         scheduling: SchedulingPolicy::Continuous,
@@ -103,6 +104,7 @@ fn predictor_brackets_realized_ttft_on_single_replica_trace() {
         pp: 1,
         modules: 0,
         threads: 1,
+        pools: Vec::new(),
     };
     s.policies = PolicySpec {
         scheduling: SchedulingPolicy::Continuous,
